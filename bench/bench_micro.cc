@@ -1,0 +1,227 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate hot paths: event
+ * scheduling (with and without the monitor's concurrency mode), buffer
+ * operations, JSON round trips, component serialization, and profiler
+ * scope overhead — the costs behind Fig. 7's overhead story.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "json/json.hh"
+#include "rtm/serialize.hh"
+#include "sim/sim.hh"
+
+using namespace akita;
+
+namespace
+{
+
+void
+BM_EventQueuePushPop(benchmark::State &state)
+{
+    sim::EventQueue q;
+    class Nop : public sim::EventHandler
+    {
+      public:
+        void handle(sim::Event &) override {}
+    } nop;
+
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; i++)
+            q.push(std::make_unique<sim::Event>(t + (i * 37) % 64, &nop));
+        while (!q.empty())
+            benchmark::DoNotOptimize(q.pop());
+        t += 64;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void
+runEngineThroughput(benchmark::State &state, bool concurrent)
+{
+    for (auto _ : state) {
+        sim::SerialEngine eng;
+        eng.setConcurrentAccess(concurrent);
+        std::uint64_t count = 0;
+        std::function<void()> chain = [&]() {
+            if (++count < 10000)
+                eng.scheduleAt(eng.now() + 1, "c", chain);
+        };
+        eng.scheduleAt(0, "c", chain);
+        eng.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+
+void
+BM_EngineThroughputSingleThread(benchmark::State &state)
+{
+    runEngineThroughput(state, false);
+}
+BENCHMARK(BM_EngineThroughputSingleThread);
+
+void
+BM_EngineThroughputConcurrentMode(benchmark::State &state)
+{
+    // The cost of the engine lock taken per event once a monitor
+    // attaches (Fig. 7 scenario 2's intrinsic cost).
+    runEngineThroughput(state, true);
+}
+BENCHMARK(BM_EngineThroughputConcurrentMode);
+
+void
+BM_EngineLockBatchSweep(benchmark::State &state)
+{
+    // Design-parameter ablation: events per lock acquisition. Batch 1
+    // is the naive lock-per-event design; the default is 256.
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::SerialEngine eng;
+        eng.setConcurrentAccess(true);
+        eng.setLockBatch(batch);
+        std::uint64_t count = 0;
+        std::function<void()> chain = [&]() {
+            if (++count < 10000)
+                eng.scheduleAt(eng.now() + 1, "c", chain);
+        };
+        eng.scheduleAt(0, "c", chain);
+        eng.run();
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineLockBatchSweep)->Arg(1)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_BufferPushPop(benchmark::State &state)
+{
+    sim::Buffer buf("b", 64);
+    auto msg = std::make_shared<sim::Msg>();
+    for (auto _ : state) {
+        for (int i = 0; i < 32; i++)
+            buf.push(msg);
+        for (int i = 0; i < 32; i++)
+            benchmark::DoNotOptimize(buf.pop());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BufferPushPop);
+
+void
+BM_JsonDump(benchmark::State &state)
+{
+    json::Json obj = json::Json::object();
+    for (int i = 0; i < 20; i++) {
+        json::Json f = json::Json::object();
+        f.set("name", "field" + std::to_string(i));
+        f.set("value", i * 1000);
+        obj.set("k" + std::to_string(i), std::move(f));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(obj.dump());
+}
+BENCHMARK(BM_JsonDump);
+
+void
+BM_JsonParse(benchmark::State &state)
+{
+    json::Json obj = json::Json::object();
+    for (int i = 0; i < 20; i++)
+        obj.set("k" + std::to_string(i), i);
+    std::string text = obj.dump();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(json::Json::parse(text));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_JsonParse);
+
+void
+BM_SerializeComponent(benchmark::State &state)
+{
+    // The per-request cost of the monitor's fine-grained snapshot.
+    sim::SerialEngine eng;
+    class Comp : public sim::Component
+    {
+      public:
+        explicit Comp(sim::Engine *e) : Component(e, "GPU[0].X")
+        {
+            addPort("TopPort", 8);
+            addPort("BottomPort", 8);
+            for (int i = 0; i < 8; i++) {
+                declareField("field" + std::to_string(i), [i]() {
+                    return introspect::Value::ofInt(i);
+                });
+            }
+        }
+    } comp(&eng);
+
+    for (auto _ : state) {
+        json::Json j = rtm::serializeComponent(comp);
+        benchmark::DoNotOptimize(j.dump());
+    }
+}
+BENCHMARK(BM_SerializeComponent);
+
+void
+BM_ProfScopeDisabled(benchmark::State &state)
+{
+    sim::Profiler::instance().setEnabled(false);
+    for (auto _ : state) {
+        sim::ProfScope scope("bench");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_ProfScopeDisabled);
+
+void
+BM_ProfScopeEnabled(benchmark::State &state)
+{
+    sim::Profiler::instance().setEnabled(true);
+    for (auto _ : state) {
+        sim::ProfScope scope("bench");
+        benchmark::ClobberMemory();
+    }
+    sim::Profiler::instance().setEnabled(false);
+}
+BENCHMARK(BM_ProfScopeEnabled);
+
+void
+BM_PortSendDeliver(benchmark::State &state)
+{
+    sim::SerialEngine eng;
+    class Sink : public sim::Component
+    {
+      public:
+        explicit Sink(sim::Engine *e) : Component(e, "Sink")
+        {
+            in = addPort("In", 1024);
+        }
+        sim::Port *in;
+    } src(&eng), dst(&eng);
+
+    sim::DirectConnection conn(&eng, "Conn", 0);
+    conn.plugIn(src.in);
+    conn.plugIn(dst.in);
+
+    for (auto _ : state) {
+        for (int i = 0; i < 64; i++) {
+            auto m = std::make_shared<sim::Msg>();
+            m->dst = dst.in;
+            src.in->send(m);
+        }
+        eng.run();
+        while (dst.in->retrieveIncoming() != nullptr) {
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PortSendDeliver);
+
+} // namespace
+
+BENCHMARK_MAIN();

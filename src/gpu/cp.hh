@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-GPU command processor with work-group dispatcher.
+ */
+
+#ifndef AKITA_GPU_CP_HH
+#define AKITA_GPU_CP_HH
+
+#include <optional>
+#include <vector>
+
+#include "gpu/protocol.hh"
+#include "sim/component.hh"
+
+namespace akita
+{
+namespace gpu
+{
+
+/**
+ * Receives kernel partitions from the driver and dispatches their
+ * work-groups round-robin over the GPU's compute units.
+ *
+ * Dispatch respects CU backpressure (a CU with full wavefront slots
+ * leaves MapWG requests in its control buffer). Per-tick progress deltas
+ * (started/completed work-groups) are batched into one WgProgressMsg to
+ * the driver, which feeds the dashboard progress bars.
+ */
+class CommandProcessor : public sim::TickingComponent
+{
+  public:
+    struct Config
+    {
+        std::size_t dispatchPerCycle = 2;
+        std::size_t driverBufCapacity = 8;
+        std::size_t cuBufCapacity = 16;
+        /**
+         * Minimum cycles between WgProgress reports to the driver.
+         * Progress consumers (dashboards) need ~Hz granularity; per-
+         * cycle reporting would dominate control-plane traffic.
+         */
+        std::uint64_t reportInterval = 256;
+    };
+
+    CommandProcessor(sim::Engine *engine, const std::string &name,
+                     sim::Freq freq, const Config &cfg);
+
+    /** Registers a compute unit's control port as a dispatch target. */
+    void addCU(sim::Port *cu_ctrl_port) { cuPorts_.push_back(cu_ctrl_port); }
+
+    sim::Port *toDriverPort() const { return toDriver_; }
+    sim::Port *toCUsPort() const { return toCUs_; }
+
+    bool tick() override;
+
+    bool busy() const { return partition_.has_value(); }
+
+  private:
+    struct Partition
+    {
+        const KernelDescriptor *kernel;
+        std::uint64_t seq;
+        std::uint32_t nextWg;
+        std::uint32_t endWg;
+        std::uint32_t outstanding = 0;
+        sim::Port *driverPort;
+        bool doneSent = false;
+    };
+
+    bool processDriver();
+    bool dispatch();
+    bool processCUs();
+    bool reportProgress();
+
+    Config cfg_;
+    sim::Port *toDriver_;
+    sim::Port *toCUs_;
+    std::vector<sim::Port *> cuPorts_;
+    std::size_t rrIndex_ = 0;
+
+    std::optional<Partition> partition_;
+    std::uint32_t startedDelta_ = 0;
+    std::uint32_t completedDelta_ = 0;
+    sim::VTime lastReportAt_ = 0;
+
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace gpu
+} // namespace akita
+
+#endif // AKITA_GPU_CP_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Host-side driver: launches kernels and tracks their progress.
+ */
+
+#ifndef AKITA_GPU_DRIVER_HH
+#define AKITA_GPU_DRIVER_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "gpu/progress.hh"
+#include "gpu/protocol.hh"
+#include "sim/component.hh"
+
+namespace akita
+{
+namespace gpu
+{
+
+/**
+ * The driver splits each kernel's work-group grid across all command
+ * processors (one per chiplet), collects their progress reports, and
+ * executes queued kernels sequentially.
+ *
+ * Progress listeners (the RTM adapter) learn about kernel start, per-WG
+ * progress, and completion.
+ */
+class Driver : public sim::TickingComponent
+{
+  public:
+    struct Config
+    {
+        std::size_t bufCapacity = 16;
+    };
+
+    Driver(sim::Engine *engine, const std::string &name, sim::Freq freq,
+           const Config &cfg);
+
+    /** Constructs with the default configuration. */
+    Driver(sim::Engine *engine, const std::string &name, sim::Freq freq)
+        : Driver(engine, name, freq, Config{})
+    {
+    }
+
+    /** Registers a GPU's command-processor driver-side port. */
+    void addGpu(sim::Port *cp_driver_port)
+    {
+        gpuPorts_.push_back(cp_driver_port);
+    }
+
+    sim::Port *gpuPort() const { return toGpus_; }
+
+    /** Attaches a progress listener (e.g. the monitor). */
+    void setProgressListener(KernelProgressListener *listener)
+    {
+        listener_ = listener;
+    }
+
+    /**
+     * Enqueues a kernel for execution; kernels run sequentially.
+     *
+     * The descriptor must outlive the simulation. Call before or during
+     * Engine::run; the driver self-schedules.
+     *
+     * @return Sequence number identifying the kernel.
+     */
+    std::uint64_t launchKernel(const KernelDescriptor *kernel);
+
+    bool tick() override;
+
+    /**
+     * When true (default), the driver stops the engine once every
+     * enqueued kernel has completed, so Engine::run returns even in
+     * wait-when-empty mode (monitor attached). Disable to keep the
+     * engine alive for interactive inspection after completion.
+     */
+    void setAutoStop(bool on) { autoStop_ = on; }
+
+    /** True when every enqueued kernel completed. */
+    bool
+    allKernelsDone() const
+    {
+        return queue_.empty() && !active_;
+    }
+
+    std::uint64_t kernelsCompleted() const { return kernelsCompleted_; }
+
+  private:
+    struct ActiveKernel
+    {
+        const KernelDescriptor *kernel;
+        std::uint64_t seq;
+        std::uint64_t started = 0;
+        std::uint64_t completed = 0;
+        std::size_t partitionsPending = 0;
+        std::size_t partitionsSent = 0;
+        std::vector<LaunchKernelMsg> launches; // Unsent partitions.
+    };
+
+    bool startNextKernel();
+    bool sendLaunches();
+    bool processReports();
+
+    Config cfg_;
+    sim::Port *toGpus_;
+    std::vector<sim::Port *> gpuPorts_;
+    KernelProgressListener *listener_ = nullptr;
+
+    std::deque<const KernelDescriptor *> queue_;
+    std::unique_ptr<ActiveKernel> active_;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t kernelsCompleted_ = 0;
+    bool autoStop_ = true;
+};
+
+} // namespace gpu
+} // namespace akita
+
+#endif // AKITA_GPU_DRIVER_HH

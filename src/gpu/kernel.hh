@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace-level kernel model.
+ *
+ * The monitoring experiments need GPU workloads with realistic memory
+ * behavior, not a full ISA. A kernel is a grid of work-groups; each
+ * work-group contains wavefronts; each wavefront executes a generated
+ * sequence of (compute-cycles, memory-access) steps derived from the real
+ * benchmark's access pattern (see src/workloads).
+ */
+
+#ifndef AKITA_GPU_KERNEL_HH
+#define AKITA_GPU_KERNEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace akita
+{
+namespace gpu
+{
+
+/**
+ * One wavefront step: run @ref computeCycles of arithmetic, then (when
+ * @ref size is non-zero) issue a memory access and stall until its
+ * response returns.
+ */
+struct WfOp
+{
+    std::uint32_t computeCycles = 0;
+    std::uint64_t addr = 0;
+    std::uint32_t size = 0;
+    bool isWrite = false;
+
+    /** A pure compute step. */
+    static WfOp
+    compute(std::uint32_t cycles)
+    {
+        WfOp op;
+        op.computeCycles = cycles;
+        return op;
+    }
+
+    /** A load of @p size bytes after @p cycles of compute. */
+    static WfOp
+    load(std::uint64_t addr, std::uint32_t size,
+         std::uint32_t cycles = 0)
+    {
+        WfOp op;
+        op.computeCycles = cycles;
+        op.addr = addr;
+        op.size = size;
+        op.isWrite = false;
+        return op;
+    }
+
+    /** A store of @p size bytes after @p cycles of compute. */
+    static WfOp
+    store(std::uint64_t addr, std::uint32_t size,
+          std::uint32_t cycles = 0)
+    {
+        WfOp op;
+        op.computeCycles = cycles;
+        op.addr = addr;
+        op.size = size;
+        op.isWrite = true;
+        return op;
+    }
+
+    bool hasMem() const { return size != 0; }
+};
+
+/**
+ * Generates the op trace of one wavefront.
+ *
+ * Called lazily when a work-group is mapped to a compute unit, so large
+ * grids never hold their whole trace in memory.
+ */
+using WfTraceGen = std::function<std::vector<WfOp>(
+    std::uint32_t wg_id, std::uint32_t wf_id)>;
+
+/** A launchable kernel. */
+struct KernelDescriptor
+{
+    std::string name;
+    std::uint32_t numWorkGroups = 1;
+    std::uint32_t wavefrontsPerWG = 4;
+    WfTraceGen trace;
+};
+
+} // namespace gpu
+} // namespace akita
+
+#endif // AKITA_GPU_KERNEL_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Kernel-progress observer interface.
+ *
+ * The driver reports kernel lifecycle events through this interface;
+ * the RTM plugin implements it to drive the dashboard's progress bars
+ * ("by default, we show the progress of GPU kernels in terms of how many
+ * blocks have completed execution"). The GPU model stays independent of
+ * the monitor.
+ */
+
+#ifndef AKITA_GPU_PROGRESS_HH
+#define AKITA_GPU_PROGRESS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace akita
+{
+namespace gpu
+{
+
+/** Observer of kernel progress. */
+class KernelProgressListener
+{
+  public:
+    virtual ~KernelProgressListener() = default;
+
+    /** A kernel started executing. @p total is its work-group count. */
+    virtual void kernelStarted(std::uint64_t seq, const std::string &name,
+                               std::uint64_t total) = 0;
+
+    /** Progress changed: @p completed done, @p ongoing in flight. */
+    virtual void kernelProgress(std::uint64_t seq, std::uint64_t completed,
+                                std::uint64_t ongoing) = 0;
+
+    /** The kernel finished all work-groups. */
+    virtual void kernelFinished(std::uint64_t seq) = 0;
+};
+
+} // namespace gpu
+} // namespace akita
+
+#endif // AKITA_GPU_PROGRESS_HH

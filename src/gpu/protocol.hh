@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Control-plane messages: driver <-> command processor <-> compute unit.
+ */
+
+#ifndef AKITA_GPU_PROTOCOL_HH
+#define AKITA_GPU_PROTOCOL_HH
+
+#include "gpu/kernel.hh"
+#include "sim/msg.hh"
+
+namespace akita
+{
+namespace gpu
+{
+
+/** Driver -> CP: execute a contiguous work-group range of a kernel. */
+class LaunchKernelMsg : public sim::Msg
+{
+  public:
+    LaunchKernelMsg(const KernelDescriptor *kernel, std::uint64_t seq,
+                    std::uint32_t wg_start, std::uint32_t wg_count)
+        : kernel(kernel), seq(seq), wgStart(wg_start), wgCount(wg_count)
+    {
+    }
+
+    const char *kind() const override { return "LaunchKernel"; }
+
+    const KernelDescriptor *kernel;
+    std::uint64_t seq;
+    std::uint32_t wgStart;
+    std::uint32_t wgCount;
+};
+
+/** CP -> Driver: this partition finished. */
+class PartitionDoneMsg : public sim::Msg
+{
+  public:
+    explicit PartitionDoneMsg(std::uint64_t seq) : seq(seq) {}
+
+    const char *kind() const override { return "PartitionDone"; }
+
+    std::uint64_t seq;
+};
+
+/** CP -> Driver: batched work-group progress deltas. */
+class WgProgressMsg : public sim::Msg
+{
+  public:
+    WgProgressMsg(std::uint64_t seq, std::uint32_t started,
+                  std::uint32_t completed)
+        : seq(seq), started(started), completed(completed)
+    {
+    }
+
+    const char *kind() const override { return "WgProgress"; }
+
+    std::uint64_t seq;
+    std::uint32_t started;
+    std::uint32_t completed;
+};
+
+/** CP -> CU: map one work-group onto the compute unit. */
+class MapWgMsg : public sim::Msg
+{
+  public:
+    MapWgMsg(const KernelDescriptor *kernel, std::uint32_t wg_id)
+        : kernel(kernel), wgId(wg_id)
+    {
+    }
+
+    const char *kind() const override { return "MapWG"; }
+
+    const KernelDescriptor *kernel;
+    std::uint32_t wgId;
+};
+
+/** CU -> CP: a mapped work-group finished all wavefronts. */
+class WgDoneMsg : public sim::Msg
+{
+  public:
+    explicit WgDoneMsg(std::uint32_t wg_id) : wgId(wg_id) {}
+
+    const char *kind() const override { return "WGDone"; }
+
+    std::uint32_t wgId;
+};
+
+} // namespace gpu
+} // namespace akita
+
+#endif // AKITA_GPU_PROTOCOL_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Declarative field registry replacing Go reflection.
+ *
+ * In the Go implementation, RegisterComponent discovers fields via
+ * reflection so that "adding a new component does not require designing a
+ * new view". The C++ equivalent keeps that property by having components
+ * declare fields once, as (name, getter) pairs; all monitoring views stay
+ * generic over FieldSet.
+ */
+
+#ifndef AKITA_INTROSPECT_FIELD_HH
+#define AKITA_INTROSPECT_FIELD_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "introspect/value.hh"
+
+namespace akita
+{
+namespace introspect
+{
+
+/** Closure that produces the current value of one monitored field. */
+using FieldGetter = std::function<Value()>;
+
+/** One named, monitorable property of a component. */
+struct Field
+{
+    std::string name;
+    FieldGetter getter;
+};
+
+/**
+ * An ordered collection of monitorable fields.
+ *
+ * Order is declaration order, which the frontend preserves so that views
+ * are stable across refreshes.
+ */
+class FieldSet
+{
+  public:
+    /** Registers a field; later declarations with the same name win. */
+    void
+    declare(std::string name, FieldGetter getter)
+    {
+        for (auto &f : fields_) {
+            if (f.name == name) {
+                f.getter = std::move(getter);
+                return;
+            }
+        }
+        fields_.push_back(Field{std::move(name), std::move(getter)});
+    }
+
+    /** Convenience overload for integral members captured by pointer. */
+    template <typename T>
+    void
+    declareInt(std::string name, const T *member)
+    {
+        declare(std::move(name), [member]() {
+            return Value::ofInt(static_cast<std::int64_t>(*member));
+        });
+    }
+
+    /** Convenience overload for floating members captured by pointer. */
+    void
+    declareFloat(std::string name, const double *member)
+    {
+        declare(std::move(name),
+                [member]() { return Value::ofFloat(*member); });
+    }
+
+    /** Convenience overload for bool members captured by pointer. */
+    void
+    declareBool(std::string name, const bool *member)
+    {
+        declare(std::move(name),
+                [member]() { return Value::ofBool(*member); });
+    }
+
+    /** Convenience overload for string members captured by pointer. */
+    void
+    declareStr(std::string name, const std::string *member)
+    {
+        declare(std::move(name),
+                [member]() { return Value::ofStr(*member); });
+    }
+
+    const std::vector<Field> &all() const { return fields_; }
+
+    /**
+     * Looks up a field by name.
+     *
+     * @return The field, or nullptr when absent.
+     */
+    const Field *
+    find(const std::string &name) const
+    {
+        for (const auto &f : fields_) {
+            if (f.name == name)
+                return &f;
+        }
+        return nullptr;
+    }
+
+    bool empty() const { return fields_.empty(); }
+    std::size_t size() const { return fields_.size(); }
+
+  private:
+    std::vector<Field> fields_;
+};
+
+/**
+ * Interface for objects that expose monitorable fields.
+ *
+ * sim::Component derives from this; any other object (e.g. a driver or a
+ * workload) can too, and is then registrable with the monitor.
+ */
+class Inspectable
+{
+  public:
+    virtual ~Inspectable() = default;
+
+    /** Fields exposed to the monitoring views. */
+    const FieldSet &fields() const { return fieldSet_; }
+
+    /** Mutable access for late registration (used by builders). */
+    FieldSet &mutableFields() { return fieldSet_; }
+
+  protected:
+    /** Registers a field; intended to be called from constructors. */
+    void
+    declareField(std::string name, FieldGetter getter)
+    {
+        fieldSet_.declare(std::move(name), std::move(getter));
+    }
+
+  private:
+    FieldSet fieldSet_;
+};
+
+} // namespace introspect
+} // namespace akita
+
+#endif // AKITA_INTROSPECT_FIELD_HH

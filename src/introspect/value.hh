@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Runtime value model used by the introspection layer.
+ *
+ * AkitaRTM (the Go original) relies on reflection to serialize arbitrary
+ * component fields. C++ has no runtime reflection, so components instead
+ * expose fields as closures returning a Value. A Value is a small tagged
+ * union covering the kinds of data the monitoring views understand:
+ * scalars, strings, container summaries (size), and nested lists/dicts.
+ */
+
+#ifndef AKITA_INTROSPECT_VALUE_HH
+#define AKITA_INTROSPECT_VALUE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace akita
+{
+namespace introspect
+{
+
+/**
+ * A dynamically typed value produced by a field getter.
+ *
+ * Values form a tree: List and Dict nodes contain child Values. The
+ * numeric() accessor provides the scalar projection that the time-graph
+ * view plots: numbers plot as themselves, booleans as 0/1, containers as
+ * their size — mirroring the paper's rule that "for containers such as
+ * lists and dictionaries, the plot shows the container sizes".
+ */
+class Value
+{
+  public:
+    /** Discriminator for the union. */
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,
+        Float,
+        Str,
+        List,
+        Dict,
+    };
+
+    /** Constructs a null value. */
+    Value() : kind_(Kind::Null) {}
+
+    /** Constructs a boolean value. */
+    static Value
+    ofBool(bool b)
+    {
+        Value v;
+        v.kind_ = Kind::Bool;
+        v.boolVal_ = b;
+        return v;
+    }
+
+    /** Constructs an integer value. */
+    static Value
+    ofInt(std::int64_t i)
+    {
+        Value v;
+        v.kind_ = Kind::Int;
+        v.intVal_ = i;
+        return v;
+    }
+
+    /** Constructs a floating point value. */
+    static Value
+    ofFloat(double d)
+    {
+        Value v;
+        v.kind_ = Kind::Float;
+        v.floatVal_ = d;
+        return v;
+    }
+
+    /** Constructs a string value. */
+    static Value
+    ofStr(std::string s)
+    {
+        Value v;
+        v.kind_ = Kind::Str;
+        v.strVal_ = std::move(s);
+        return v;
+    }
+
+    /** Constructs a list value from child values. */
+    static Value
+    ofList(std::vector<Value> items)
+    {
+        Value v;
+        v.kind_ = Kind::List;
+        v.items_ = std::move(items);
+        return v;
+    }
+
+    /** Constructs a dict value from key/child pairs. */
+    static Value
+    ofDict(std::vector<std::pair<std::string, Value>> entries)
+    {
+        Value v;
+        v.kind_ = Kind::Dict;
+        v.entries_ = std::move(entries);
+        return v;
+    }
+
+    /**
+     * Summarizes any sized container as a list of element descriptions.
+     *
+     * @param size Container size; recorded even when elements are elided.
+     */
+    static Value
+    ofContainer(std::size_t size, std::vector<Value> items)
+    {
+        Value v = ofList(std::move(items));
+        v.declaredSize_ = static_cast<std::int64_t>(size);
+        return v;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool boolVal() const { return boolVal_; }
+    std::int64_t intVal() const { return intVal_; }
+    double floatVal() const { return floatVal_; }
+    const std::string &strVal() const { return strVal_; }
+    const std::vector<Value> &items() const { return items_; }
+
+    const std::vector<std::pair<std::string, Value>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Number of elements a container value represents.
+     *
+     * For containers built with ofContainer this is the declared size, so
+     * the monitoring plot remains correct even when the serializer elides
+     * elements of very large containers.
+     */
+    std::int64_t
+    size() const
+    {
+        if (declaredSize_ >= 0)
+            return declaredSize_;
+        if (kind_ == Kind::List)
+            return static_cast<std::int64_t>(items_.size());
+        if (kind_ == Kind::Dict)
+            return static_cast<std::int64_t>(entries_.size());
+        return 0;
+    }
+
+    /**
+     * Scalar projection used by the value-monitoring time graphs.
+     *
+     * @return The value itself for numerics, 0/1 for booleans, the size
+     *         for containers, and 0 for everything else.
+     */
+    double
+    numeric() const
+    {
+        switch (kind_) {
+          case Kind::Bool:
+            return boolVal_ ? 1.0 : 0.0;
+          case Kind::Int:
+            return static_cast<double>(intVal_);
+          case Kind::Float:
+            return floatVal_;
+          case Kind::List:
+          case Kind::Dict:
+            return static_cast<double>(size());
+          default:
+            return 0.0;
+        }
+    }
+
+    /** Human-readable type name shown in the component-detail view. */
+    const char *
+    typeName() const
+    {
+        switch (kind_) {
+          case Kind::Null:
+            return "null";
+          case Kind::Bool:
+            return "bool";
+          case Kind::Int:
+            return "int";
+          case Kind::Float:
+            return "float";
+          case Kind::Str:
+            return "string";
+          case Kind::List:
+            return "list";
+          case Kind::Dict:
+            return "dict";
+        }
+        return "unknown";
+    }
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool boolVal_ = false;
+    std::int64_t intVal_ = 0;
+    double floatVal_ = 0.0;
+    std::string strVal_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> entries_;
+    std::int64_t declaredSize_ = -1;
+};
+
+} // namespace introspect
+} // namespace akita
+
+#endif // AKITA_INTROSPECT_VALUE_HH

@@ -1,0 +1,472 @@
+#include "json/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace akita
+{
+namespace json
+{
+
+namespace
+{
+
+/** Appends a UTF-8 encoding of the code point to out. */
+void
+appendUtf8(std::string &out, std::uint32_t cp)
+{
+    if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+}
+
+/** Recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    parseDocument()
+    {
+        skipWs();
+        Json v = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    static constexpr int maxDepth = 256;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw ParseError(what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                pos_++;
+            else
+                break;
+        }
+    }
+
+    char
+    peek() const
+    {
+        if (pos_ >= text_.size())
+            throw ParseError("unexpected end of input", pos_);
+        return text_[pos_];
+    }
+
+    char
+    next()
+    {
+        char c = peek();
+        pos_++;
+        return c;
+    }
+
+    void
+    expect(const char *literal)
+    {
+        std::size_t len = std::strlen(literal);
+        if (text_.compare(pos_, len, literal) != 0)
+            fail(std::string("expected '") + literal + "'");
+        pos_ += len;
+    }
+
+    Json
+    parseValue(int depth)
+    {
+        if (depth > maxDepth)
+            fail("nesting too deep");
+        switch (peek()) {
+          case 'n':
+            expect("null");
+            return Json();
+          case 't':
+            expect("true");
+            return Json(true);
+          case 'f':
+            expect("false");
+            return Json(false);
+          case '"':
+            return Json(parseString());
+          case '[':
+            return parseArray(depth);
+          case '{':
+            return parseObject(depth);
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        if (next() != '"')
+            fail("expected string");
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out.push_back('"');
+                break;
+              case '\\':
+                out.push_back('\\');
+                break;
+              case '/':
+                out.push_back('/');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                std::uint32_t cp = parseHex4();
+                // Surrogate pair handling.
+                if (cp >= 0xD800 && cp <= 0xDBFF &&
+                    text_.compare(pos_, 2, "\\u") == 0) {
+                    pos_ += 2;
+                    std::uint32_t lo = parseHex4();
+                    if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                    } else {
+                        fail("invalid low surrogate");
+                    }
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+        return out;
+    }
+
+    std::uint32_t
+    parseHex4()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; i++) {
+            char c = next();
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                fail("invalid hex digit");
+        }
+        return v;
+    }
+
+    Json
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            pos_++;
+        if (pos_ >= text_.size() || !std::isdigit((unsigned char)text_[pos_]))
+            fail("invalid number");
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit((unsigned char)text_[pos_ + 1]))
+            fail("leading zero in number");
+        while (pos_ < text_.size() &&
+               std::isdigit((unsigned char)text_[pos_]))
+            pos_++;
+        bool isFloat = false;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            isFloat = true;
+            pos_++;
+            if (pos_ >= text_.size() ||
+                !std::isdigit((unsigned char)text_[pos_]))
+                fail("digit expected after decimal point");
+            while (pos_ < text_.size() &&
+                   std::isdigit((unsigned char)text_[pos_]))
+                pos_++;
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            isFloat = true;
+            pos_++;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                pos_++;
+            if (pos_ >= text_.size() ||
+                !std::isdigit((unsigned char)text_[pos_]))
+                fail("digit expected in exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit((unsigned char)text_[pos_]))
+                pos_++;
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        if (!isFloat) {
+            errno = 0;
+            char *end = nullptr;
+            long long v = std::strtoll(tok.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0')
+                return Json(static_cast<std::int64_t>(v));
+            // Fall through to double on overflow.
+        }
+        return Json(std::strtod(tok.c_str(), nullptr));
+    }
+
+    Json
+    parseArray(int depth)
+    {
+        next(); // '['
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            pos_++;
+            return arr;
+        }
+        while (true) {
+            skipWs();
+            arr.push(parseValue(depth + 1));
+            skipWs();
+            char c = next();
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    Json
+    parseObject(int depth)
+    {
+        next(); // '{'
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            pos_++;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            if (next() != ':')
+                fail("expected ':' in object");
+            skipWs();
+            obj.set(key, parseValue(depth + 1));
+            skipWs();
+            char c = next();
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+escapeString(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char ch : s) {
+        unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            out.push_back('\n');
+            out.append(static_cast<std::size_t>(indent * d), ' ');
+        }
+    };
+
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolVal_ ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(intVal_);
+        break;
+      case Type::Float: {
+        if (std::isnan(floatVal_) || std::isinf(floatVal_)) {
+            out += "null"; // JSON has no NaN/Inf.
+            break;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", floatVal_);
+        out += buf;
+        break;
+      }
+      case Type::Str:
+        out += escapeString(strVal_);
+        break;
+      case Type::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const auto &item : items_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            item.dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            newline(depth);
+        out.push_back(']');
+        break;
+      }
+      case Type::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &m : members_) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            newline(depth + 1);
+            out += escapeString(m.first);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            m.second.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty())
+            newline(depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser p(text);
+    return p.parseDocument();
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (isNumber() && other.isNumber())
+        return numberVal() == other.numberVal();
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null:
+        return true;
+      case Type::Bool:
+        return boolVal_ == other.boolVal_;
+      case Type::Str:
+        return strVal_ == other.strVal_;
+      case Type::Array:
+        return items_ == other.items_;
+      case Type::Object:
+        return members_ == other.members_;
+      default:
+        return false;
+    }
+}
+
+} // namespace json
+} // namespace akita

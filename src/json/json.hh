@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Minimal self-contained JSON library.
+ *
+ * The RTM HTTP API exchanges JSON with the frontend. No third-party
+ * libraries are available offline, so this module implements the value
+ * model, a recursive-descent parser, and a serializer. It covers the full
+ * JSON grammar (RFC 8259) including string escapes and unicode escapes
+ * (encoded as UTF-8 on output).
+ */
+
+#ifndef AKITA_JSON_JSON_HH
+#define AKITA_JSON_JSON_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace akita
+{
+namespace json
+{
+
+class Json;
+
+/** Error thrown by Json::parse on malformed input. */
+class ParseError : public std::runtime_error
+{
+  public:
+    /**
+     * @param what Description of the syntax error.
+     * @param offset Byte offset in the input where the error occurred.
+     */
+    ParseError(const std::string &what, std::size_t offset)
+        : std::runtime_error(what + " at offset " + std::to_string(offset)),
+          offset_(offset)
+    {
+    }
+
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
+};
+
+/**
+ * A JSON document node.
+ *
+ * Objects preserve insertion order (the frontend relies on stable field
+ * ordering when rendering component details).
+ */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Int,
+        Float,
+        Str,
+        Array,
+        Object,
+    };
+
+    using Member = std::pair<std::string, Json>;
+
+    /** Constructs null. */
+    Json() : type_(Type::Null) {}
+    Json(std::nullptr_t) : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), boolVal_(b) {}
+    Json(int i) : type_(Type::Int), intVal_(i) {}
+    Json(std::int64_t i) : type_(Type::Int), intVal_(i) {}
+
+    Json(std::uint64_t i)
+        : type_(Type::Int), intVal_(static_cast<std::int64_t>(i))
+    {
+    }
+
+    Json(double d) : type_(Type::Float), floatVal_(d) {}
+    Json(const char *s) : type_(Type::Str), strVal_(s) {}
+    Json(std::string s) : type_(Type::Str), strVal_(std::move(s)) {}
+
+    /** Constructs an empty array node. */
+    static Json
+    array()
+    {
+        Json j;
+        j.type_ = Type::Array;
+        return j;
+    }
+
+    /** Constructs an empty object node. */
+    static Json
+    object()
+    {
+        Json j;
+        j.type_ = Type::Object;
+        return j;
+    }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isInt() const { return type_ == Type::Int; }
+    bool isFloat() const { return type_ == Type::Float; }
+    bool isNumber() const { return isInt() || isFloat(); }
+    bool isStr() const { return type_ == Type::Str; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool boolVal() const { return boolVal_; }
+    std::int64_t intVal() const { return intVal_; }
+
+    /** Numeric value as double regardless of Int/Float representation. */
+    double
+    numberVal() const
+    {
+        return isInt() ? static_cast<double>(intVal_) : floatVal_;
+    }
+
+    const std::string &strVal() const { return strVal_; }
+
+    /** Array element access; throws std::out_of_range when out of range. */
+    const Json &at(std::size_t idx) const { return items_.at(idx); }
+
+    const std::vector<Json> &items() const { return items_; }
+    const std::vector<Member> &members() const { return members_; }
+
+    std::size_t
+    size() const
+    {
+        if (type_ == Type::Array)
+            return items_.size();
+        if (type_ == Type::Object)
+            return members_.size();
+        return 0;
+    }
+
+    /** Appends an element to an array node. */
+    Json &
+    push(Json v)
+    {
+        items_.push_back(std::move(v));
+        return items_.back();
+    }
+
+    /** Sets (or replaces) an object member, preserving insertion order. */
+    Json &
+    set(const std::string &key, Json v)
+    {
+        for (auto &m : members_) {
+            if (m.first == key) {
+                m.second = std::move(v);
+                return m.second;
+            }
+        }
+        members_.emplace_back(key, std::move(v));
+        return members_.back().second;
+    }
+
+    /**
+     * Object member lookup.
+     *
+     * @return The member value, or nullptr when absent or not an object.
+     */
+    const Json *
+    get(const std::string &key) const
+    {
+        for (const auto &m : members_) {
+            if (m.first == key)
+                return &m.second;
+        }
+        return nullptr;
+    }
+
+    /** Object member with a default when missing. */
+    std::int64_t
+    getInt(const std::string &key, std::int64_t dflt = 0) const
+    {
+        const Json *j = get(key);
+        return j && j->isNumber()
+                   ? (j->isInt() ? j->intVal()
+                                 : static_cast<std::int64_t>(j->floatVal_))
+                   : dflt;
+    }
+
+    /** Object member with a default when missing. */
+    std::string
+    getStr(const std::string &key, std::string dflt = "") const
+    {
+        const Json *j = get(key);
+        return j && j->isStr() ? j->strVal() : std::move(dflt);
+    }
+
+    /** Object member with a default when missing. */
+    double
+    getNumber(const std::string &key, double dflt = 0.0) const
+    {
+        const Json *j = get(key);
+        return j && j->isNumber() ? j->numberVal() : dflt;
+    }
+
+    /** Object member with a default when missing. */
+    bool
+    getBool(const std::string &key, bool dflt = false) const
+    {
+        const Json *j = get(key);
+        return j && j->isBool() ? j->boolVal() : dflt;
+    }
+
+    /**
+     * Serializes to a compact JSON string.
+     *
+     * @param indent When >0, pretty-print with that many spaces per level.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parses a JSON document.
+     *
+     * @throws ParseError on malformed input or trailing garbage.
+     */
+    static Json parse(const std::string &text);
+
+    bool operator==(const Json &other) const;
+    bool operator!=(const Json &other) const { return !(*this == other); }
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool boolVal_ = false;
+    std::int64_t intVal_ = 0;
+    double floatVal_ = 0.0;
+    std::string strVal_;
+    std::vector<Json> items_;
+    std::vector<Member> members_;
+};
+
+/** Escapes a string into a JSON string literal (with quotes). */
+std::string escapeString(const std::string &s);
+
+} // namespace json
+} // namespace akita
+
+#endif // AKITA_JSON_JSON_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Address mapping utilities.
+ */
+
+#ifndef AKITA_MEM_ADDR_HH
+#define AKITA_MEM_ADDR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace akita
+{
+namespace sim
+{
+class Port;
+}
+
+namespace mem
+{
+
+/**
+ * Finds the downstream port that services an address (MGPUSim's
+ * "low module finder"). Caches and RDMA engines consult one to route
+ * requests to banks / local-vs-remote memory.
+ */
+class AddressMapper
+{
+  public:
+    virtual ~AddressMapper() = default;
+
+    /** The port responsible for @p addr. */
+    virtual sim::Port *find(std::uint64_t addr) const = 0;
+};
+
+/** Routes every address to a single port. */
+class SinglePortMapper : public AddressMapper
+{
+  public:
+    explicit SinglePortMapper(sim::Port *port) : port_(port) {}
+
+    sim::Port *find(std::uint64_t) const override { return port_; }
+
+  private:
+    sim::Port *port_;
+};
+
+/**
+ * Interleaves addresses across ports at a fixed granularity:
+ * port = (addr / granularity) % n.
+ */
+class InterleavedMapper : public AddressMapper
+{
+  public:
+    InterleavedMapper(std::vector<sim::Port *> ports,
+                      std::uint64_t granularity)
+        : ports_(std::move(ports)),
+          granularity_(granularity == 0 ? 1 : granularity)
+    {
+    }
+
+    sim::Port *
+    find(std::uint64_t addr) const override
+    {
+        return ports_[(addr / granularity_) % ports_.size()];
+    }
+
+  private:
+    std::vector<sim::Port *> ports_;
+    std::uint64_t granularity_;
+};
+
+/** Routes via an arbitrary closure (used for local/remote splits). */
+class FuncMapper : public AddressMapper
+{
+  public:
+    explicit FuncMapper(std::function<sim::Port *(std::uint64_t)> fn)
+        : fn_(std::move(fn))
+    {
+    }
+
+    sim::Port *find(std::uint64_t addr) const override { return fn_(addr); }
+
+  private:
+    std::function<sim::Port *(std::uint64_t)> fn_;
+};
+
+/**
+ * Chiplet ownership rule for multi-GPU address spaces: pages are
+ * interleaved across devices.
+ */
+struct ChipletInterleaving
+{
+    std::uint64_t pageSize = 4096;
+    std::uint32_t numDevices = 1;
+
+    /** Device that owns @p addr. */
+    std::uint32_t
+    deviceOf(std::uint64_t addr) const
+    {
+        return static_cast<std::uint32_t>((addr / pageSize) % numDevices);
+    }
+};
+
+} // namespace mem
+} // namespace akita
+
+#endif // AKITA_MEM_ADDR_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory request/response messages.
+ */
+
+#ifndef AKITA_MEM_MSG_HH
+#define AKITA_MEM_MSG_HH
+
+#include <cstdint>
+
+#include "sim/msg.hh"
+
+namespace akita
+{
+namespace mem
+{
+
+/**
+ * A memory access request (read or write).
+ *
+ * Requests flow down the hierarchy (CU -> ROB -> AT -> L1 -> L2/RDMA ->
+ * DRAM); each hop records the upstream return path keyed by id().
+ */
+class MemReq : public sim::Msg
+{
+  public:
+    MemReq(std::uint64_t addr, std::uint32_t size, bool is_write)
+        : addr(addr), size(size), isWrite(is_write)
+    {
+        trafficBytes = is_write ? size + 16 : 16;
+    }
+
+    const char *kind() const override { return isWrite ? "Write" : "Read"; }
+
+    /** Virtual address (physical after translation). */
+    std::uint64_t addr;
+    std::uint32_t size;
+    bool isWrite;
+    /** True once an address translator produced a physical address. */
+    bool translated = false;
+};
+
+using MemReqPtr = std::shared_ptr<MemReq>;
+
+/**
+ * Response to a MemReq; reqId links it to the originating request.
+ */
+class MemRsp : public sim::Msg
+{
+  public:
+    explicit MemRsp(std::uint64_t req_id, bool is_write,
+                    std::uint32_t size)
+        : reqId(req_id), isWrite(is_write)
+    {
+        trafficBytes = is_write ? 16 : size + 16;
+    }
+
+    const char *kind() const override
+    {
+        return isWrite ? "WriteDone" : "DataReady";
+    }
+
+    std::uint64_t reqId;
+    bool isWrite;
+};
+
+using MemRspPtr = std::shared_ptr<MemRsp>;
+
+/** Creates a response matched to @p req. */
+inline MemRspPtr
+makeRsp(const MemReq &req)
+{
+    return std::make_shared<MemRsp>(req.id(), req.isWrite, req.size);
+}
+
+} // namespace mem
+} // namespace akita
+
+#endif // AKITA_MEM_MSG_HH

@@ -1,0 +1,105 @@
+#include "net/switched.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/component.hh"
+
+namespace akita
+{
+namespace net
+{
+
+SwitchedNetwork::SwitchedNetwork(sim::Engine *engine, std::string name,
+                                 const Config &cfg)
+    : engine_(engine), name_(std::move(name)), cfg_(cfg),
+      psPerByte_(static_cast<double>(sim::kSecond) / cfg.bytesPerSecond)
+{
+    declareField("in_flight", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(inFlightTotal_));
+    });
+    declareField("total_bytes", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(totalBytes_));
+    });
+    declareField("total_msgs", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(totalMsgs_));
+    });
+}
+
+void
+SwitchedNetwork::plugIn(sim::Port *port)
+{
+    ports_.push_back(port);
+    port->setConnection(this);
+}
+
+sim::SendStatus
+SwitchedNetwork::send(sim::MsgPtr msg)
+{
+    sim::Port *dst = msg->dst;
+    if (dst->connection() != this) {
+        throw std::runtime_error("network " + name_ +
+                                 " cannot reach port " + dst->fullName());
+    }
+
+    std::size_t &reserved = pending_[dst];
+    if (dst->buf().size() + reserved >= dst->buf().capacity()) {
+        if (msg->src != nullptr && msg->src->owner() != nullptr) {
+            auto &waiters = blockedSenders_[dst];
+            sim::Component *owner = msg->src->owner();
+            if (std::find(waiters.begin(), waiters.end(), owner) ==
+                waiters.end())
+                waiters.push_back(owner);
+        }
+        return sim::SendStatus::Busy;
+    }
+
+    sim::VTime now = engine_->now();
+    sim::VTime &freeAt = linkFreeAt_[dst];
+    sim::VTime start = std::max(now, freeAt);
+    auto serialize = static_cast<sim::VTime>(
+        static_cast<double>(msg->trafficBytes) * psPerByte_);
+    sim::VTime done = start + std::max<sim::VTime>(serialize, 1);
+    freeAt = done;
+
+    reserved++;
+    inFlightTotal_++;
+    totalBytes_ += msg->trafficBytes;
+    totalMsgs_++;
+    msg->sendTime = now;
+
+    sim::MsgPtr owned = std::move(msg);
+    engine_->scheduleAt(done + cfg_.latency, name_ + "::deliver",
+                        [this, owned]() mutable {
+                            deliver(std::move(owned));
+                        });
+    return sim::SendStatus::Ok;
+}
+
+void
+SwitchedNetwork::deliver(sim::MsgPtr msg)
+{
+    sim::Port *dst = msg->dst;
+    auto it = pending_.find(dst);
+    if (it != pending_.end() && it->second > 0)
+        it->second--;
+    inFlightTotal_--;
+    dst->deliver(std::move(msg));
+}
+
+void
+SwitchedNetwork::notifyAvailable(sim::Port *dst)
+{
+    auto it = blockedSenders_.find(dst);
+    if (it == blockedSenders_.end())
+        return;
+    for (sim::Component *c : it->second)
+        c->wake();
+    blockedSenders_.erase(it);
+}
+
+} // namespace net
+} // namespace akita

@@ -1,0 +1,190 @@
+#include "rtm/api.hh"
+
+#include "rtm/monitor.hh"
+#include "rtm/serialize.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+namespace
+{
+
+web::Response
+jsonResponse(const json::Json &j)
+{
+    return web::Response::json(j.dump());
+}
+
+} // namespace
+
+void
+installApiRoutes(web::HttpServer &server, Monitor &monitor)
+{
+    Monitor *m = &monitor;
+
+    server.route("GET", "/", [](const web::Request &) {
+        return web::Response::html(dashboardHtml());
+    });
+
+    server.route("GET", "/api/status", [m](const web::Request &) {
+        return jsonResponse(m->status());
+    });
+
+    server.route("GET", "/api/resources", [m](const web::Request &) {
+        return jsonResponse(serializeResources(m->resources()));
+    });
+
+    server.route("GET", "/api/components", [m](const web::Request &) {
+        return jsonResponse(m->componentTree());
+    });
+
+    server.route("GET", "/api/component", [m](const web::Request &req) {
+        std::string name = req.queryParam("name");
+        if (name.empty())
+            return web::Response::error(400, "missing ?name=");
+        json::Json snap = m->componentSnapshot(name);
+        if (snap.isNull())
+            return web::Response::error(404,
+                                        "unknown component " + name);
+        return jsonResponse(snap);
+    });
+
+    server.route("GET", "/api/buffers", [m](const web::Request &req) {
+        BufferSort sort = req.queryParam("sort", "percent") == "size"
+                              ? BufferSort::BySize
+                              : BufferSort::ByPercent;
+        auto top = static_cast<std::size_t>(req.queryInt("top", 50));
+        return jsonResponse(
+            serializeBuffers(m->bufferLevels(sort, top)));
+    });
+
+    server.route("GET", "/api/progress", [m](const web::Request &) {
+        return jsonResponse(serializeProgress(m->progressBars()));
+    });
+
+    server.route("POST", "/api/pause", [m](const web::Request &) {
+        m->pause();
+        return web::Response::json("{\"paused\":true}");
+    });
+
+    server.route("POST", "/api/resume", [m](const web::Request &) {
+        m->kickStart();
+        return web::Response::json("{\"paused\":false}");
+    });
+
+    server.route("POST", "/api/tick", [m](const web::Request &req) {
+        std::string name = req.queryParam("component");
+        if (name.empty())
+            return web::Response::error(400, "missing ?component=");
+        if (!m->tickComponent(name))
+            return web::Response::error(404,
+                                        "unknown component " + name);
+        return web::Response::json("{\"ticked\":true}");
+    });
+
+    server.route("GET", "/api/profile", [m](const web::Request &req) {
+        auto top = static_cast<std::size_t>(req.queryInt("top", 30));
+        json::Json j = serializeProfile(m->profile(top));
+        j.set("enabled", m->profiling());
+        return jsonResponse(j);
+    });
+
+    server.route("POST", "/api/profile/start", [m](const web::Request &) {
+        m->startProfiling();
+        return web::Response::json("{\"profiling\":true}");
+    });
+
+    server.route("POST", "/api/profile/stop", [m](const web::Request &) {
+        m->stopProfiling();
+        return web::Response::json("{\"profiling\":false}");
+    });
+
+    server.route("POST", "/api/monitor/track",
+                 [m](const web::Request &req) {
+                     std::string comp = req.queryParam("component");
+                     std::string field = req.queryParam("field");
+                     if (comp.empty() || field.empty()) {
+                         return web::Response::error(
+                             400, "missing ?component=&field=");
+                     }
+                     std::uint64_t id = m->trackValue(comp, field);
+                     if (id == 0) {
+                         return web::Response::error(
+                             409,
+                             "cannot track (unknown field or limit of 5 "
+                             "series reached)");
+                     }
+                     json::Json j = json::Json::object();
+                     j.set("id", id);
+                     return jsonResponse(j);
+                 });
+
+    server.route("POST", "/api/monitor/untrack",
+                 [m](const web::Request &req) {
+                     auto id = static_cast<std::uint64_t>(
+                         req.queryInt("id", 0));
+                     if (!m->untrackValue(id))
+                         return web::Response::error(404, "unknown id");
+                     return web::Response::json("{\"untracked\":true}");
+                 });
+
+    server.route("GET", "/api/monitor/series",
+                 [m](const web::Request &req) {
+                     auto id = static_cast<std::uint64_t>(
+                         req.queryInt("id", 0));
+                     TrackedSeries s = m->valueSeries(id);
+                     if (s.id == 0)
+                         return web::Response::error(404, "unknown id");
+                     return jsonResponse(serializeSeries(s));
+                 });
+
+    server.route("GET", "/api/throughput", [m](const web::Request &req) {
+        std::string name = req.queryParam("component");
+        if (name.empty())
+            return web::Response::error(400, "missing ?component=");
+        auto ports = m->portThroughput(name);
+        if (ports.empty())
+            return web::Response::error(404,
+                                        "unknown component " + name);
+        json::Json arr = json::Json::array();
+        for (const auto &t : ports) {
+            json::Json pj = json::Json::object();
+            pj.set("port", t.port);
+            pj.set("total_sent", t.totalSent);
+            pj.set("total_sent_bytes", t.totalSentBytes);
+            pj.set("total_received", t.totalReceived);
+            pj.set("send_rejections", t.sendRejections);
+            pj.set("send_rate_sim_per_sec", t.sendRateSimPerSec);
+            pj.set("byte_rate_sim_per_sec", t.byteRateSimPerSec);
+            arr.push(std::move(pj));
+        }
+        return jsonResponse(arr);
+    });
+
+    server.route("GET", "/api/topology", [m](const web::Request &) {
+        return jsonResponse(m->topology());
+    });
+
+    server.route("GET", "/api/monitor/export",
+                 [m](const web::Request &req) {
+                     auto id = static_cast<std::uint64_t>(
+                         req.queryInt("id", 0));
+                     std::string csv = m->exportSeriesCsv(id);
+                     if (csv.empty())
+                         return web::Response::error(404, "unknown id");
+                     return web::Response::ok(std::move(csv),
+                                              "text/csv");
+                 });
+
+    server.route("GET", "/api/monitor/all", [m](const web::Request &) {
+        json::Json arr = json::Json::array();
+        for (const auto &s : m->allValueSeries())
+            arr.push(serializeSeries(s));
+        return jsonResponse(arr);
+    });
+}
+
+} // namespace rtm
+} // namespace akita

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The RTM HTTP API (§IV-B).
+ *
+ * This is the boundary that lets "simulators written in another
+ * language" adopt the monitor: any process that serves these endpoints
+ * gets the same frontend. Endpoints, all JSON unless noted:
+ *
+ *   GET  /                     dashboard HTML
+ *   GET  /api/status           time, events, pause/run/hang state
+ *   GET  /api/resources        CPU%, RSS, threads
+ *   GET  /api/components       component hierarchy
+ *   GET  /api/component?name=X one component's fields/ports/buffers
+ *   GET  /api/buffers?sort=percent|size&top=N   buffer analyzer table
+ *   GET  /api/progress         progress bars
+ *   POST /api/pause            pause the simulation
+ *   POST /api/resume           resume ("Kick Start")
+ *   POST /api/tick?component=X wake one component
+ *   GET  /api/profile?top=N    profiler snapshot
+ *   POST /api/profile/start    enable the profiler
+ *   POST /api/profile/stop     disable the profiler
+ *   POST /api/monitor/track?component=X&field=Y   -> {"id": n}
+ *   POST /api/monitor/untrack?id=N
+ *   GET  /api/monitor/series?id=N                 one time series
+ *   GET  /api/monitor/all                         all tracked series
+ *   GET  /api/monitor/export?id=N                 one series as CSV
+ *   GET  /api/throughput?component=X              per-port rates
+ *   GET  /api/topology                            connection map
+ */
+
+#ifndef AKITA_RTM_API_HH
+#define AKITA_RTM_API_HH
+
+#include "web/server.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+class Monitor;
+
+/** Registers every RTM endpoint plus the dashboard on @p server. */
+void installApiRoutes(web::HttpServer &server, Monitor &monitor);
+
+/** The embedded single-page dashboard. */
+const char *dashboardHtml();
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_API_HH

@@ -1,0 +1,36 @@
+#include "rtm/hang.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+HangStatus
+HangWatch::check()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    HangStatus status;
+    status.simTime = engine_->now();
+    status.queueDrained = engine_->drainedWaiting();
+
+    auto now = std::chrono::steady_clock::now();
+    if (!hasLast_ || status.simTime != lastTime_) {
+        hasLast_ = true;
+        lastTime_ = status.simTime;
+        lastAdvance_ = now;
+        status.frozenForSec = 0.0;
+        return status;
+    }
+
+    status.frozenForSec =
+        std::chrono::duration<double>(now - lastAdvance_).count();
+
+    // Paused simulations are frozen on purpose; only a running (or
+    // drained-blocked) engine with frozen time counts as hanging.
+    bool active = engine_->running() && !engine_->paused();
+    status.hanging = active && status.frozenForSec >= thresholdSec_;
+    return status;
+}
+
+} // namespace rtm
+} // namespace akita

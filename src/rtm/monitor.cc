@@ -1,0 +1,323 @@
+#include "rtm/monitor.hh"
+
+#include <cstdio>
+
+#include "rtm/api.hh"
+#include "rtm/serialize.hh"
+#include "sim/component.hh"
+#include "sim/connection.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+Monitor::Monitor(const MonitorConfig &cfg) : cfg_(cfg)
+{
+    analyzer_ = std::make_unique<BufferAnalyzer>(&registry_);
+    throughput_ = std::make_unique<ThroughputTracker>(&registry_);
+}
+
+Monitor::~Monitor()
+{
+    stopServer();
+    if (samplerRunning_.exchange(false)) {
+        samplerCv_.notify_all();
+        if (sampler_.joinable())
+            sampler_.join();
+    }
+}
+
+void
+Monitor::registerEngine(sim::SerialEngine *engine)
+{
+    engine_ = engine;
+    engine_->setConcurrentAccess(true);
+    engine_->setWaitWhenEmpty(true);
+    hangWatch_ = std::make_unique<HangWatch>(engine_,
+                                             cfg_.hangThresholdSec);
+    // The engine itself is inspectable but is not a Component; its
+    // fields are exposed through the status endpoint instead.
+}
+
+void
+Monitor::registerComponent(sim::Component *component)
+{
+    registry_.add(component);
+}
+
+void
+Monitor::withEngineLock(const std::function<void()> &fn) const
+{
+    if (engine_ != nullptr)
+        engine_->withLock(fn);
+    else
+        fn();
+}
+
+void
+Monitor::pause()
+{
+    if (engine_ != nullptr)
+        engine_->pause();
+}
+
+void
+Monitor::resume()
+{
+    if (engine_ != nullptr)
+        engine_->resume();
+}
+
+void
+Monitor::kickStart()
+{
+    resume();
+}
+
+bool
+Monitor::paused() const
+{
+    return engine_ != nullptr && engine_->paused();
+}
+
+bool
+Monitor::tickComponent(const std::string &name)
+{
+    sim::Component *c = registry_.find(name);
+    if (c == nullptr)
+        return false;
+    withEngineLock([c]() { c->wake(); });
+    return true;
+}
+
+json::Json
+Monitor::componentSnapshot(const std::string &name) const
+{
+    sim::Component *c = registry_.find(name);
+    if (c == nullptr)
+        return json::Json();
+    json::Json out;
+    withEngineLock([&]() { out = serializeComponent(*c); });
+    return out;
+}
+
+json::Json
+Monitor::componentTree() const
+{
+    TreeNode root = registry_.buildTree();
+    return serializeTree(root);
+}
+
+std::vector<BufferLevel>
+Monitor::bufferLevels(BufferSort sort, std::size_t top_n) const
+{
+    std::vector<BufferLevel> out;
+    withEngineLock([&]() { out = analyzer_->snapshot(sort, top_n); });
+    return out;
+}
+
+json::Json
+Monitor::status()
+{
+    json::Json obj = json::Json::object();
+    if (engine_ == nullptr)
+        return obj;
+    obj.set("now_ps", engine_->now());
+    obj.set("now", sim::formatTime(engine_->now()));
+    obj.set("events", engine_->eventCount());
+    obj.set("queue_len", static_cast<std::int64_t>(
+                             engine_->queueLength()));
+    obj.set("paused", engine_->paused());
+    obj.set("running", engine_->running());
+    obj.set("drained_waiting", engine_->drainedWaiting());
+
+    HangStatus hang = hangWatch_->check();
+    json::Json hj = json::Json::object();
+    hj.set("hanging", hang.hanging);
+    hj.set("frozen_for_sec", hang.frozenForSec);
+    hj.set("queue_drained", hang.queueDrained);
+    obj.set("hang", std::move(hj));
+    return obj;
+}
+
+std::vector<PortThroughput>
+Monitor::portThroughput(const std::string &component_name)
+{
+    std::vector<PortThroughput> out;
+    withEngineLock([&]() {
+        out = throughput_->sample(
+            component_name, engine_ != nullptr ? engine_->now() : 0);
+    });
+    return out;
+}
+
+json::Json
+Monitor::topology() const
+{
+    json::Json arr = json::Json::array();
+    for (sim::Connection *conn : connections_) {
+        json::Json cj = json::Json::object();
+        cj.set("connection", conn->connectionName());
+        json::Json ports = json::Json::array();
+        for (sim::Port *p : conn->attachedPorts())
+            ports.push(p->fullName());
+        cj.set("ports", std::move(ports));
+        arr.push(std::move(cj));
+    }
+    return arr;
+}
+
+std::string
+Monitor::exportSeriesCsv(std::uint64_t id) const
+{
+    TrackedSeries s = values_.series(id);
+    if (s.id == 0)
+        return "";
+    std::string csv = "t_ps," + s.componentName + "." + s.fieldName +
+                      "\n";
+    for (const auto &sample : s.samples) {
+        csv += std::to_string(sample.simTime) + "," +
+               std::to_string(sample.value) + "\n";
+    }
+    return csv;
+}
+
+std::uint64_t
+Monitor::trackValue(const std::string &component_name,
+                    const std::string &field_name)
+{
+    sim::Component *c = registry_.find(component_name);
+    if (c == nullptr)
+        return 0;
+
+    introspect::FieldGetter getter;
+    if (const introspect::Field *f = c->fields().find(field_name)) {
+        getter = f->getter;
+    } else {
+        // Buffer metric: "<buffer name>.size" relative to the component,
+        // e.g. "TopPort.Buf.size".
+        for (sim::Buffer *b : c->buffers()) {
+            std::string rel = b->name();
+            // Strip the "<component>." prefix.
+            if (rel.rfind(component_name + ".", 0) == 0)
+                rel = rel.substr(component_name.size() + 1);
+            if (field_name == rel + ".size" || field_name == rel) {
+                getter = [b]() {
+                    return introspect::Value::ofInt(
+                        static_cast<std::int64_t>(b->size()));
+                };
+                break;
+            }
+        }
+    }
+    if (!getter)
+        return 0;
+
+    std::uint64_t id =
+        values_.track(component_name, field_name, std::move(getter));
+    if (id != 0 && cfg_.autoSample)
+        ensureSampler();
+    return id;
+}
+
+void
+Monitor::sampleNow()
+{
+    withEngineLock([&]() {
+        values_.sampleAll(engine_ != nullptr ? engine_->now() : 0);
+    });
+}
+
+void
+Monitor::ensureSampler()
+{
+    if (samplerRunning_.exchange(true))
+        return;
+    sampler_ = std::thread([this]() { samplerLoop(); });
+}
+
+void
+Monitor::samplerLoop()
+{
+    std::unique_lock<std::mutex> lk(samplerMu_);
+    while (samplerRunning_.load()) {
+        samplerCv_.wait_for(
+            lk, std::chrono::milliseconds(cfg_.sampleIntervalMs));
+        if (!samplerRunning_.load())
+            break;
+        if (values_.numTracked() == 0)
+            continue;
+        sampleNow();
+    }
+}
+
+bool
+Monitor::startServer()
+{
+    if (server_ != nullptr && server_->running())
+        return true;
+    server_ = std::make_unique<web::HttpServer>();
+    installApiRoutes(*server_, *this);
+    if (!server_->start(cfg_.port))
+        return false;
+    if (cfg_.announceUrl) {
+        std::printf("AkitaRTM dashboard: %s\n", server_->url().c_str());
+        std::fflush(stdout);
+    }
+    return true;
+}
+
+void
+Monitor::stopServer()
+{
+    if (server_ != nullptr)
+        server_->stop();
+}
+
+void
+Monitor::kernelStarted(std::uint64_t seq, const std::string &name,
+                       std::uint64_t total)
+{
+    std::uint64_t id = bars_.create("kernel " + name, total);
+    std::lock_guard<std::mutex> lk(kernelBarsMu_);
+    kernelBars_[seq] = id;
+}
+
+void
+Monitor::kernelProgress(std::uint64_t seq, std::uint64_t completed,
+                        std::uint64_t ongoing)
+{
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lk(kernelBarsMu_);
+        auto it = kernelBars_.find(seq);
+        if (it == kernelBars_.end())
+            return;
+        id = it->second;
+    }
+    bars_.update(id, completed, ongoing);
+}
+
+void
+Monitor::kernelFinished(std::uint64_t seq)
+{
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lk(kernelBarsMu_);
+        auto it = kernelBars_.find(seq);
+        if (it == kernelBars_.end())
+            return;
+        id = it->second;
+    }
+    // Keep the bar visible, fully green, rather than destroying it; a
+    // finished kernel's bar showing 100% is the "it completed" signal.
+    std::vector<ProgressBar> bars = bars_.snapshot();
+    for (const auto &b : bars) {
+        if (b.id == id)
+            bars_.update(id, b.total, 0);
+    }
+}
+
+} // namespace rtm
+} // namespace akita

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * The AkitaRTM monitor facade — the library a simulation plugs in.
+ *
+ * Mirrors the Go API surface described in §IV-B: RegisterEngine,
+ * RegisterComponent, the progress-bar triple, simulation controls
+ * (pause / resume / kick-start / per-component tick), profiling, the
+ * buffer analyzer, and per-value time-series monitoring — plus the HTTP
+ * server that turns the running simulation into a web service.
+ *
+ * Threading (the three §VII design choices):
+ *  1. On demand only: with no requests and no tracked values, no monitor
+ *     code runs on the simulation thread.
+ *  2. Fine-grained serialization: every request snapshots exactly one
+ *     component/table/series under a short engine-lock hold.
+ *  3. Dedicated threads: the HTTP server and the sampling loop run on
+ *     their own threads, not the simulation thread.
+ */
+
+#ifndef AKITA_RTM_MONITOR_HH
+#define AKITA_RTM_MONITOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "gpu/progress.hh"
+#include "json/json.hh"
+#include "rtm/bufferanalyzer.hh"
+#include "rtm/hang.hh"
+#include "rtm/progressbar.hh"
+#include "rtm/registry.hh"
+#include "rtm/resources.hh"
+#include "rtm/throughput.hh"
+#include "rtm/valuemonitor.hh"
+#include "sim/engine.hh"
+#include "sim/prof.hh"
+#include "web/server.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+/** Monitor configuration. */
+struct MonitorConfig
+{
+    /** TCP port for the dashboard; 0 picks an ephemeral port. */
+    std::uint16_t port = 0;
+    /** Milliseconds between value-monitor samples. */
+    int sampleIntervalMs = 50;
+    /** Wall seconds of frozen virtual time before reporting a hang. */
+    double hangThresholdSec = 2.0;
+    /**
+     * Start the wall-clock sampling thread when a value is tracked.
+     * Disable for deterministic harnesses that drive sampleNow() from
+     * inside the simulation.
+     */
+    bool autoSample = true;
+    /** Print the dashboard URL on startServer (paper §IV-A). */
+    bool announceUrl = true;
+};
+
+/**
+ * Real-time monitor for a running simulation.
+ */
+class Monitor : public gpu::KernelProgressListener
+{
+  public:
+    explicit Monitor(const MonitorConfig &cfg);
+
+    Monitor() : Monitor(MonitorConfig{}) {}
+
+    ~Monitor() override;
+
+    Monitor(const Monitor &) = delete;
+    Monitor &operator=(const Monitor &) = delete;
+
+    // ---- Registration (the Go API) ----
+
+    /**
+     * Links the engine. Must be called before Engine::run; switches the
+     * engine into concurrent-access mode and enables wait-when-empty so
+     * hangs stay inspectable.
+     */
+    void registerEngine(sim::SerialEngine *engine);
+
+    /** Starts monitoring a component (fields + ports + buffers). */
+    void registerComponent(sim::Component *component);
+
+    /**
+     * Registers a connection for the topology view ("a map of how
+     * components are connected", the usability improvement §VIII
+     * proposes).
+     */
+    void registerConnection(sim::Connection *connection)
+    {
+        connections_.push_back(connection);
+    }
+
+    /** Registers a range of components. */
+    template <typename Iterable>
+    void
+    registerComponents(const Iterable &components)
+    {
+        for (sim::Component *c : components)
+            registerComponent(c);
+    }
+
+    sim::SerialEngine *engine() const { return engine_; }
+    const ComponentRegistry &registry() const { return registry_; }
+
+    // ---- Progress bars ----
+
+    std::uint64_t
+    createProgressBar(const std::string &label, std::uint64_t total)
+    {
+        return bars_.create(label, total);
+    }
+
+    bool
+    updateProgressBar(std::uint64_t id, std::uint64_t completed,
+                      std::uint64_t in_progress)
+    {
+        return bars_.update(id, completed, in_progress);
+    }
+
+    bool destroyProgressBar(std::uint64_t id) { return bars_.destroy(id); }
+
+    std::vector<ProgressBar> progressBars() const
+    {
+        return bars_.snapshot();
+    }
+
+    // ---- Simulation controls ----
+
+    /** Pauses the simulation before its next event. */
+    void pause();
+
+    /** Resumes a paused simulation. */
+    void resume();
+
+    /** "Kick Start": resume + nudge a drained engine. */
+    void kickStart();
+
+    bool paused() const;
+
+    /**
+     * Wakes one component (the per-component "Tick" button), scheduling
+     * a tick event even when the component sleeps — the hang-debugging
+     * workflow of case study 2.
+     *
+     * @return False when the component is unknown.
+     */
+    bool tickComponent(const std::string &name);
+
+    // ---- Views (each call holds the engine lock briefly) ----
+
+    /** Snapshot of one component as JSON; null JSON when unknown. */
+    json::Json componentSnapshot(const std::string &name) const;
+
+    /** The collapsible hierarchy of all registered components. */
+    json::Json componentTree() const;
+
+    /** Ranked buffer levels (the bottleneck analyzer). */
+    std::vector<BufferLevel> bufferLevels(BufferSort sort,
+                                          std::size_t top_n = 0) const;
+
+    /** Current simulation status (time, events, pause/hang state). */
+    json::Json status();
+
+    /**
+     * Per-port achieved throughput of one component (§VIII's proposed
+     * view): totals plus rates over virtual time since the previous
+     * query.
+     */
+    std::vector<PortThroughput>
+    portThroughput(const std::string &component_name);
+
+    /** Connectivity map: one entry per registered connection. */
+    json::Json topology() const;
+
+    /** One tracked series as CSV ("t_ps,value" rows); empty if unknown. */
+    std::string exportSeriesCsv(std::uint64_t id) const;
+
+    /** Process resource usage (task T2). */
+    ResourceUsage resources() { return resources_.sample(); }
+
+    /** Hang-watch status (task T3). */
+    HangStatus hangStatus() { return hangWatch_->check(); }
+
+    // ---- Profiling (task T4) ----
+
+    void startProfiling() { sim::Profiler::instance().setEnabled(true); }
+
+    void stopProfiling() { sim::Profiler::instance().setEnabled(false); }
+
+    bool
+    profiling() const
+    {
+        return sim::Profiler::instance().enabled();
+    }
+
+    sim::ProfSnapshot
+    profile(std::size_t top_n = 30) const
+    {
+        return sim::Profiler::instance().snapshot(top_n);
+    }
+
+    // ---- Value monitoring (task T5) ----
+
+    /**
+     * Tracks a component field (or "<Port>.Buf.size" style buffer
+     * metrics) over time.
+     *
+     * @return Series id, or 0 on unknown component/field or when the
+     *         five-series limit is reached.
+     */
+    std::uint64_t trackValue(const std::string &component_name,
+                             const std::string &field_name);
+
+    bool untrackValue(std::uint64_t id) { return values_.untrack(id); }
+
+    TrackedSeries valueSeries(std::uint64_t id) const
+    {
+        return values_.series(id);
+    }
+
+    std::vector<TrackedSeries> allValueSeries() const
+    {
+        return values_.allSeries();
+    }
+
+    /** Takes one sampling pass now (under the engine lock). */
+    void sampleNow();
+
+    // ---- Web server ----
+
+    /** Starts the dashboard server; returns false on bind failure. */
+    bool startServer();
+
+    void stopServer();
+
+    bool serverRunning() const { return server_ && server_->running(); }
+
+    std::string url() const { return server_ ? server_->url() : ""; }
+
+    std::uint16_t serverPort() const
+    {
+        return server_ ? server_->port() : 0;
+    }
+
+    /** Requests served so far (overhead accounting in Fig. 7). */
+    std::uint64_t
+    requestsServed() const
+    {
+        return server_ ? server_->requestCount() : 0;
+    }
+
+    // ---- KernelProgressListener (driver integration) ----
+
+    void kernelStarted(std::uint64_t seq, const std::string &name,
+                       std::uint64_t total) override;
+    void kernelProgress(std::uint64_t seq, std::uint64_t completed,
+                        std::uint64_t ongoing) override;
+    void kernelFinished(std::uint64_t seq) override;
+
+    /** Runs @p fn under the engine lock (consistent snapshot point). */
+    void withEngineLock(const std::function<void()> &fn) const;
+
+  private:
+    void samplerLoop();
+    void ensureSampler();
+
+    MonitorConfig cfg_;
+    sim::SerialEngine *engine_ = nullptr;
+
+    ComponentRegistry registry_;
+    std::vector<sim::Connection *> connections_;
+    ProgressBarRegistry bars_;
+    ResourceMonitor resources_;
+    ValueMonitor values_;
+    std::unique_ptr<BufferAnalyzer> analyzer_;
+    std::unique_ptr<ThroughputTracker> throughput_;
+    std::unique_ptr<HangWatch> hangWatch_;
+
+    std::unique_ptr<web::HttpServer> server_;
+
+    std::thread sampler_;
+    std::atomic<bool> samplerRunning_{false};
+    std::mutex samplerMu_;
+    std::condition_variable samplerCv_;
+
+    std::mutex kernelBarsMu_;
+    std::map<std::uint64_t, std::uint64_t> kernelBars_; // seq -> bar id.
+};
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_MONITOR_HH

@@ -1,0 +1,78 @@
+#include "rtm/progressbar.hh"
+
+#include <algorithm>
+
+namespace akita
+{
+namespace rtm
+{
+
+std::uint64_t
+ProgressBarRegistry::create(const std::string &label, std::uint64_t total)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ProgressBar bar;
+    bar.id = nextId_++;
+    bar.label = label;
+    bar.total = total;
+    bars_.push_back(bar);
+    return bar.id;
+}
+
+bool
+ProgressBarRegistry::update(std::uint64_t id, std::uint64_t completed,
+                            std::uint64_t in_progress)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &b : bars_) {
+        if (b.id == id) {
+            b.completed = completed;
+            b.inProgress = in_progress;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ProgressBarRegistry::setTotal(std::uint64_t id, std::uint64_t total)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &b : bars_) {
+        if (b.id == id) {
+            b.total = total;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ProgressBarRegistry::destroy(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = std::remove_if(bars_.begin(), bars_.end(),
+                             [id](const ProgressBar &b) {
+                                 return b.id == id;
+                             });
+    bool removed = it != bars_.end();
+    bars_.erase(it, bars_.end());
+    return removed;
+}
+
+std::vector<ProgressBar>
+ProgressBarRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return bars_;
+}
+
+std::size_t
+ProgressBarRegistry::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return bars_.size();
+}
+
+} // namespace rtm
+} // namespace akita

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Progress bars: the dashboard's bottom strip (task T1).
+ */
+
+#ifndef AKITA_RTM_PROGRESSBAR_HH
+#define AKITA_RTM_PROGRESSBAR_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace akita
+{
+namespace rtm
+{
+
+/**
+ * One progress bar with the paper's three segments: completed (green),
+ * in progress (blue), and not started (gray).
+ */
+struct ProgressBar
+{
+    std::uint64_t id = 0;
+    std::string label;
+    std::uint64_t total = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t inProgress = 0;
+
+    std::uint64_t
+    notStarted() const
+    {
+        std::uint64_t used = completed + inProgress;
+        return used >= total ? 0 : total - used;
+    }
+};
+
+/**
+ * The {Create|Update|Destroy}ProgressBar API of §IV-B.
+ *
+ * Thread-safe: the simulation thread updates bars, the web server reads
+ * them.
+ */
+class ProgressBarRegistry
+{
+  public:
+    /** Creates a bar; returns its id. */
+    std::uint64_t create(const std::string &label, std::uint64_t total);
+
+    /**
+     * Updates a bar's counters.
+     *
+     * @return False when the id is unknown (e.g. already destroyed).
+     */
+    bool update(std::uint64_t id, std::uint64_t completed,
+                std::uint64_t in_progress);
+
+    /** Replaces a bar's total (for late-known task counts). */
+    bool setTotal(std::uint64_t id, std::uint64_t total);
+
+    /** Removes a bar. */
+    bool destroy(std::uint64_t id);
+
+    /** Snapshot of all live bars. */
+    std::vector<ProgressBar> snapshot() const;
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<ProgressBar> bars_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_PROGRESSBAR_HH

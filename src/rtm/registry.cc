@@ -1,0 +1,62 @@
+#include "rtm/registry.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+void
+ComponentRegistry::add(sim::Component *component)
+{
+    auto [it, inserted] = byName_.emplace(component->name(), component);
+    if (inserted) {
+        order_.push_back(component);
+    } else {
+        // Replace: keep order, update pointer.
+        for (auto &c : order_) {
+            if (c->name() == component->name())
+                c = component;
+        }
+        it->second = component;
+    }
+}
+
+sim::Component *
+ComponentRegistry::find(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : it->second;
+}
+
+TreeNode
+ComponentRegistry::buildTree() const
+{
+    TreeNode root;
+    root.label = "";
+
+    for (const auto &kv : byName_) {
+        const std::string &name = kv.first;
+        TreeNode *node = &root;
+        std::size_t pos = 0;
+        while (pos <= name.size()) {
+            std::size_t dot = name.find('.', pos);
+            std::string seg = dot == std::string::npos
+                                  ? name.substr(pos)
+                                  : name.substr(pos, dot - pos);
+            auto &child = node->children[seg];
+            if (child == nullptr) {
+                child = std::make_unique<TreeNode>();
+                child->label = seg;
+            }
+            node = child.get();
+            if (dot == std::string::npos)
+                break;
+            pos = dot + 1;
+        }
+        node->componentName = name;
+    }
+    return root;
+}
+
+} // namespace rtm
+} // namespace akita

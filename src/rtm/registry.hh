@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Component registry: the monitor's index of everything observable.
+ */
+
+#ifndef AKITA_RTM_REGISTRY_HH
+#define AKITA_RTM_REGISTRY_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/component.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+/** A node in the hierarchical component tree shown by the dashboard. */
+struct TreeNode
+{
+    /** Path segment, e.g. "SA[3]". */
+    std::string label;
+    /** Full component name when a component lives at this node. */
+    std::string componentName;
+    std::map<std::string, std::unique_ptr<TreeNode>> children;
+};
+
+/**
+ * Registry of monitored components (RegisterComponent in the Go API).
+ *
+ * Components are indexed by their hierarchical dotted name; the registry
+ * derives the collapsible tree view from the names alone, so adding a
+ * new component type requires no view changes — the generality property
+ * §IV-B calls out.
+ */
+class ComponentRegistry
+{
+  public:
+    /** Registers a component; later registrations replace earlier. */
+    void add(sim::Component *component);
+
+    /** Looks up by full name; nullptr when unknown. */
+    sim::Component *find(const std::string &name) const;
+
+    /** All registered components in registration order. */
+    const std::vector<sim::Component *> &all() const { return order_; }
+
+    std::size_t size() const { return order_.size(); }
+
+    /** Builds the hierarchy from dotted names ("GPU[0].SA[1].CU[0]"). */
+    TreeNode buildTree() const;
+
+  private:
+    std::map<std::string, sim::Component *> byName_;
+    std::vector<sim::Component *> order_;
+};
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_REGISTRY_HH

@@ -1,0 +1,94 @@
+#include "rtm/resources.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace akita
+{
+namespace rtm
+{
+
+namespace
+{
+
+/** Reads utime+stime (jiffies) and thread count from /proc/self/stat. */
+bool
+readStat(std::uint64_t &jiffies, std::uint64_t &threads,
+         std::uint64_t &vm_bytes, std::uint64_t &rss_pages)
+{
+    FILE *f = std::fopen("/proc/self/stat", "r");
+    if (f == nullptr)
+        return false;
+    char buf[2048];
+    std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+
+    // Field 2 (comm) may contain spaces; skip past the closing paren.
+    const char *p = std::strrchr(buf, ')');
+    if (p == nullptr)
+        return false;
+    p++; // Now at field 3 ("state").
+
+    // Fields counted from 3: utime is 14, stime 15, num_threads 20,
+    // vsize 23, rss 24.
+    unsigned long long utime = 0, stime = 0, nthreads = 0, vsize = 0;
+    long long rss = 0;
+    int parsed = std::sscanf(
+        p,
+        " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu %*d %*d "
+        "%*d %*d %llu %*d %*u %llu %lld",
+        &utime, &stime, &nthreads, &vsize, &rss);
+    if (parsed != 5)
+        return false;
+    jiffies = utime + stime;
+    threads = nthreads;
+    vm_bytes = vsize;
+    rss_pages = static_cast<std::uint64_t>(rss < 0 ? 0 : rss);
+    return true;
+}
+
+} // namespace
+
+ResourceUsage
+ResourceMonitor::sample()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ResourceUsage usage;
+
+    std::uint64_t jiffies = 0, threads = 0, vm = 0, rssPages = 0;
+    if (!readStat(jiffies, threads, vm, rssPages))
+        return usage;
+
+    long pageSize = ::sysconf(_SC_PAGESIZE);
+    long hz = ::sysconf(_SC_CLK_TCK);
+    usage.rssBytes = rssPages * static_cast<std::uint64_t>(
+                                    pageSize > 0 ? pageSize : 4096);
+    usage.vmBytes = vm;
+    usage.numThreads = threads;
+
+    auto now = std::chrono::steady_clock::now();
+    if (hasLast_) {
+        double wallSec =
+            std::chrono::duration<double>(now - lastWall_).count();
+        if (wallSec >= 0.05) {
+            double cpuSec =
+                static_cast<double>(jiffies - lastCpuJiffies_) /
+                static_cast<double>(hz > 0 ? hz : 100);
+            lastCpuPercent_ = 100.0 * cpuSec / wallSec;
+            lastCpuJiffies_ = jiffies;
+            lastWall_ = now;
+        }
+        usage.cpuPercent = lastCpuPercent_;
+    } else {
+        hasLast_ = true;
+        lastCpuJiffies_ = jiffies;
+        lastWall_ = now;
+    }
+    return usage;
+}
+
+} // namespace rtm
+} // namespace akita

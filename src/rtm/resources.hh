@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Process resource monitoring (task T2).
+ *
+ * The paper motivates this view with architects running `top` to check
+ * whether a batch of simulations is healthy: CPU near 100% per busy
+ * simulation, memory within limits, and "unusually low resource usage
+ * could be an indication of a problem, like a simulation hang". We read
+ * the same counters the tools read: /proc/self/stat for CPU time and
+ * /proc/self/statm for resident memory.
+ */
+
+#ifndef AKITA_RTM_RESOURCES_HH
+#define AKITA_RTM_RESOURCES_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace akita
+{
+namespace rtm
+{
+
+/** One resource sample. */
+struct ResourceUsage
+{
+    /** CPU utilization of this process in percent (can exceed 100 with
+     * multiple threads). */
+    double cpuPercent = 0.0;
+    /** Resident set size in bytes. */
+    std::uint64_t rssBytes = 0;
+    /** Virtual memory size in bytes. */
+    std::uint64_t vmBytes = 0;
+    /** Number of process threads. */
+    std::uint64_t numThreads = 0;
+};
+
+/**
+ * Samples the current process's CPU and memory usage.
+ *
+ * CPU percent is computed from the utime+stime delta between successive
+ * calls; the first call returns 0. Call sites may sample at any rate —
+ * deltas shorter than 50 ms reuse the previous estimate to avoid noise.
+ */
+class ResourceMonitor
+{
+  public:
+    /** Takes (or reuses) a sample. Thread-safe. */
+    ResourceUsage sample();
+
+  private:
+    std::mutex mu_;
+    std::uint64_t lastCpuJiffies_ = 0;
+    std::chrono::steady_clock::time_point lastWall_{};
+    bool hasLast_ = false;
+    double lastCpuPercent_ = 0.0;
+};
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_RESOURCES_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * JSON serialization of monitor data for the HTTP API.
+ *
+ * Serialization is deliberately fine-grained (§VII design choice 2):
+ * each function serializes exactly one component, one buffer table, or
+ * one series — never the whole simulation — so a monitoring request
+ * borrows the engine lock only briefly.
+ */
+
+#ifndef AKITA_RTM_SERIALIZE_HH
+#define AKITA_RTM_SERIALIZE_HH
+
+#include "introspect/value.hh"
+#include "json/json.hh"
+#include "rtm/bufferanalyzer.hh"
+#include "rtm/progressbar.hh"
+#include "rtm/registry.hh"
+#include "rtm/resources.hh"
+#include "rtm/valuemonitor.hh"
+#include "sim/prof.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+/** Converts an introspection value to JSON. */
+json::Json toJson(const introspect::Value &value);
+
+/**
+ * Serializes one component: fields (name, type, value), ports, and
+ * buffer levels. Must run under the engine lock.
+ */
+json::Json serializeComponent(const sim::Component &component);
+
+/** Serializes the component tree for the hierarchy view. */
+json::Json serializeTree(const TreeNode &root);
+
+/** Serializes a buffer-level table (Fig. 3). */
+json::Json serializeBuffers(const std::vector<BufferLevel> &levels);
+
+/** Serializes progress bars. */
+json::Json serializeProgress(const std::vector<ProgressBar> &bars);
+
+/** Serializes a profile snapshot (self/total/edges, Fig. 2 E). */
+json::Json serializeProfile(const sim::ProfSnapshot &snapshot);
+
+/** Serializes a resource-usage sample. */
+json::Json serializeResources(const ResourceUsage &usage);
+
+/** Serializes one tracked time series (Fig. 5 graphs). */
+json::Json serializeSeries(const TrackedSeries &series);
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_SERIALIZE_HH

@@ -1,0 +1,46 @@
+#include "rtm/throughput.hh"
+
+#include "sim/port.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+std::vector<PortThroughput>
+ThroughputTracker::sample(const std::string &component_name,
+                          sim::VTime now)
+{
+    std::vector<PortThroughput> out;
+    sim::Component *c = registry_->find(component_name);
+    if (c == nullptr)
+        return out;
+
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &p : c->ports()) {
+        PortThroughput t;
+        t.port = p->fullName();
+        t.totalSent = p->totalSent();
+        t.totalSentBytes = p->totalSentBytes();
+        t.totalReceived = p->totalReceived();
+        t.sendRejections = p->totalSendRejections();
+
+        Prev &prev = prev_[t.port];
+        if (prev.valid && now > prev.at) {
+            double dt = sim::toSeconds(now - prev.at);
+            t.sendRateSimPerSec =
+                static_cast<double>(t.totalSent - prev.sent) / dt;
+            t.byteRateSimPerSec =
+                static_cast<double>(t.totalSentBytes - prev.bytes) / dt;
+        }
+        prev.sent = t.totalSent;
+        prev.bytes = t.totalSentBytes;
+        prev.at = now;
+        prev.valid = true;
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+} // namespace rtm
+} // namespace akita

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Port-throughput view.
+ *
+ * The paper's discussion (§VIII) proposes "real-time achieved
+ * throughput of ports" as the natural next view beyond buffer fullness.
+ * This module implements it: each query computes per-port message and
+ * byte rates from counter deltas between successive queries, in both
+ * wall time and virtual time.
+ */
+
+#ifndef AKITA_RTM_THROUGHPUT_HH
+#define AKITA_RTM_THROUGHPUT_HH
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rtm/registry.hh"
+#include "sim/time.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+/** One port's throughput sample. */
+struct PortThroughput
+{
+    std::string port; // Full port name.
+    std::uint64_t totalSent = 0;
+    std::uint64_t totalSentBytes = 0;
+    std::uint64_t totalReceived = 0;
+    std::uint64_t sendRejections = 0;
+    /** Messages per simulated second since the previous query. */
+    double sendRateSimPerSec = 0.0;
+    /** Bytes per simulated second since the previous query. */
+    double byteRateSimPerSec = 0.0;
+};
+
+/**
+ * Computes per-port rates from successive counter snapshots.
+ *
+ * Rates are over *virtual* time: they characterize the simulated
+ * hardware (achieved bandwidth), not the simulator's wall-clock speed.
+ * The first query of a port reports totals with zero rates.
+ */
+class ThroughputTracker
+{
+  public:
+    explicit ThroughputTracker(const ComponentRegistry *registry)
+        : registry_(registry)
+    {
+    }
+
+    /**
+     * Samples every port of @p component_name.
+     *
+     * Must be called under the engine lock (the Monitor facade does).
+     *
+     * @param now Current virtual time.
+     * @return Empty when the component is unknown.
+     */
+    std::vector<PortThroughput> sample(const std::string &component_name,
+                                       sim::VTime now);
+
+  private:
+    struct Prev
+    {
+        std::uint64_t sent = 0;
+        std::uint64_t bytes = 0;
+        sim::VTime at = 0;
+        bool valid = false;
+    };
+
+    const ComponentRegistry *registry_;
+    std::mutex mu_;
+    std::map<std::string, Prev> prev_;
+};
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_THROUGHPUT_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Component base classes.
+ */
+
+#ifndef AKITA_SIM_COMPONENT_HH
+#define AKITA_SIM_COMPONENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "introspect/field.hh"
+#include "sim/engine.hh"
+#include "sim/port.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+/**
+ * A group of hardware circuits under simulation (cache, CU, DRAM, ...).
+ *
+ * Components own their ports, expose monitorable fields through the
+ * Inspectable base, and enumerate every buffer they hold so the monitor's
+ * buffer analyzer discovers them without per-component code — the C++
+ * equivalent of the Go version's reflection-based discovery.
+ */
+class Component : public introspect::Inspectable
+{
+  public:
+    /**
+     * @param name Hierarchical dotted name, e.g. "GPU[0].SA[3].L1VROB[1]".
+     */
+    Component(Engine *engine, std::string name);
+
+    ~Component() override = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    const std::string &name() const { return name_; }
+    Engine *engine() const { return engine_; }
+
+    /**
+     * Creates and owns a new port.
+     *
+     * @param port_name Name relative to this component ("TopPort").
+     * @param buf_capacity Incoming-buffer capacity.
+     */
+    Port *addPort(const std::string &port_name, std::size_t buf_capacity);
+
+    /** Finds an owned port by relative name; nullptr when absent. */
+    Port *port(const std::string &port_name) const;
+
+    const std::vector<std::unique_ptr<Port>> &ports() const
+    {
+        return ports_;
+    }
+
+    /**
+     * Registers an internal buffer (not attached to a port) so the
+     * bottleneck analyzer can see it. The buffer must outlive the
+     * component's registration with the monitor.
+     */
+    void registerBuffer(Buffer *buffer) { extraBuffers_.push_back(buffer); }
+
+    /** All monitorable buffers: port incoming buffers + registered. */
+    std::vector<Buffer *> buffers() const;
+
+    /**
+     * Requests that the component resume making progress.
+     *
+     * Called when a message arrives, when backpressure clears, and by the
+     * monitor's per-component "Tick" control. The base implementation is
+     * a no-op; TickingComponent schedules a tick.
+     */
+    virtual void wake() {}
+
+  private:
+    Engine *engine_;
+    std::string name_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::vector<Buffer *> extraBuffers_;
+};
+
+/**
+ * A component driven by a clock, with sleep/wake semantics.
+ *
+ * The component ticks every cycle while ticks report progress; a tick
+ * without progress puts it to sleep (no events scheduled — this is what
+ * makes large idle simulations cheap, and also what makes deadlocks
+ * silent: every component asleep, queue drained). wake() re-arms the
+ * tick, which is exactly what the monitor's "Tick" button does when
+ * debugging a hang.
+ */
+class TickingComponent : public Component, public EventHandler
+{
+  public:
+    TickingComponent(Engine *engine, std::string name, Freq freq);
+
+    Freq freq() const { return freq_; }
+
+    /**
+     * Performs one cycle of work.
+     *
+     * @return True when any progress was made; false lets the component
+     *         go to sleep.
+     */
+    virtual bool tick() = 0;
+
+    /** Schedules a tick at the next cycle boundary (idempotent). */
+    void tickLater();
+
+    /**
+     * Schedules a tick at or after an absolute time.
+     *
+     * Used by components whose progress depends on virtual time passing
+     * (pipeline latencies, page walks, DRAM access latency): before
+     * sleeping they arm a tick at their earliest internal deadline.
+     * Duplicate events at the same cycle are absorbed by handle().
+     */
+    void scheduleTickAt(VTime t);
+
+    void wake() override { tickLater(); }
+
+    void handle(Event &event) override;
+
+    std::string handlerName() const override { return name() + "::tick"; }
+
+    /** True when no tick is scheduled (the component sleeps). */
+    bool asleep() const { return !tickScheduled_; }
+
+    /** Total ticks executed. */
+    std::uint64_t totalTicks() const { return totalTicks_; }
+
+    /** Ticks that reported progress. */
+    std::uint64_t progressTicks() const { return progressTicks_; }
+
+  private:
+    Freq freq_;
+    bool tickScheduled_ = false;
+    /** Earliest time a tick event is already queued for. */
+    VTime tickAt_ = 0;
+    /** Cycle of the most recent executed tick (same-cycle dedupe). */
+    VTime lastTickAt_ = 0;
+    bool everTicked_ = false;
+    std::uint64_t totalTicks_ = 0;
+    std::uint64_t progressTicks_ = 0;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_COMPONENT_HH

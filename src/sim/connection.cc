@@ -1,0 +1,88 @@
+#include "sim/connection.hh"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "sim/component.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+DirectConnection::DirectConnection(Engine *engine, std::string name,
+                                   VTime latency)
+    : engine_(engine), name_(std::move(name)), latency_(latency)
+{
+}
+
+void
+DirectConnection::plugIn(Port *port)
+{
+    ports_.push_back(port);
+    port->setConnection(this);
+}
+
+SendStatus
+DirectConnection::send(MsgPtr msg)
+{
+    Port *dst = msg->dst;
+    if (dst->connection() != this) {
+        throw std::runtime_error(
+            "connection " + name_ + " cannot reach port " +
+            dst->fullName() + " (msg " + msg->kind() + " from " +
+            (msg->src ? msg->src->fullName() : "?") + ")");
+    }
+
+    std::size_t &reserved = pending_[dst];
+    if (dst->buf().size() + reserved >= dst->buf().capacity()) {
+        // Destination full (counting in-flight reservations): register the
+        // sender for a wake so sleep/wake ticking does not deadlock.
+        if (msg->src != nullptr && msg->src->owner() != nullptr) {
+            auto &waiters = blockedSenders_[dst];
+            Component *owner = msg->src->owner();
+            if (std::find(waiters.begin(), waiters.end(), owner) ==
+                waiters.end())
+                waiters.push_back(owner);
+        }
+        return SendStatus::Busy;
+    }
+
+    reserved++;
+    inFlightTotal_++;
+    msg->sendTime = engine_->now();
+
+    // Capture by value: the lambda owns the message until delivery.
+    MsgPtr owned = std::move(msg);
+    engine_->scheduleAt(engine_->now() + latency_, name_ + "::deliver",
+                        [this, owned]() mutable {
+                            deliver(std::move(owned));
+                        });
+    return SendStatus::Ok;
+}
+
+void
+DirectConnection::deliver(MsgPtr msg)
+{
+    Port *dst = msg->dst;
+    auto it = pending_.find(dst);
+    if (it != pending_.end() && it->second > 0)
+        it->second--;
+    inFlightTotal_--;
+    dst->deliver(std::move(msg));
+}
+
+void
+DirectConnection::notifyAvailable(Port *dst)
+{
+    auto it = blockedSenders_.find(dst);
+    if (it == blockedSenders_.end())
+        return;
+    for (Component *c : it->second)
+        c->wake();
+    blockedSenders_.erase(it);
+}
+
+} // namespace sim
+} // namespace akita

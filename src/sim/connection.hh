@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Connections deliver messages between plugged ports.
+ */
+
+#ifndef AKITA_SIM_CONNECTION_HH
+#define AKITA_SIM_CONNECTION_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/msg.hh"
+#include "sim/port.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+class Component;
+
+/** Transport between ports. */
+class Connection
+{
+  public:
+    virtual ~Connection() = default;
+
+    /** Human-readable name (topology view). */
+    virtual const std::string &connectionName() const = 0;
+
+    /** Ports attached to this connection (topology view). */
+    virtual const std::vector<Port *> &attachedPorts() const = 0;
+
+    /** Attaches a port to this connection. */
+    virtual void plugIn(Port *port) = 0;
+
+    /**
+     * Attempts to transmit; called by Port::send.
+     *
+     * @return Busy when the destination (or the connection itself)
+     *         cannot accept the message now.
+     */
+    virtual SendStatus send(MsgPtr msg) = 0;
+
+    /**
+     * Signals that @p dst freed buffer space, so senders blocked on it
+     * can be woken.
+     */
+    virtual void notifyAvailable(Port *dst) = 0;
+};
+
+/**
+ * Fixed-latency point-to-multipoint connection (Akita DirectConnection).
+ *
+ * Any plugged port may send to any other plugged port; each message is
+ * delivered after a fixed latency. Destination buffer space is reserved
+ * at send time, so in-flight messages never overflow the destination:
+ * when no space remains, send returns Busy and the sending component is
+ * woken once space frees.
+ */
+class DirectConnection : public Connection
+{
+  public:
+    /**
+     * @param latency Delivery latency; 0 delivers at the current time
+     *        (still through the event queue, preserving order).
+     */
+    DirectConnection(Engine *engine, std::string name, VTime latency);
+
+    const std::string &name() const { return name_; }
+
+    const std::string &connectionName() const override { return name_; }
+
+    const std::vector<Port *> &attachedPorts() const override
+    {
+        return ports_;
+    }
+
+    void plugIn(Port *port) override;
+    SendStatus send(MsgPtr msg) override;
+    void notifyAvailable(Port *dst) override;
+
+    /** Messages currently in flight on this connection. */
+    std::size_t inFlight() const { return inFlightTotal_; }
+
+  private:
+    void deliver(MsgPtr msg);
+
+    Engine *engine_;
+    std::string name_;
+    VTime latency_;
+    std::vector<Port *> ports_;
+    /** Space reserved at each destination by in-flight messages. */
+    std::map<Port *, std::size_t> pending_;
+    /**
+     * Components to wake when the keyed destination frees space.
+     * Insertion-ordered (not a set): wake order must be deterministic,
+     * and pointer ordering varies across platform instantiations.
+     */
+    std::map<Port *, std::vector<Component *>> blockedSenders_;
+    std::size_t inFlightTotal_ = 0;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_CONNECTION_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Events, event handlers, and the time-ordered event queue.
+ */
+
+#ifndef AKITA_SIM_EVENT_HH
+#define AKITA_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+class Event;
+
+/** Receiver of scheduled events. */
+class EventHandler
+{
+  public:
+    virtual ~EventHandler() = default;
+
+    /** Invoked by the engine when the event's time arrives. */
+    virtual void handle(Event &event) = 0;
+
+    /**
+     * Name used by the built-in profiler to attribute event-handling
+     * time. Defaults are provided by implementers (component names).
+     */
+    virtual std::string handlerName() const { return "EventHandler"; }
+};
+
+/**
+ * A unit of work scheduled at a virtual time.
+ *
+ * Secondary events run after all primary events of the same time; the
+ * engine otherwise preserves scheduling (FIFO) order among equal times.
+ */
+class Event
+{
+  public:
+    /**
+     * @param time Virtual time at which the event fires.
+     * @param handler Receiver; must outlive the event.
+     * @param secondary Run after primary events of the same time.
+     */
+    Event(VTime time, EventHandler *handler, bool secondary = false)
+        : time_(time), handler_(handler), secondary_(secondary)
+    {
+    }
+
+    virtual ~Event() = default;
+
+    VTime time() const { return time_; }
+    EventHandler *handler() const { return handler_; }
+    bool isSecondary() const { return secondary_; }
+
+  private:
+    VTime time_;
+    EventHandler *handler_;
+    bool secondary_;
+};
+
+using EventPtr = std::unique_ptr<Event>;
+
+/**
+ * An event that invokes a captured callable, for ad-hoc scheduling.
+ *
+ * The event is its own handler, so the callable runs regardless of which
+ * component scheduled it.
+ */
+class FuncEvent : public Event, public EventHandler
+{
+  public:
+    /**
+     * @param name Profiler attribution label.
+     */
+    FuncEvent(VTime time, std::string name, std::function<void()> fn,
+              bool secondary = false)
+        : Event(time, this, secondary), name_(std::move(name)),
+          fn_(std::move(fn))
+    {
+    }
+
+    void handle(Event &) override { fn_(); }
+
+    std::string handlerName() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::function<void()> fn_;
+};
+
+/**
+ * A stable min-heap of events ordered by (time, primary-before-secondary,
+ * insertion sequence).
+ *
+ * Implemented by hand rather than with std::priority_queue so that
+ * move-only EventPtr values can be popped without const_cast tricks.
+ */
+class EventQueue
+{
+  public:
+    /** Inserts an event. */
+    void
+    push(EventPtr event)
+    {
+        heap_.push_back(Entry{event->time(), event->isSecondary(), seq_++,
+                              std::move(event)});
+        siftUp(heap_.size() - 1);
+    }
+
+    /** Removes and returns the earliest event; queue must be non-empty. */
+    EventPtr
+    pop()
+    {
+        EventPtr out = std::move(heap_.front().event);
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+        return out;
+    }
+
+    /** Time of the earliest event; queue must be non-empty. */
+    VTime peekTime() const { return heap_.front().time; }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        VTime time;
+        bool secondary;
+        std::uint64_t seq;
+        EventPtr event;
+
+        /** True when this entry fires strictly before @p o. */
+        bool
+        before(const Entry &o) const
+        {
+            if (time != o.time)
+                return time < o.time;
+            if (secondary != o.secondary)
+                return !secondary;
+            return seq < o.seq;
+        }
+    };
+
+    void
+    siftUp(std::size_t i)
+    {
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!heap_[i].before(heap_[parent]))
+                break;
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        std::size_t n = heap_.size();
+        while (true) {
+            std::size_t l = 2 * i + 1;
+            std::size_t r = 2 * i + 2;
+            std::size_t best = i;
+            if (l < n && heap_[l].before(heap_[best]))
+                best = l;
+            if (r < n && heap_[r].before(heap_[best]))
+                best = r;
+            if (best == i)
+                break;
+            std::swap(heap_[i], heap_[best]);
+            i = best;
+        }
+    }
+
+    std::vector<Entry> heap_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_EVENT_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Akita-style hook framework.
+ *
+ * Hookable objects invoke registered hooks at named positions; the RTM
+ * plugin observes the engine through hooks instead of modifying it, which
+ * is what makes the monitor a drop-in plugin.
+ */
+
+#ifndef AKITA_SIM_HOOK_HH
+#define AKITA_SIM_HOOK_HH
+
+#include <string>
+#include <vector>
+
+namespace akita
+{
+namespace sim
+{
+
+/**
+ * Identity object naming a position in a hookable's lifecycle.
+ *
+ * Positions are compared by address, so each position is a distinct
+ * static instance.
+ */
+struct HookPos
+{
+    const char *name;
+};
+
+/** Engine position: immediately before an event handler runs. */
+extern const HookPos hookPosBeforeEvent;
+/** Engine position: immediately after an event handler returns. */
+extern const HookPos hookPosAfterEvent;
+/** Engine position: the event queue drained (possible completion/hang). */
+extern const HookPos hookPosQueueDrained;
+/** Port position: a message was delivered into the incoming buffer. */
+extern const HookPos hookPosPortDeliver;
+/** Port position: a message was retrieved by the owning component. */
+extern const HookPos hookPosPortRetrieve;
+
+/** Context passed to hooks. */
+struct HookCtx
+{
+    /** The object invoking the hook. */
+    void *domain = nullptr;
+    /** The position being invoked. */
+    const HookPos *pos = nullptr;
+    /** Position-specific payload (e.g. the Event or Msg). */
+    void *item = nullptr;
+};
+
+/** Observer attached to a Hookable. */
+class Hook
+{
+  public:
+    virtual ~Hook() = default;
+
+    /** Called at each hook position of the hooked object. */
+    virtual void func(HookCtx &ctx) = 0;
+};
+
+/** Base for objects that accept hooks. */
+class Hookable
+{
+  public:
+    virtual ~Hookable() = default;
+
+    /** Attaches a hook; the hook must outlive this object. */
+    void acceptHook(Hook *hook) { hooks_.push_back(hook); }
+
+    /** Number of attached hooks. */
+    std::size_t numHooks() const { return hooks_.size(); }
+
+  protected:
+    /** Invokes all hooks with the given context. */
+    void
+    invokeHook(const HookPos &pos, void *item)
+    {
+        if (hooks_.empty())
+            return;
+        HookCtx ctx;
+        ctx.domain = this;
+        ctx.pos = &pos;
+        ctx.item = item;
+        for (Hook *h : hooks_)
+            h->func(ctx);
+    }
+
+  private:
+    std::vector<Hook *> hooks_;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_HOOK_HH

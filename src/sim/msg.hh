@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Messages exchanged between component ports.
+ */
+
+#ifndef AKITA_SIM_MSG_HH
+#define AKITA_SIM_MSG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+class Port;
+
+/**
+ * Base class for all messages.
+ *
+ * Components communicate exclusively by exchanging messages through
+ * ports (the isolation that lets the monitor observe components
+ * individually). Subclasses add payloads (memory requests, kernel launch
+ * commands, ...).
+ */
+class Msg
+{
+  public:
+    Msg() : id_(nextId_.fetch_add(1, std::memory_order_relaxed)) {}
+
+    virtual ~Msg() = default;
+
+    /** Process-unique message id. */
+    std::uint64_t id() const { return id_; }
+
+    /** Short type label shown by the monitor. */
+    virtual const char *kind() const { return "Msg"; }
+
+    /** Sender port; set by Port::send. */
+    Port *src = nullptr;
+    /** Destination port; set by the sender before send. */
+    Port *dst = nullptr;
+    /**
+     * Final destination for multi-hop networks: switches forward
+     * toward this port, rewriting dst per hop. Null for single-hop
+     * traffic (dst is the final destination).
+     */
+    Port *finalDst = nullptr;
+    /**
+     * Return address for multi-hop networks: src is rewritten per hop,
+     * so endpoints that must answer record this instead. Null on
+     * single-hop fabrics (answer to src).
+     */
+    Port *replyTo = nullptr;
+    /** Virtual time at which the message was sent. */
+    VTime sendTime = 0;
+    /** Bytes on the wire (drives network bandwidth modeling). */
+    std::uint32_t trafficBytes = 4;
+
+  private:
+    static std::atomic<std::uint64_t> nextId_;
+    std::uint64_t id_;
+};
+
+using MsgPtr = std::shared_ptr<Msg>;
+
+/** Downcast helper with null propagation. */
+template <typename T>
+std::shared_ptr<T>
+msgCast(const MsgPtr &msg)
+{
+    return std::dynamic_pointer_cast<T>(msg);
+}
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_MSG_HH

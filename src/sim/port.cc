@@ -1,0 +1,85 @@
+#include "sim/port.hh"
+
+#include <stdexcept>
+
+#include "sim/component.hh"
+#include "sim/connection.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+std::atomic<std::uint64_t> Msg::nextId_{0};
+
+Port::Port(Component *owner, std::string name, std::size_t buf_capacity)
+    : owner_(owner), name_(std::move(name)),
+      fullName_(owner ? owner->name() + "." + name_ : name_),
+      buf_(fullName_ + ".Buf", buf_capacity)
+{
+}
+
+SendStatus
+Port::send(MsgPtr msg)
+{
+    if (conn_ == nullptr) {
+        throw std::runtime_error("port " + fullName_ +
+                                 " is not plugged into a connection");
+    }
+    if (msg->dst == nullptr) {
+        throw std::runtime_error("message sent from " + fullName_ +
+                                 " has no destination");
+    }
+    // Restore the previous source on failure: components that forward a
+    // buffered message retry later and must still see the original
+    // sender when they re-peek it.
+    Port *prevSrc = msg->src;
+    msg->src = this;
+    SendStatus st = conn_->send(msg); // Keep a local ref across the call.
+    if (st == SendStatus::Ok) {
+        totalSent_++;
+        totalSentBytes_ += msg->trafficBytes;
+    } else {
+        msg->src = prevSrc;
+        totalRejected_++;
+    }
+    return st;
+}
+
+MsgPtr
+Port::retrieveIncoming()
+{
+    MsgPtr m = buf_.pop();
+    if (m != nullptr) {
+        invokeHook(hookPosPortRetrieve, m.get());
+        if (conn_ != nullptr)
+            conn_->notifyAvailable(this);
+    }
+    return m;
+}
+
+MsgPtr
+Port::retrieveIncomingMatching(
+    const std::function<bool(const Msg &)> &pred)
+{
+    MsgPtr m = buf_.popMatching(pred);
+    if (m != nullptr) {
+        invokeHook(hookPosPortRetrieve, m.get());
+        if (conn_ != nullptr)
+            conn_->notifyAvailable(this);
+    }
+    return m;
+}
+
+void
+Port::deliver(MsgPtr msg)
+{
+    invokeHook(hookPosPortDeliver, msg.get());
+    totalReceived_++;
+    buf_.push(std::move(msg));
+    if (owner_ != nullptr)
+        owner_->wake();
+}
+
+} // namespace sim
+} // namespace akita

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ports: the endpoints through which components exchange messages.
+ */
+
+#ifndef AKITA_SIM_PORT_HH
+#define AKITA_SIM_PORT_HH
+
+#include <string>
+
+#include "sim/buffer.hh"
+#include "sim/hook.hh"
+#include "sim/msg.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+class Component;
+class Connection;
+
+/** Result of Port::send. */
+enum class SendStatus
+{
+    /** Message accepted; delivery is scheduled. */
+    Ok,
+    /** Destination cannot accept more traffic; retry after wake. */
+    Busy,
+};
+
+/**
+ * A named endpoint owned by a component.
+ *
+ * Each port has a bounded incoming buffer; the buffer is automatically
+ * visible to the bottleneck analyzer (the Go original discovers it via
+ * reflection; here the component base class enumerates its ports).
+ */
+class Port : public Hookable
+{
+  public:
+    /**
+     * @param owner Owning component; receives wake notifications.
+     * @param name Port name relative to the owner, e.g. "TopPort".
+     * @param buf_capacity Incoming-buffer capacity.
+     */
+    Port(Component *owner, std::string name, std::size_t buf_capacity);
+
+    Component *owner() const { return owner_; }
+    const std::string &name() const { return name_; }
+
+    /** Hierarchical name: "<owner>.<port>". */
+    const std::string &fullName() const { return fullName_; }
+
+    /** Wires this port to a connection (done by the connection). */
+    void setConnection(Connection *conn) { conn_ = conn; }
+
+    Connection *connection() const { return conn_; }
+
+    /**
+     * Sends a message; msg->dst must identify the destination port.
+     *
+     * On Busy the sender's component is registered for a wake when the
+     * destination frees space, so sleeping senders are re-ticked.
+     */
+    SendStatus send(MsgPtr msg);
+
+    /** Incoming buffer (exposed for monitoring and tests). */
+    Buffer &buf() { return buf_; }
+    const Buffer &buf() const { return buf_; }
+
+    /** The oldest delivered message without consuming it. */
+    MsgPtr peekIncoming() const { return buf_.peek(); }
+
+    /**
+     * Consumes the oldest delivered message.
+     *
+     * Frees buffer space and notifies the connection so that blocked
+     * senders are woken.
+     */
+    MsgPtr retrieveIncoming();
+
+    /**
+     * Consumes the oldest delivered message satisfying @p pred,
+     * bypassing head-of-line blocking (virtual-channel semantics).
+     */
+    MsgPtr
+    retrieveIncomingMatching(const std::function<bool(const Msg &)> &pred);
+
+    /**
+     * Delivers a message into the incoming buffer (connection side) and
+     * wakes the owning component.
+     */
+    void deliver(MsgPtr msg);
+
+    /** True when the incoming buffer can accept another delivery. */
+    bool canAcceptDelivery() const { return buf_.canPush(); }
+
+    /** Total messages ever sent from this port. */
+    std::uint64_t totalSent() const { return totalSent_; }
+
+    /** Total sends rejected with Busy (backpressure indicator). */
+    std::uint64_t totalSendRejections() const { return totalRejected_; }
+
+    /** Total bytes successfully sent from this port. */
+    std::uint64_t totalSentBytes() const { return totalSentBytes_; }
+
+    /** Total messages ever delivered into this port. */
+    std::uint64_t totalReceived() const { return totalReceived_; }
+
+  private:
+    Component *owner_;
+    std::string name_;
+    std::string fullName_;
+    Buffer buf_;
+    Connection *conn_ = nullptr;
+    std::uint64_t totalSent_ = 0;
+    std::uint64_t totalRejected_ = 0;
+    std::uint64_t totalSentBytes_ = 0;
+    std::uint64_t totalReceived_ = 0;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_PORT_HH

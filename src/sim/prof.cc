@@ -1,0 +1,141 @@
+#include "sim/prof.hh"
+
+#include <algorithm>
+
+namespace akita
+{
+namespace sim
+{
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler p;
+    return p;
+}
+
+std::uint64_t
+Profiler::nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+    bool was = enabled_.exchange(on);
+    if (on && !was) {
+        reset();
+        std::lock_guard<std::mutex> lk(mu_);
+        enabledSinceNs_ = nowNs();
+    }
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &a : aggs_)
+        a = Agg{};
+    edgeAggs_.clear();
+    stack_.clear();
+    enabledSinceNs_ = nowNs();
+}
+
+std::uint32_t
+Profiler::internName(const std::string &name)
+{
+    auto it = nameIds_.find(name);
+    if (it != nameIds_.end())
+        return it->second;
+    std::uint32_t id = static_cast<std::uint32_t>(names_.size());
+    names_.push_back(name);
+    nameIds_.emplace(name, id);
+    aggs_.push_back(Agg{});
+    return id;
+}
+
+void
+Profiler::enterScope(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint32_t id = internName(name);
+    stack_.push_back(Frame{id, nowNs(), 0});
+}
+
+void
+Profiler::exitScope()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stack_.empty())
+        return;
+    Frame f = stack_.back();
+    stack_.pop_back();
+    std::uint64_t total = nowNs() - f.startNs;
+    std::uint64_t self = total > f.childNs ? total - f.childNs : 0;
+
+    Agg &a = aggs_[f.nameId];
+    a.selfNs += self;
+    a.totalNs += total;
+    a.calls++;
+
+    if (!stack_.empty()) {
+        stack_.back().childNs += total;
+        Agg &e = edgeAggs_[{stack_.back().nameId, f.nameId}];
+        e.totalNs += total;
+        e.calls++;
+    }
+}
+
+ProfSnapshot
+Profiler::snapshot(std::size_t top_n) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ProfSnapshot snap;
+    snap.wallNs = nowNs() - enabledSinceNs_;
+
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t i = 0; i < aggs_.size(); i++) {
+        if (aggs_[i].calls > 0)
+            ids.push_back(i);
+    }
+    std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return aggs_[a].selfNs > aggs_[b].selfNs;
+    });
+    if (ids.size() > top_n)
+        ids.resize(top_n);
+
+    std::vector<bool> keep(aggs_.size(), false);
+    for (std::uint32_t id : ids)
+        keep[id] = true;
+
+    for (std::uint32_t id : ids) {
+        ProfEntry e;
+        e.name = names_[id];
+        e.selfNs = aggs_[id].selfNs;
+        e.totalNs = aggs_[id].totalNs;
+        e.calls = aggs_[id].calls;
+        snap.entries.push_back(std::move(e));
+    }
+    for (const auto &kv : edgeAggs_) {
+        if (!keep[kv.first.first] || !keep[kv.first.second])
+            continue;
+        ProfEdge edge;
+        edge.caller = names_[kv.first.first];
+        edge.callee = names_[kv.first.second];
+        edge.totalNs = kv.second.totalNs;
+        edge.calls = kv.second.calls;
+        snap.edges.push_back(std::move(edge));
+    }
+    std::sort(snap.edges.begin(), snap.edges.end(),
+              [](const ProfEdge &a, const ProfEdge &b) {
+                  return a.totalNs > b.totalNs;
+              });
+    return snap;
+}
+
+} // namespace sim
+} // namespace akita

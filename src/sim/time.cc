@@ -1,0 +1,33 @@
+#include "sim/time.hh"
+
+#include <cstdio>
+
+namespace akita
+{
+namespace sim
+{
+
+std::string
+formatTime(VTime t)
+{
+    char buf[64];
+    if (t >= kSecond) {
+        std::snprintf(buf, sizeof(buf), "%.6f s", toSeconds(t));
+    } else if (t >= kMillisecond) {
+        std::snprintf(buf, sizeof(buf), "%.3f ms",
+                      static_cast<double>(t) / kMillisecond);
+    } else if (t >= kMicrosecond) {
+        std::snprintf(buf, sizeof(buf), "%.3f us",
+                      static_cast<double>(t) / kMicrosecond);
+    } else if (t >= kNanosecond) {
+        std::snprintf(buf, sizeof(buf), "%.3f ns",
+                      static_cast<double>(t) / kNanosecond);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu ps",
+                      static_cast<unsigned long long>(t));
+    }
+    return buf;
+}
+
+} // namespace sim
+} // namespace akita

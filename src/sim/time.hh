@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Virtual time and frequency types for the simulation core.
+ *
+ * Akita (the Go framework under MGPUSim) uses float64 seconds for virtual
+ * time, which forces epsilon-comparisons everywhere. We instead use
+ * integer picoseconds: event ordering is exact, and a 64-bit count covers
+ * ~213 days of simulated time, far beyond any cycle-level run.
+ */
+
+#ifndef AKITA_SIM_TIME_HH
+#define AKITA_SIM_TIME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace akita
+{
+namespace sim
+{
+
+/** Virtual time in picoseconds. */
+using VTime = std::uint64_t;
+
+constexpr VTime kPicosecond = 1;
+constexpr VTime kNanosecond = 1000 * kPicosecond;
+constexpr VTime kMicrosecond = 1000 * kNanosecond;
+constexpr VTime kMillisecond = 1000 * kMicrosecond;
+constexpr VTime kSecond = 1000 * kMillisecond;
+
+/** Converts virtual time to floating seconds (for display only). */
+inline double
+toSeconds(VTime t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Formats a virtual time as a human-readable string (display only). */
+std::string formatTime(VTime t);
+
+/**
+ * A clock frequency expressed by its integer period in picoseconds.
+ *
+ * All ticking components in one domain share a Freq; ticks are aligned to
+ * multiples of the period so that components at the same frequency tick at
+ * identical times.
+ */
+class Freq
+{
+  public:
+    /** Constructs a 1 GHz clock (the framework default). */
+    Freq() : periodPs_(1000) {}
+
+    /** Constructs from an explicit period. */
+    static Freq
+    fromPeriod(VTime period_ps)
+    {
+        Freq f;
+        f.periodPs_ = period_ps == 0 ? 1 : period_ps;
+        return f;
+    }
+
+    /** Constructs from a frequency in MHz. */
+    static Freq
+    mhz(std::uint64_t f_mhz)
+    {
+        return fromPeriod(f_mhz == 0 ? 1 : kMicrosecond / f_mhz);
+    }
+
+    /** Constructs from a frequency in GHz. */
+    static Freq
+    ghz(std::uint64_t f_ghz)
+    {
+        return fromPeriod(f_ghz == 0 ? 1 : kNanosecond / f_ghz);
+    }
+
+    VTime period() const { return periodPs_; }
+
+    /** Frequency in Hz (display only). */
+    double
+    hz() const
+    {
+        return static_cast<double>(kSecond) /
+               static_cast<double>(periodPs_);
+    }
+
+    /** The tick time at or immediately before @p t. */
+    VTime
+    thisTick(VTime t) const
+    {
+        return t - t % periodPs_;
+    }
+
+    /** The first tick time strictly after @p t. */
+    VTime
+    nextTick(VTime t) const
+    {
+        return thisTick(t) + periodPs_;
+    }
+
+    /** The tick @p n cycles after the tick containing @p t. */
+    VTime
+    nCyclesLater(VTime t, std::uint64_t n) const
+    {
+        return thisTick(t) + n * periodPs_;
+    }
+
+    /** Number of whole cycles contained in a duration. */
+    std::uint64_t
+    cycles(VTime duration) const
+    {
+        return duration / periodPs_;
+    }
+
+    bool operator==(const Freq &o) const { return periodPs_ == o.periodPs_; }
+
+  private:
+    VTime periodPs_;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_TIME_HH

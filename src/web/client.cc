@@ -1,0 +1,91 @@
+#include "web/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace akita
+{
+namespace web
+{
+
+std::optional<ClientResponse>
+HttpClient::get(const std::string &target) const
+{
+    std::string req = "GET " + target + " HTTP/1.1\r\n" +
+                      "Host: " + host_ + "\r\n" +
+                      "Connection: close\r\n\r\n";
+    return roundTrip(req);
+}
+
+std::optional<ClientResponse>
+HttpClient::post(const std::string &target, const std::string &body,
+                 const std::string &content_type) const
+{
+    std::string req = "POST " + target + " HTTP/1.1\r\n" +
+                      "Host: " + host_ + "\r\n" +
+                      "Content-Type: " + content_type + "\r\n" +
+                      "Content-Length: " + std::to_string(body.size()) +
+                      "\r\n" + "Connection: close\r\n\r\n" + body;
+    return roundTrip(req);
+}
+
+std::optional<ClientResponse>
+HttpClient::roundTrip(const std::string &request) const
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return std::nullopt;
+
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+            0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            ::close(fd);
+            return std::nullopt;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string data;
+    char buf[8192];
+    while (true) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        data.append(buf, static_cast<std::size_t>(n));
+        // Stop as soon as a complete response is parseable.
+        if (auto parsed = parseResponse(data)) {
+            ::close(fd);
+            return ClientResponse{parsed->status, parsed->body};
+        }
+    }
+    ::close(fd);
+
+    auto parsed = parseResponse(data);
+    if (!parsed)
+        return std::nullopt;
+    return ClientResponse{parsed->status, parsed->body};
+}
+
+} // namespace web
+} // namespace akita

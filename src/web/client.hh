@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal blocking HTTP client.
+ *
+ * Used by the test suite, by the remote-monitor example (the paper's
+ * "other simulators can use the HTTP API" path), and by the Fig. 7
+ * overhead benchmark to replay browser traffic (passive refresh and the
+ * 1-second automated clicks of scenario 4).
+ */
+
+#ifndef AKITA_WEB_CLIENT_HH
+#define AKITA_WEB_CLIENT_HH
+
+#include <optional>
+#include <string>
+
+#include "web/http.hh"
+
+namespace akita
+{
+namespace web
+{
+
+/** Result of a client request. */
+struct ClientResponse
+{
+    int status = 0;
+    std::string body;
+};
+
+/**
+ * A blocking HTTP/1.1 client pinned to one host/port.
+ *
+ * Each request opens a fresh connection (Connection: close); the
+ * monitoring request rate is ~1/s, so connection reuse is not worth the
+ * state machine.
+ */
+class HttpClient
+{
+  public:
+    /**
+     * @param host Dotted IPv4 address, e.g. "127.0.0.1".
+     */
+    HttpClient(std::string host, std::uint16_t port)
+        : host_(std::move(host)), port_(port)
+    {
+    }
+
+    /** Issues a GET; nullopt on connection failure. */
+    std::optional<ClientResponse> get(const std::string &target) const;
+
+    /** Issues a POST with a body; nullopt on connection failure. */
+    std::optional<ClientResponse>
+    post(const std::string &target, const std::string &body,
+         const std::string &content_type = "application/json") const;
+
+  private:
+    std::optional<ClientResponse>
+    roundTrip(const std::string &request) const;
+
+    std::string host_;
+    std::uint16_t port_;
+};
+
+} // namespace web
+} // namespace akita
+
+#endif // AKITA_WEB_CLIENT_HH

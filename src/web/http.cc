@@ -1,0 +1,295 @@
+#include "web/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace akita
+{
+namespace web
+{
+
+namespace
+{
+
+/** Lower-cases ASCII in place. */
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Strips leading/trailing spaces and tabs. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/** Splits a query string into decoded key/value pairs. */
+std::map<std::string, std::string>
+parseQuery(const std::string &q)
+{
+    std::map<std::string, std::string> out;
+    std::size_t pos = 0;
+    while (pos < q.size()) {
+        std::size_t amp = q.find('&', pos);
+        if (amp == std::string::npos)
+            amp = q.size();
+        std::string pair = q.substr(pos, amp - pos);
+        std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+            if (!pair.empty())
+                out[urlDecode(pair)] = "";
+        } else {
+            out[urlDecode(pair.substr(0, eq))] =
+                urlDecode(pair.substr(eq + 1));
+        }
+        pos = amp + 1;
+    }
+    return out;
+}
+
+/**
+ * Parses header lines between @p start and the blank line.
+ *
+ * @return Offset just past the blank line, or npos on missing terminator.
+ */
+std::size_t
+parseHeaders(const std::string &data, std::size_t start,
+             std::map<std::string, std::string> &headers, bool &valid)
+{
+    valid = true;
+    std::size_t pos = start;
+    while (true) {
+        std::size_t eol = data.find("\r\n", pos);
+        if (eol == std::string::npos)
+            return std::string::npos;
+        if (eol == pos)
+            return eol + 2; // Blank line: end of headers.
+        std::string line = data.substr(pos, eol - pos);
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            valid = false;
+            return eol + 2;
+        }
+        headers[toLower(trim(line.substr(0, colon)))] =
+            trim(line.substr(colon + 1));
+        pos = eol + 2;
+    }
+}
+
+} // namespace
+
+std::int64_t
+Request::queryInt(const std::string &key, std::int64_t dflt) const
+{
+    auto it = query.find(key);
+    if (it == query.end())
+        return dflt;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == it->second.c_str())
+        return dflt;
+    return v;
+}
+
+Response
+Response::ok(std::string body, std::string content_type)
+{
+    Response r;
+    r.status = 200;
+    r.headers["Content-Type"] = std::move(content_type);
+    r.body = std::move(body);
+    return r;
+}
+
+Response
+Response::json(std::string body)
+{
+    return ok(std::move(body), "application/json");
+}
+
+Response
+Response::html(std::string body)
+{
+    return ok(std::move(body), "text/html; charset=utf-8");
+}
+
+Response
+Response::error(int status, std::string message)
+{
+    Response r;
+    r.status = status;
+    r.headers["Content-Type"] = "text/plain";
+    r.body = std::move(message);
+    return r;
+}
+
+std::string
+Response::serialize(bool keep_alive) const
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      statusText(status) + "\r\n";
+    bool hasType = false;
+    for (const auto &h : headers) {
+        out += h.first + ": " + h.second + "\r\n";
+        if (toLower(h.first) == "content-type")
+            hasType = true;
+    }
+    if (!hasType)
+        out += "Content-Type: text/plain\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    out += "\r\n";
+    out += body;
+    return out;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 204:
+        return "No Content";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 409:
+        return "Conflict";
+      case 500:
+        return "Internal Server Error";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Unknown";
+    }
+}
+
+std::string
+urlDecode(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); i++) {
+        if (s[i] == '%' && i + 2 < s.size() &&
+            std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+            std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+            char hex[3] = {s[i + 1], s[i + 2], '\0'};
+            out.push_back(
+                static_cast<char>(std::strtol(hex, nullptr, 16)));
+            i += 2;
+        } else {
+            out.push_back(s[i]);
+        }
+    }
+    return out;
+}
+
+ParseResult
+parseRequest(const std::string &data, Request &req, std::size_t &consumed)
+{
+    std::size_t eol = data.find("\r\n");
+    if (eol == std::string::npos) {
+        // Guard against unbounded garbage with no line ending.
+        return data.size() > 16384 ? ParseResult::Invalid
+                                   : ParseResult::Incomplete;
+    }
+
+    std::string line = data.substr(0, eol);
+    std::size_t sp1 = line.find(' ');
+    std::size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1)
+        return ParseResult::Invalid;
+    std::string method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string version = line.substr(sp2 + 1);
+    if (version.rfind("HTTP/1.", 0) != 0 || method.empty() ||
+        target.empty() || target[0] != '/')
+        return ParseResult::Invalid;
+
+    bool valid = true;
+    std::map<std::string, std::string> headers;
+    std::size_t bodyStart = parseHeaders(data, eol + 2, headers, valid);
+    if (bodyStart == std::string::npos)
+        return ParseResult::Incomplete;
+    if (!valid)
+        return ParseResult::Invalid;
+
+    std::size_t contentLen = 0;
+    auto it = headers.find("content-length");
+    if (it != headers.end()) {
+        errno = 0;
+        char *end = nullptr;
+        long long v = std::strtoll(it->second.c_str(), &end, 10);
+        if (errno != 0 || end == it->second.c_str() || v < 0 ||
+            v > (1 << 26))
+            return ParseResult::Invalid;
+        contentLen = static_cast<std::size_t>(v);
+    }
+    if (data.size() < bodyStart + contentLen)
+        return ParseResult::Incomplete;
+
+    req = Request{};
+    req.method = method;
+    req.target = target;
+    std::size_t qmark = target.find('?');
+    if (qmark == std::string::npos) {
+        req.path = urlDecode(target);
+    } else {
+        req.path = urlDecode(target.substr(0, qmark));
+        req.query = parseQuery(target.substr(qmark + 1));
+    }
+    req.headers = std::move(headers);
+    req.body = data.substr(bodyStart, contentLen);
+    consumed = bodyStart + contentLen;
+    return ParseResult::Ok;
+}
+
+std::optional<ParsedResponse>
+parseResponse(const std::string &data)
+{
+    std::size_t eol = data.find("\r\n");
+    if (eol == std::string::npos)
+        return std::nullopt;
+    std::string line = data.substr(0, eol);
+    if (line.rfind("HTTP/1.", 0) != 0)
+        return std::nullopt;
+    std::size_t sp = line.find(' ');
+    if (sp == std::string::npos)
+        return std::nullopt;
+    ParsedResponse resp;
+    resp.status = std::atoi(line.c_str() + sp + 1);
+
+    bool valid = true;
+    std::size_t bodyStart = parseHeaders(data, eol + 2, resp.headers, valid);
+    if (bodyStart == std::string::npos || !valid)
+        return std::nullopt;
+
+    std::size_t contentLen = 0;
+    auto it = resp.headers.find("content-length");
+    if (it != resp.headers.end())
+        contentLen = static_cast<std::size_t>(
+            std::strtoll(it->second.c_str(), nullptr, 10));
+    if (data.size() < bodyStart + contentLen)
+        return std::nullopt;
+    resp.body = data.substr(bodyStart, contentLen);
+    return resp;
+}
+
+} // namespace web
+} // namespace akita

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * HTTP/1.1 message types and wire parsing.
+ *
+ * The RTM frontend talks to the simulation through plain HTTP. No web
+ * framework is available offline, so this module implements the small
+ * subset of HTTP/1.1 the dashboard needs: request parsing with headers
+ * and Content-Length bodies, query strings, and response serialization
+ * with keep-alive support.
+ */
+
+#ifndef AKITA_WEB_HTTP_HH
+#define AKITA_WEB_HTTP_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace akita
+{
+namespace web
+{
+
+/** A parsed HTTP request. */
+struct Request
+{
+    std::string method;  // "GET", "POST", ...
+    std::string target;  // Raw request target, e.g. "/api/x?y=1".
+    std::string path;    // Decoded path component.
+    std::map<std::string, std::string> query; // Decoded query params.
+    /** Header map with lower-cased field names. */
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Query parameter with a default. */
+    std::string
+    queryParam(const std::string &key, std::string dflt = "") const
+    {
+        auto it = query.find(key);
+        return it == query.end() ? std::move(dflt) : it->second;
+    }
+
+    /** Integer query parameter with a default. */
+    std::int64_t queryInt(const std::string &key, std::int64_t dflt) const;
+};
+
+/** An HTTP response under construction. */
+struct Response
+{
+    int status = 200;
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Creates a 200 response with the given content type and body. */
+    static Response ok(std::string body,
+                       std::string content_type = "text/plain");
+
+    /** Creates a JSON 200 response. */
+    static Response json(std::string body);
+
+    /** Creates an HTML 200 response. */
+    static Response html(std::string body);
+
+    /** Creates an error response with a plain-text message. */
+    static Response error(int status, std::string message);
+
+    /** Serializes status line + headers + body to the wire format. */
+    std::string serialize(bool keep_alive) const;
+};
+
+/** Reason phrase for a status code. */
+const char *statusText(int status);
+
+/** Percent-decodes a URL component ('+' is not treated as space). */
+std::string urlDecode(const std::string &s);
+
+/**
+ * Incremental request parser outcomes.
+ */
+enum class ParseResult
+{
+    /** A complete request was parsed. */
+    Ok,
+    /** More bytes are needed. */
+    Incomplete,
+    /** The bytes do not form a valid request. */
+    Invalid,
+};
+
+/**
+ * Attempts to parse one request from the front of @p data.
+ *
+ * @param[out] req Filled on Ok.
+ * @param[out] consumed Bytes to remove from the front of data on Ok.
+ */
+ParseResult parseRequest(const std::string &data, Request &req,
+                         std::size_t &consumed);
+
+/**
+ * Parses a response (client side).
+ *
+ * @return The status code and body, or nullopt on malformed input.
+ */
+struct ParsedResponse
+{
+    int status = 0;
+    std::map<std::string, std::string> headers;
+    std::string body;
+};
+
+std::optional<ParsedResponse> parseResponse(const std::string &data);
+
+} // namespace web
+} // namespace akita
+
+#endif // AKITA_WEB_HTTP_HH

@@ -1,0 +1,228 @@
+#include "web/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace akita
+{
+namespace web
+{
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::route(const std::string &method, const std::string &pattern,
+                  Handler handler)
+{
+    std::lock_guard<std::mutex> lk(routesMu_);
+    Route r;
+    r.method = method;
+    if (pattern.size() >= 2 && pattern.rfind("/*") == pattern.size() - 2) {
+        r.pattern = pattern.substr(0, pattern.size() - 1); // Keep '/'.
+        r.prefix = true;
+    } else {
+        r.pattern = pattern;
+        r.prefix = false;
+    }
+    r.handler = std::move(handler);
+    routes_.push_back(std::move(r));
+}
+
+bool
+HttpServer::start(std::uint16_t port)
+{
+    if (running_.load())
+        return false;
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return false;
+
+    int opt = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listenFd_, 64) < 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    running_.store(true);
+    acceptThread_ = std::thread([this]() { acceptLoop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.exchange(false)) {
+        if (acceptThread_.joinable())
+            acceptThread_.join();
+        return;
+    }
+
+    // Unblock accept() and in-flight reads.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    {
+        std::lock_guard<std::mutex> lk(workersMu_);
+        for (int fd : activeFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+
+    std::vector<std::thread> workers;
+    {
+        std::lock_guard<std::mutex> lk(workersMu_);
+        workers.swap(workers_);
+    }
+    for (auto &t : workers) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+std::string
+HttpServer::url() const
+{
+    return "http://127.0.0.1:" + std::to_string(port_);
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (running_.load()) {
+        sockaddr_in peer{};
+        socklen_t len = sizeof(peer);
+        int fd = ::accept(listenFd_, reinterpret_cast<sockaddr *>(&peer),
+                          &len);
+        if (fd < 0) {
+            if (!running_.load())
+                break;
+            continue;
+        }
+
+        timeval tv{};
+        tv.tv_sec = 10;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        int nodelay = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                     sizeof(nodelay));
+
+        std::lock_guard<std::mutex> lk(workersMu_);
+        if (!running_.load()) {
+            ::close(fd);
+            break;
+        }
+        activeFds_.insert(fd);
+        workers_.emplace_back([this, fd]() { handleConnection(fd); });
+    }
+}
+
+void
+HttpServer::handleConnection(int fd)
+{
+    std::string pending;
+    char buf[8192];
+
+    while (running_.load()) {
+        Request req;
+        std::size_t consumed = 0;
+        ParseResult pr = parseRequest(pending, req, consumed);
+        if (pr == ParseResult::Invalid) {
+            std::string out =
+                Response::error(400, "malformed request").serialize(false);
+            ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+            break;
+        }
+        if (pr == ParseResult::Incomplete) {
+            ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+            if (n <= 0)
+                break;
+            pending.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+
+        pending.erase(0, consumed);
+        requestCount_.fetch_add(1, std::memory_order_relaxed);
+
+        bool keepAlive = true;
+        auto conn = req.headers.find("connection");
+        if (conn != req.headers.end() && conn->second == "close")
+            keepAlive = false;
+
+        Response resp = dispatch(req);
+        std::string out = resp.serialize(keepAlive);
+        if (::send(fd, out.data(), out.size(), MSG_NOSIGNAL) < 0)
+            break;
+        if (!keepAlive)
+            break;
+    }
+
+    ::close(fd);
+    std::lock_guard<std::mutex> lk(workersMu_);
+    activeFds_.erase(fd);
+}
+
+Response
+HttpServer::dispatch(const Request &req)
+{
+    Handler handler;
+    {
+        std::lock_guard<std::mutex> lk(routesMu_);
+        std::size_t bestLen = 0;
+        bool bestExact = false;
+        for (const auto &r : routes_) {
+            if (r.method != "*" && r.method != req.method)
+                continue;
+            if (r.prefix) {
+                if (req.path.rfind(r.pattern, 0) == 0 && !bestExact &&
+                    r.pattern.size() >= bestLen) {
+                    bestLen = r.pattern.size();
+                    handler = r.handler;
+                }
+            } else if (r.pattern == req.path) {
+                handler = r.handler;
+                bestExact = true;
+            }
+        }
+    }
+    if (!handler)
+        return Response::error(404, "no route for " + req.path);
+
+    try {
+        return handler(req);
+    } catch (const std::exception &e) {
+        return Response::error(500, std::string("handler error: ") +
+                                        e.what());
+    }
+}
+
+} // namespace web
+} // namespace akita

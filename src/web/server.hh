@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Threaded HTTP server.
+ *
+ * Starting an RTM-monitored simulation "effectively transform[s] any
+ * simulation into a web server" (paper §IV-A). This server runs in
+ * dedicated threads (the paper's design choice 3) so its execution
+ * minimally interferes with the simulation thread.
+ */
+
+#ifndef AKITA_WEB_SERVER_HH
+#define AKITA_WEB_SERVER_HH
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "web/http.hh"
+
+namespace akita
+{
+namespace web
+{
+
+/** Request handler; runs on a server worker thread. */
+using Handler = std::function<Response(const Request &)>;
+
+/**
+ * A small routing HTTP server bound to 127.0.0.1.
+ *
+ * Routes are matched most-specific-first: exact paths win over prefix
+ * ("/api/component/" + wildcard) routes, and longer prefixes win over shorter.
+ */
+class HttpServer
+{
+  public:
+    HttpServer();
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /**
+     * Registers a handler.
+     *
+     * @param method HTTP method ("GET"/"POST"); "*" matches any.
+     * @param pattern Exact path, or a prefix ending in "/" followed by a star.
+     */
+    void route(const std::string &method, const std::string &pattern,
+               Handler handler);
+
+    /**
+     * Binds and starts serving.
+     *
+     * @param port Requested TCP port; 0 picks an ephemeral port.
+     * @return True on success; see port() for the bound port.
+     */
+    bool start(std::uint16_t port = 0);
+
+    /** Stops serving and joins all threads. Idempotent. */
+    void stop();
+
+    /** The bound port (valid after start). */
+    std::uint16_t port() const { return port_; }
+
+    bool running() const { return running_.load(); }
+
+    /** Root URL, e.g. "http://127.0.0.1:8080". */
+    std::string url() const;
+
+    /** Total requests served (for overhead accounting). */
+    std::uint64_t
+    requestCount() const
+    {
+        return requestCount_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Route
+    {
+        std::string method;
+        std::string pattern; // Without the trailing "*".
+        bool prefix;
+        Handler handler;
+    };
+
+    void acceptLoop();
+    void handleConnection(int fd);
+    Response dispatch(const Request &req);
+
+    std::vector<Route> routes_;
+    std::mutex routesMu_;
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> requestCount_{0};
+
+    std::thread acceptThread_;
+    std::mutex workersMu_;
+    std::vector<std::thread> workers_;
+    std::set<int> activeFds_;
+};
+
+} // namespace web
+} // namespace akita
+
+#endif // AKITA_WEB_SERVER_HH

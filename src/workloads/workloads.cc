@@ -1,0 +1,369 @@
+#include "workloads/workloads.hh"
+
+#include <algorithm>
+
+namespace akita
+{
+namespace workloads
+{
+
+namespace
+{
+
+using gpu::KernelDescriptor;
+using gpu::WfOp;
+
+// Heap layout: each workload gets a disjoint region of the flat address
+// space. Regions are page-aligned so chiplet interleaving applies.
+constexpr std::uint64_t kHeapBase = 0x1000'0000ull;
+constexpr std::uint64_t kRegion = 0x4000'0000ull; // 1 GiB per array.
+
+constexpr std::uint64_t
+region(unsigned idx)
+{
+    return kHeapBase + idx * kRegion;
+}
+
+/** Lanes per wavefront; loads/stores are coalesced at this width. */
+constexpr std::uint32_t kLanes = 64;
+
+} // namespace
+
+KernelDescriptor
+makeFir(const FirParams &p)
+{
+    KernelDescriptor k;
+    k.name = "fir";
+    k.wavefrontsPerWG = 4;
+    std::uint32_t outputsPerWG = std::max<std::uint32_t>(p.wgSize, kLanes);
+    k.numWorkGroups =
+        std::max<std::uint32_t>(1, p.numSamples / outputsPerWG);
+
+    const std::uint64_t input = region(0);
+    const std::uint64_t taps = region(1);
+    const std::uint64_t output = region(2);
+    const std::uint32_t numTaps = p.numTaps;
+    const std::uint32_t perWf = outputsPerWG / 4;
+
+    k.trace = [=](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        std::uint32_t first = wg * outputsPerWG + wf * perWf;
+        // Taps are tiny and hot: one coalesced load.
+        ops.push_back(WfOp::load(taps, numTaps * 4, 4));
+        for (std::uint32_t o = first; o < first + perWf; o += kLanes) {
+            // Sliding window over the input: the 64 lanes cover
+            // [o, o+63+numTaps) samples.
+            std::uint64_t winStart = static_cast<std::uint64_t>(o) * 4;
+            std::uint32_t winBytes = (kLanes + numTaps) * 4;
+            for (std::uint32_t off = 0; off < winBytes; off += 256)
+                ops.push_back(WfOp::load(
+                    input + winStart + off,
+                    std::min<std::uint32_t>(256, winBytes - off), 0));
+            // numTaps multiply-accumulates per lane.
+            ops.push_back(WfOp::compute(numTaps));
+            ops.push_back(WfOp::store(
+                output + static_cast<std::uint64_t>(o) * 4, kLanes * 4,
+                1));
+        }
+        return ops;
+    };
+    return k;
+}
+
+KernelDescriptor
+makeIm2Col(const Im2ColParams &p)
+{
+    KernelDescriptor k;
+    k.name = "im2col";
+    k.wavefrontsPerWG = 4;
+    // One work-group per (image, channel) pair, as the real kernel tiles.
+    k.numWorkGroups = p.batch * p.channels;
+
+    const std::uint64_t images = region(0);
+    const std::uint64_t matrix = region(3);
+    const std::uint32_t w = p.width;
+    const std::uint32_t h = p.height;
+    const std::uint32_t ks = p.kernelSize;
+    const std::uint32_t outW = w - ks + 1;
+    const std::uint32_t outH = h - ks + 1;
+    const std::uint32_t positions = outW * outH;
+    const std::uint64_t imageBytes =
+        static_cast<std::uint64_t>(w) * h * 4;
+    const std::uint64_t outBytesPerWG =
+        static_cast<std::uint64_t>(positions) * ks * ks * 4;
+
+    k.trace = [=](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        std::uint64_t imgBase = images + wg * imageBytes;
+        std::uint64_t outBase = matrix + wg * outBytesPerWG;
+
+        std::uint32_t perWf = (positions + 3) / 4;
+        std::uint32_t first = wf * perWf;
+        std::uint32_t last = std::min(positions, first + perWf);
+
+        for (std::uint32_t pos = first; pos < last; pos += kLanes) {
+            std::uint32_t lanes = std::min(kLanes, last - pos);
+            std::uint32_t row = pos / outW;
+            // Each kernel offset is one strided, coalesced read across
+            // the lanes (adjacent positions read adjacent pixels).
+            for (std::uint32_t ky = 0; ky < ks; ky++) {
+                for (std::uint32_t kx = 0; kx < ks; kx++) {
+                    std::uint64_t src =
+                        imgBase +
+                        (static_cast<std::uint64_t>(row + ky) * w +
+                         pos % outW + kx) *
+                            4;
+                    ops.push_back(WfOp::load(src, lanes * 4, 0));
+                }
+            }
+            ops.push_back(WfOp::compute(4));
+            // The unrolled matrix is written sequentially.
+            for (std::uint32_t e = 0; e < ks * ks; e++) {
+                std::uint64_t dst =
+                    outBase +
+                    (static_cast<std::uint64_t>(pos) * ks * ks +
+                     static_cast<std::uint64_t>(e) * lanes) *
+                        4;
+                ops.push_back(WfOp::store(dst, lanes * 4, 0));
+            }
+        }
+        return ops;
+    };
+    return k;
+}
+
+KernelDescriptor
+makeKMeans(const KMeansParams &p)
+{
+    KernelDescriptor k;
+    k.name = "kmeans";
+    k.wavefrontsPerWG = 4;
+    k.numWorkGroups = std::max<std::uint32_t>(1, p.numPoints / p.wgSize);
+
+    const std::uint64_t points = region(0);
+    const std::uint64_t centroids = region(1);
+    const std::uint64_t assign = region(2);
+    const std::uint32_t dims = p.dims;
+    const std::uint32_t clusters = p.numClusters;
+    const std::uint32_t perWf = p.wgSize / 4;
+
+    k.trace = [=](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        std::uint32_t first = wg * (perWf * 4) + wf * perWf;
+        for (std::uint32_t pt = first; pt < first + perWf; pt += kLanes) {
+            // Point coordinates: dims floats per lane, streamed.
+            std::uint64_t base =
+                points + static_cast<std::uint64_t>(pt) * dims * 4;
+            std::uint64_t bytes =
+                static_cast<std::uint64_t>(kLanes) * dims * 4;
+            for (std::uint64_t off = 0; off < bytes; off += 1024)
+                ops.push_back(WfOp::load(
+                    base + off,
+                    static_cast<std::uint32_t>(
+                        std::min<std::uint64_t>(1024, bytes - off)),
+                    0));
+            // Centroids are hot (small, reused by every wavefront).
+            ops.push_back(
+                WfOp::load(centroids, clusters * dims * 4 > 256
+                                          ? 256
+                                          : clusters * dims * 4,
+                           dims * clusters / 8));
+            ops.push_back(WfOp::store(
+                assign + static_cast<std::uint64_t>(pt) * 4, kLanes * 4,
+                1));
+        }
+        return ops;
+    };
+    return k;
+}
+
+KernelDescriptor
+makeTranspose(const TransposeParams &p)
+{
+    KernelDescriptor k;
+    k.name = "matrixtranspose";
+    k.wavefrontsPerWG = 4;
+    std::uint32_t tilesPerDim = p.n / p.tile;
+    k.numWorkGroups = tilesPerDim * tilesPerDim;
+
+    const std::uint64_t in = region(0);
+    const std::uint64_t out = region(1);
+    const std::uint32_t n = p.n;
+    const std::uint32_t tile = p.tile;
+
+    k.trace = [=](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        std::uint32_t tileRow = (wg / tilesPerDim) * tile;
+        std::uint32_t tileCol = (wg % tilesPerDim) * tile;
+        std::uint32_t rowsPerWf = tile / 4;
+        std::uint32_t firstRow = tileRow + wf * rowsPerWf;
+
+        for (std::uint32_t r = firstRow; r < firstRow + rowsPerWf; r++) {
+            // Row-major read: one coalesced load per tile row.
+            std::uint64_t src =
+                in + (static_cast<std::uint64_t>(r) * n + tileCol) * 4;
+            ops.push_back(WfOp::load(src, tile * 4, 0));
+            ops.push_back(WfOp::compute(2));
+            // Column-major write: strided stores, one per group of
+            // 4 output rows (cache-hostile, as in the real kernel).
+            for (std::uint32_t c = 0; c < tile; c += 4) {
+                std::uint64_t dst =
+                    out +
+                    (static_cast<std::uint64_t>(tileCol + c) * n + r) * 4;
+                ops.push_back(WfOp::store(dst, 16, 0));
+            }
+        }
+        return ops;
+    };
+    return k;
+}
+
+KernelDescriptor
+makeAes(const AesParams &p)
+{
+    KernelDescriptor k;
+    k.name = "aes";
+    k.wavefrontsPerWG = 4;
+    std::uint64_t numBlocks = p.dataBytes / 16;
+    k.numWorkGroups = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, numBlocks / p.blocksPerWG));
+
+    const std::uint64_t data = region(0);
+    const std::uint64_t out = region(1);
+    const std::uint64_t ttables = region(2); // 4 KiB, hot.
+    const std::uint32_t blocksPerWf = p.blocksPerWG / 4;
+
+    k.trace = [=](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        std::uint64_t firstBlock =
+            static_cast<std::uint64_t>(wg) * blocksPerWf * 4 +
+            static_cast<std::uint64_t>(wf) * blocksPerWf;
+        for (std::uint32_t b = 0; b < blocksPerWf; b += kLanes) {
+            std::uint32_t lanes =
+                std::min<std::uint32_t>(kLanes, blocksPerWf - b);
+            std::uint64_t src = data + (firstBlock + b) * 16;
+            // 16 bytes per lane, coalesced in 256 B chunks.
+            for (std::uint32_t off = 0; off < lanes * 16; off += 256)
+                ops.push_back(WfOp::load(
+                    src + off,
+                    std::min<std::uint32_t>(256, lanes * 16 - off), 0));
+            // 10 rounds of T-table lookups; tables are hot in L1.
+            for (std::uint32_t round = 0; round < 4; round++)
+                ops.push_back(WfOp::load(
+                    ttables + (wg * 67 + b * 31 + round * 1021) % 4096,
+                    64, 10));
+            for (std::uint32_t off = 0; off < lanes * 16; off += 256)
+                ops.push_back(WfOp::store(
+                    out + (firstBlock + b) * 16 + off,
+                    std::min<std::uint32_t>(256, lanes * 16 - off), 0));
+        }
+        return ops;
+    };
+    return k;
+}
+
+KernelDescriptor
+makeBitonic(const BitonicParams &p)
+{
+    KernelDescriptor k;
+    k.name = "bitonicsort";
+    k.wavefrontsPerWG = 4;
+    k.numWorkGroups =
+        std::max<std::uint32_t>(1, p.numElems / p.wgSize);
+
+    const std::uint64_t data = region(0);
+    const std::uint32_t elemsPerWf = p.wgSize / 4;
+    const std::uint32_t passes = p.passes;
+
+    k.trace = [=](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        std::uint64_t first =
+            static_cast<std::uint64_t>(wg) * elemsPerWf * 4 +
+            static_cast<std::uint64_t>(wf) * elemsPerWf;
+        for (std::uint32_t pass = 0; pass < passes; pass++) {
+            std::uint32_t stride = 1u << (pass + 6); // In elements.
+            for (std::uint32_t e = 0; e < elemsPerWf; e += kLanes) {
+                std::uint64_t a = data + (first + e) * 4;
+                std::uint64_t b = a + static_cast<std::uint64_t>(stride) * 4;
+                ops.push_back(WfOp::load(a, kLanes * 4, 0));
+                ops.push_back(WfOp::load(b, kLanes * 4, 2));
+                ops.push_back(WfOp::store(a, kLanes * 4, 0));
+                ops.push_back(WfOp::store(b, kLanes * 4, 0));
+            }
+        }
+        return ops;
+    };
+    return k;
+}
+
+KernelDescriptor
+makeMemCopy(const MemCopyParams &p)
+{
+    KernelDescriptor k;
+    k.name = "memcopy";
+    k.wavefrontsPerWG = 4;
+    k.numWorkGroups = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, p.bytes / p.bytesPerWG));
+
+    const std::uint64_t src = region(0);
+    const std::uint64_t dst = region(1);
+    const std::uint64_t perWf = p.bytesPerWG / 4;
+
+    k.trace = [=](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        std::uint64_t base =
+            static_cast<std::uint64_t>(wg) * perWf * 4 + wf * perWf;
+        for (std::uint64_t off = 0; off < perWf; off += 256) {
+            auto chunk = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(256, perWf - off));
+            ops.push_back(WfOp::load(src + base + off, chunk, 0));
+            ops.push_back(WfOp::store(dst + base + off, chunk, 0));
+        }
+        return ops;
+    };
+    return k;
+}
+
+std::vector<Benchmark>
+paperSuite(double scale)
+{
+    auto scaled = [scale](std::uint64_t v) {
+        auto s = static_cast<std::uint64_t>(static_cast<double>(v) * scale);
+        return std::max<std::uint64_t>(s, 1024);
+    };
+
+    std::vector<Benchmark> suite;
+
+    FirParams fir;
+    fir.numSamples = static_cast<std::uint32_t>(scaled(fir.numSamples));
+    suite.push_back({"FIR", makeFir(fir)});
+
+    Im2ColParams im2col;
+    im2col.batch = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        4, static_cast<std::uint64_t>(im2col.batch * scale)));
+    suite.push_back({"im2col", makeIm2Col(im2col)});
+
+    KMeansParams km;
+    km.numPoints = static_cast<std::uint32_t>(scaled(km.numPoints));
+    suite.push_back({"KMeans", makeKMeans(km)});
+
+    TransposeParams tr;
+    if (scale < 0.25)
+        tr.n = 256;
+    else if (scale < 1.0)
+        tr.n = 512;
+    suite.push_back({"MatrixTranspose", makeTranspose(tr)});
+
+    AesParams aes;
+    aes.dataBytes = scaled(aes.dataBytes);
+    suite.push_back({"AES", makeAes(aes)});
+
+    BitonicParams bs;
+    bs.numElems = static_cast<std::uint32_t>(scaled(bs.numElems));
+    suite.push_back({"BitonicSort", makeBitonic(bs)});
+
+    return suite;
+}
+
+} // namespace workloads
+} // namespace akita

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The benchmark suite used by the paper's evaluation.
+ *
+ * MGPUSim ships OpenCL benchmarks; AkitaRTM's evaluation simulates six of
+ * them (Fig. 7), and the case studies use im2col and FIR. We reproduce
+ * each as a trace-generating kernel whose memory access pattern follows
+ * the real algorithm: the addresses, strides, reuse, and read/write mix
+ * are faithful even though the arithmetic is abstracted into compute
+ * cycles. That is exactly the fidelity the monitoring experiments need —
+ * they observe buffers, caches, and the interconnect, not ALU results.
+ *
+ * All addresses live in one flat heap and are page-interleaved across
+ * chiplets by the platform, which is what generates the RDMA/network
+ * traffic of case study 1.
+ */
+
+#ifndef AKITA_WORKLOADS_WORKLOADS_HH
+#define AKITA_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hh"
+
+namespace akita
+{
+namespace workloads
+{
+
+/** Finite impulse response filter (the user study's warm-up workload). */
+struct FirParams
+{
+    std::uint32_t numTaps = 16;
+    std::uint32_t numSamples = 1u << 20;
+    std::uint32_t wgSize = 256;
+};
+
+gpu::KernelDescriptor makeFir(const FirParams &p);
+
+/**
+ * Image-to-column conversion for CNNs (case study 1): strided reads over
+ * image rows, sequential writes of the unrolled matrix.
+ *
+ * Defaults match the paper: 24x24 images, 6 channels, batch 640, 3x3
+ * kernel.
+ */
+struct Im2ColParams
+{
+    std::uint32_t width = 24;
+    std::uint32_t height = 24;
+    std::uint32_t channels = 6;
+    std::uint32_t batch = 640;
+    std::uint32_t kernelSize = 3;
+};
+
+gpu::KernelDescriptor makeIm2Col(const Im2ColParams &p);
+
+/** K-means clustering: streaming point reads against hot centroids. */
+struct KMeansParams
+{
+    std::uint32_t numPoints = 1u << 20;
+    std::uint32_t numClusters = 16;
+    std::uint32_t dims = 32;
+    std::uint32_t wgSize = 256;
+};
+
+gpu::KernelDescriptor makeKMeans(const KMeansParams &p);
+
+/** Matrix transpose: row-major reads, column-major (strided) writes. */
+struct TransposeParams
+{
+    std::uint32_t n = 1024; // Square matrix dimension.
+    std::uint32_t tile = 32;
+};
+
+gpu::KernelDescriptor makeTranspose(const TransposeParams &p);
+
+/** AES encryption: sequential data, hot T-table lookups. */
+struct AesParams
+{
+    std::uint64_t dataBytes = 4ull << 20;
+    std::uint32_t blocksPerWG = 256;
+};
+
+gpu::KernelDescriptor makeAes(const AesParams &p);
+
+/** Bitonic sort: power-of-two strided compare-exchange passes. */
+struct BitonicParams
+{
+    std::uint32_t numElems = 1u << 18;
+    std::uint32_t passes = 6;
+    std::uint32_t wgSize = 1024; // Elements per work-group.
+};
+
+gpu::KernelDescriptor makeBitonic(const BitonicParams &p);
+
+/**
+ * Device-to-device memory copy; useful for custom progress bars ("number
+ * of bytes copied in a memory copy operation", paper §IV-C).
+ */
+struct MemCopyParams
+{
+    std::uint64_t bytes = 8ull << 20;
+    std::uint32_t bytesPerWG = 1u << 16;
+};
+
+gpu::KernelDescriptor makeMemCopy(const MemCopyParams &p);
+
+/** A named benchmark instance. */
+struct Benchmark
+{
+    std::string name;
+    gpu::KernelDescriptor kernel;
+};
+
+/**
+ * The six-benchmark suite of the paper's performance evaluation
+ * (Fig. 7), with every size multiplied by @p scale in [~0.01, 1].
+ */
+std::vector<Benchmark> paperSuite(double scale = 1.0);
+
+} // namespace workloads
+} // namespace akita
+
+#endif // AKITA_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the GPU model: compute units, command processor, driver,
+ * and the fully wired platform.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/platform.hh"
+#include "workloads/workloads.hh"
+
+using namespace akita;
+using namespace akita::gpu;
+
+namespace
+{
+
+/** A trivial kernel: each wavefront does compute then one load. */
+KernelDescriptor
+simpleKernel(std::uint32_t wgs, std::uint32_t wfPerWg = 2)
+{
+    KernelDescriptor k;
+    k.name = "simple";
+    k.numWorkGroups = wgs;
+    k.wavefrontsPerWG = wfPerWg;
+    k.trace = [](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        ops.push_back(WfOp::compute(3));
+        ops.push_back(WfOp::load(0x10000ull + (wg * 8 + wf) * 64, 64));
+        ops.push_back(WfOp::store(0x40000000ull + (wg * 8 + wf) * 64, 64));
+        return ops;
+    };
+    return k;
+}
+
+} // namespace
+
+TEST(PlatformTest, SingleGpuCompletesKernel)
+{
+    PlatformConfig cfg;
+    cfg.numGpus = 1;
+    cfg.gpu = GpuConfig::tiny();
+    Platform plat(cfg);
+    KernelDescriptor k = simpleKernel(16);
+    plat.launchKernel(&k);
+    EXPECT_EQ(plat.run(), Platform::RunStatus::Completed);
+    EXPECT_EQ(plat.driver().kernelsCompleted(), 1u);
+    EXPECT_GT(plat.engine().now(), 0u);
+}
+
+TEST(PlatformTest, WorkSpreadAcrossComputeUnits)
+{
+    PlatformConfig cfg;
+    cfg.numGpus = 1;
+    cfg.gpu = GpuConfig::tiny();
+    Platform plat(cfg);
+    KernelDescriptor k = simpleKernel(64);
+    plat.launchKernel(&k);
+    plat.run();
+
+    std::uint64_t total = 0;
+    int cusUsed = 0;
+    for (auto *cu : plat.gpus()[0].cus) {
+        total += cu->completedWGs();
+        if (cu->completedWGs() > 0)
+            cusUsed++;
+    }
+    EXPECT_EQ(total, 64u);
+    EXPECT_EQ(cusUsed, 4) << "round-robin should use every CU";
+}
+
+TEST(PlatformTest, McmSplitsAcrossChiplets)
+{
+    PlatformConfig cfg = PlatformConfig::mcm4(GpuConfig::tiny());
+    Platform plat(cfg);
+    KernelDescriptor k = simpleKernel(40);
+    plat.launchKernel(&k);
+    EXPECT_EQ(plat.run(), Platform::RunStatus::Completed);
+
+    for (auto &chip : plat.gpus()) {
+        std::uint64_t chipWGs = 0;
+        for (auto *cu : chip.cus)
+            chipWGs += cu->completedWGs();
+        EXPECT_EQ(chipWGs, 10u) << chip.name;
+    }
+}
+
+TEST(PlatformTest, RemoteTrafficFlowsThroughRdma)
+{
+    PlatformConfig cfg = PlatformConfig::mcm4(GpuConfig::tiny());
+    Platform plat(cfg);
+    // Addresses spread across pages: ~3/4 of accesses are remote.
+    KernelDescriptor k;
+    k.name = "scatter";
+    k.numWorkGroups = 32;
+    k.wavefrontsPerWG = 2;
+    k.trace = [](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<WfOp> ops;
+        for (int i = 0; i < 8; i++) {
+            ops.push_back(WfOp::load(
+                0x100000ull +
+                    (static_cast<std::uint64_t>(wg * 16 + wf * 8 + i)) *
+                        4096,
+                64));
+        }
+        return ops;
+    };
+    plat.launchKernel(&k);
+    EXPECT_EQ(plat.run(), Platform::RunStatus::Completed);
+
+    std::uint64_t forwarded = 0;
+    for (auto &chip : plat.gpus()) {
+        forwarded += chip.rdma->fields()
+                         .find("forwarded_out")
+                         ->getter()
+                         .intVal();
+    }
+    EXPECT_GT(forwarded, 0u);
+    EXPECT_GT(plat.network().totalBytes(), 0u);
+}
+
+TEST(PlatformTest, SequentialKernels)
+{
+    PlatformConfig cfg;
+    cfg.numGpus = 1;
+    cfg.gpu = GpuConfig::tiny();
+    Platform plat(cfg);
+    KernelDescriptor k1 = simpleKernel(8);
+    KernelDescriptor k2 = simpleKernel(8);
+    KernelDescriptor k3 = simpleKernel(8);
+    plat.launchKernel(&k1);
+    plat.launchKernel(&k2);
+    plat.launchKernel(&k3);
+    EXPECT_EQ(plat.run(), Platform::RunStatus::Completed);
+    EXPECT_EQ(plat.driver().kernelsCompleted(), 3u);
+}
+
+TEST(PlatformTest, LaunchAfterRunContinues)
+{
+    PlatformConfig cfg;
+    cfg.numGpus = 1;
+    cfg.gpu = GpuConfig::tiny();
+    Platform plat(cfg);
+    KernelDescriptor k = simpleKernel(4);
+    plat.launchKernel(&k);
+    plat.run();
+    sim::VTime t1 = plat.engine().now();
+
+    KernelDescriptor k2 = simpleKernel(4);
+    plat.launchKernel(&k2);
+    EXPECT_EQ(plat.run(), Platform::RunStatus::Completed);
+    EXPECT_GT(plat.engine().now(), t1);
+    EXPECT_EQ(plat.driver().kernelsCompleted(), 2u);
+}
+
+TEST(PlatformTest, EmptyKernelCompletesImmediately)
+{
+    PlatformConfig cfg;
+    cfg.numGpus = 1;
+    cfg.gpu = GpuConfig::tiny();
+    Platform plat(cfg);
+    KernelDescriptor k;
+    k.name = "empty";
+    k.numWorkGroups = 0;
+    plat.launchKernel(&k);
+    EXPECT_EQ(plat.run(), Platform::RunStatus::Completed);
+}
+
+TEST(PlatformTest, LegacyL2BugHangsPlatform)
+{
+    PlatformConfig cfg = PlatformConfig::mcm4(GpuConfig::tiny());
+    cfg.legacyL2Deadlock = true;
+    // Tighten the L2 queues so the historic deadlock triggers quickly.
+    cfg.gpu.l2.numSets = 1;
+    cfg.gpu.l2.ways = 4;
+    cfg.gpu.l2.wbInCapacity = 2;
+    cfg.gpu.l2.installCapacity = 2;
+    cfg.gpu.l2.wbFetchedCapacity = 2;
+    cfg.gpu.l2.dramWriteInflightMax = 1;
+
+    Platform plat(cfg);
+    workloads::TransposeParams tp;
+    tp.n = 256;
+    auto k = workloads::makeTranspose(tp);
+    plat.launchKernel(&k);
+    EXPECT_EQ(plat.run(), Platform::RunStatus::Hung);
+
+    // The hang's visible signature: buffer residue somewhere.
+    std::size_t residue = 0;
+    for (auto *c : plat.components()) {
+        for (auto *b : c->buffers())
+            residue += b->size();
+    }
+    EXPECT_GT(residue, 0u);
+}
+
+TEST(PlatformTest, ProgressListenerReceivesLifecycle)
+{
+    class Listener : public KernelProgressListener
+    {
+      public:
+        void
+        kernelStarted(std::uint64_t, const std::string &name,
+                      std::uint64_t total) override
+        {
+            startedName = name;
+            startedTotal = total;
+        }
+
+        void
+        kernelProgress(std::uint64_t, std::uint64_t completed,
+                       std::uint64_t ongoing) override
+        {
+            lastCompleted = completed;
+            maxOngoing = std::max(maxOngoing, ongoing);
+            updates++;
+        }
+
+        void kernelFinished(std::uint64_t) override { finished++; }
+
+        std::string startedName;
+        std::uint64_t startedTotal = 0;
+        std::uint64_t lastCompleted = 0;
+        std::uint64_t maxOngoing = 0;
+        int updates = 0;
+        int finished = 0;
+    };
+
+    PlatformConfig cfg;
+    cfg.numGpus = 1;
+    cfg.gpu = GpuConfig::tiny();
+    Platform plat(cfg);
+    Listener listener;
+    plat.driver().setProgressListener(&listener);
+
+    KernelDescriptor k = simpleKernel(32);
+    plat.launchKernel(&k);
+    plat.run();
+
+    EXPECT_EQ(listener.startedName, "simple");
+    EXPECT_EQ(listener.startedTotal, 32u);
+    EXPECT_EQ(listener.lastCompleted, 32u);
+    EXPECT_GT(listener.updates, 1);
+    EXPECT_GT(listener.maxOngoing, 0u);
+    EXPECT_EQ(listener.finished, 1);
+}
+
+TEST(PlatformTest, DeterministicAcrossRuns)
+{
+    auto runOnce = []() {
+        PlatformConfig cfg = PlatformConfig::mcm4(GpuConfig::tiny());
+        Platform plat(cfg);
+        KernelDescriptor k = simpleKernel(24);
+        plat.launchKernel(&k);
+        plat.run();
+        return std::make_pair(plat.engine().now(),
+                              plat.engine().eventCount());
+    };
+    auto a = runOnce();
+    auto b = runOnce();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(PlatformTest, ComponentNamingMatchesPaperConvention)
+{
+    PlatformConfig cfg = PlatformConfig::mcm4(GpuConfig::tiny());
+    Platform plat(cfg);
+
+    std::set<std::string> names;
+    for (auto *c : plat.components())
+        names.insert(c->name());
+
+    EXPECT_TRUE(names.count("Driver"));
+    EXPECT_TRUE(names.count("GPU[1].SA[0].L1VROB[0]"));
+    EXPECT_TRUE(names.count("GPU[3].SA[1].L1VAddrTrans[1]"));
+    EXPECT_TRUE(names.count("GPU[0].SA[0].L1VCache[0]"));
+    EXPECT_TRUE(names.count("GPU[2].RDMA"));
+    EXPECT_TRUE(names.count("GPU[0].L2[0]"));
+    EXPECT_TRUE(names.count("GPU[0].DRAM[1]"));
+
+    // Buffer naming must match Fig. 3's strings.
+    auto *rob = plat.gpus()[1].robs[0];
+    EXPECT_EQ(rob->topPort()->buf().name(),
+              "GPU[1].SA[0].L1VROB[0].TopPort.Buf");
+}
+
+TEST(GpuConfigTest, R9NanoShape)
+{
+    GpuConfig cfg = GpuConfig::r9nano();
+    EXPECT_EQ(cfg.numSAs * cfg.cusPerSA, 64u); // 64 CUs.
+    // 16 KB L1: sets * ways * 64 B.
+    EXPECT_EQ(cfg.l1.numSets * cfg.l1.ways * 64, 16u * 1024u);
+    // 2 MB L2 across banks.
+    EXPECT_EQ(cfg.numL2Banks * cfg.l2.numSets * cfg.l2.ways * 64,
+              2u * 1024u * 1024u);
+}

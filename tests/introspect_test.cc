@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the introspection layer (Value, FieldSet, Inspectable).
+ */
+
+#include <gtest/gtest.h>
+
+#include "introspect/field.hh"
+#include "introspect/value.hh"
+
+using akita::introspect::FieldSet;
+using akita::introspect::Inspectable;
+using akita::introspect::Value;
+
+TEST(Value, NullDefault)
+{
+    Value v;
+    EXPECT_TRUE(v.isNull());
+    EXPECT_EQ(v.numeric(), 0.0);
+    EXPECT_STREQ(v.typeName(), "null");
+}
+
+TEST(Value, ScalarKinds)
+{
+    EXPECT_EQ(Value::ofBool(true).numeric(), 1.0);
+    EXPECT_EQ(Value::ofBool(false).numeric(), 0.0);
+    EXPECT_EQ(Value::ofInt(-7).intVal(), -7);
+    EXPECT_EQ(Value::ofInt(-7).numeric(), -7.0);
+    EXPECT_DOUBLE_EQ(Value::ofFloat(2.5).numeric(), 2.5);
+    EXPECT_EQ(Value::ofStr("x").strVal(), "x");
+    EXPECT_EQ(Value::ofStr("x").numeric(), 0.0);
+}
+
+TEST(Value, TypeNames)
+{
+    EXPECT_STREQ(Value::ofBool(true).typeName(), "bool");
+    EXPECT_STREQ(Value::ofInt(1).typeName(), "int");
+    EXPECT_STREQ(Value::ofFloat(1).typeName(), "float");
+    EXPECT_STREQ(Value::ofStr("").typeName(), "string");
+    EXPECT_STREQ(Value::ofList({}).typeName(), "list");
+    EXPECT_STREQ(Value::ofDict({}).typeName(), "dict");
+}
+
+TEST(Value, ContainerSizeIsNumericProjection)
+{
+    // The paper: "for containers such as lists and dictionaries, the
+    // plot shows the container sizes".
+    Value list = Value::ofList({Value::ofInt(1), Value::ofInt(2)});
+    EXPECT_EQ(list.numeric(), 2.0);
+
+    Value dict = Value::ofDict({{"a", Value::ofInt(1)}});
+    EXPECT_EQ(dict.numeric(), 1.0);
+}
+
+TEST(Value, DeclaredSizeOverridesElidedElements)
+{
+    // A container of 1000 entries serialized with only 3 samples must
+    // still plot as 1000.
+    Value v = Value::ofContainer(1000, {Value::ofInt(0), Value::ofInt(1),
+                                        Value::ofInt(2)});
+    EXPECT_EQ(v.size(), 1000);
+    EXPECT_EQ(v.numeric(), 1000.0);
+    EXPECT_EQ(v.items().size(), 3u);
+}
+
+TEST(FieldSet, DeclareAndFind)
+{
+    FieldSet fs;
+    int x = 5;
+    fs.declare("x", [&x]() { return Value::ofInt(x); });
+    ASSERT_NE(fs.find("x"), nullptr);
+    EXPECT_EQ(fs.find("x")->getter().intVal(), 5);
+    x = 9;
+    EXPECT_EQ(fs.find("x")->getter().intVal(), 9);
+    EXPECT_EQ(fs.find("missing"), nullptr);
+}
+
+TEST(FieldSet, RedeclareReplacesGetter)
+{
+    FieldSet fs;
+    fs.declare("f", []() { return Value::ofInt(1); });
+    fs.declare("f", []() { return Value::ofInt(2); });
+    EXPECT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs.find("f")->getter().intVal(), 2);
+}
+
+TEST(FieldSet, DeclarationOrderPreserved)
+{
+    FieldSet fs;
+    fs.declare("b", []() { return Value(); });
+    fs.declare("a", []() { return Value(); });
+    fs.declare("c", []() { return Value(); });
+    ASSERT_EQ(fs.all().size(), 3u);
+    EXPECT_EQ(fs.all()[0].name, "b");
+    EXPECT_EQ(fs.all()[1].name, "a");
+    EXPECT_EQ(fs.all()[2].name, "c");
+}
+
+TEST(FieldSet, TypedConvenienceDeclarations)
+{
+    FieldSet fs;
+    std::int64_t i = 3;
+    double d = 1.5;
+    bool b = true;
+    std::string s = "str";
+    fs.declareInt("i", &i);
+    fs.declareFloat("d", &d);
+    fs.declareBool("b", &b);
+    fs.declareStr("s", &s);
+
+    EXPECT_EQ(fs.find("i")->getter().intVal(), 3);
+    EXPECT_DOUBLE_EQ(fs.find("d")->getter().floatVal(), 1.5);
+    EXPECT_TRUE(fs.find("b")->getter().boolVal());
+    EXPECT_EQ(fs.find("s")->getter().strVal(), "str");
+
+    i = 10;
+    s = "mut";
+    EXPECT_EQ(fs.find("i")->getter().intVal(), 10);
+    EXPECT_EQ(fs.find("s")->getter().strVal(), "mut");
+}
+
+namespace
+{
+
+class Widget : public Inspectable
+{
+  public:
+    Widget()
+    {
+        declareField("count",
+                     [this]() { return Value::ofInt(count_); });
+    }
+
+    void bump() { count_++; }
+
+  private:
+    std::int64_t count_ = 0;
+};
+
+} // namespace
+
+TEST(Inspectable, FieldsReflectLiveState)
+{
+    Widget w;
+    EXPECT_EQ(w.fields().find("count")->getter().intVal(), 0);
+    w.bump();
+    w.bump();
+    EXPECT_EQ(w.fields().find("count")->getter().intVal(), 2);
+}
+
+TEST(Inspectable, LateRegistrationThroughMutableFields)
+{
+    Widget w;
+    w.mutableFields().declare("extra",
+                              []() { return Value::ofStr("late"); });
+    EXPECT_EQ(w.fields().size(), 2u);
+    EXPECT_EQ(w.fields().find("extra")->getter().strVal(), "late");
+}

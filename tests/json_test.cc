@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the JSON library: value model, parser, serializer,
+ * round-trip properties, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "json/json.hh"
+
+using akita::json::Json;
+using akita::json::ParseError;
+
+TEST(JsonValue, NullByDefault)
+{
+    Json j;
+    EXPECT_TRUE(j.isNull());
+    EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(JsonValue, Booleans)
+{
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_TRUE(Json(true).boolVal());
+}
+
+TEST(JsonValue, Integers)
+{
+    EXPECT_EQ(Json(0).dump(), "0");
+    EXPECT_EQ(Json(-17).dump(), "-17");
+    EXPECT_EQ(Json(std::int64_t{1} << 62).dump(),
+              std::to_string(std::int64_t{1} << 62));
+}
+
+TEST(JsonValue, Floats)
+{
+    Json j(1.5);
+    EXPECT_TRUE(j.isFloat());
+    EXPECT_DOUBLE_EQ(Json::parse(j.dump()).numberVal(), 1.5);
+}
+
+TEST(JsonValue, NanSerializesAsNull)
+{
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(JsonValue, Strings)
+{
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+    EXPECT_EQ(Json("a\"b\\c\n").dump(), "\"a\\\"b\\\\c\\n\"");
+}
+
+TEST(JsonValue, ControlCharsEscaped)
+{
+    std::string s = "x";
+    s.push_back('\x01');
+    EXPECT_EQ(Json(s).dump(), "\"x\\u0001\"");
+}
+
+TEST(JsonObject, InsertionOrderPreserved)
+{
+    Json obj = Json::object();
+    obj.set("zebra", 1);
+    obj.set("alpha", 2);
+    obj.set("mid", 3);
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonObject, SetReplacesExisting)
+{
+    Json obj = Json::object();
+    obj.set("k", 1);
+    obj.set("k", 2);
+    EXPECT_EQ(obj.size(), 1u);
+    EXPECT_EQ(obj.getInt("k", 0), 2);
+}
+
+TEST(JsonObject, GettersWithDefaults)
+{
+    Json obj = Json::object();
+    obj.set("i", 42);
+    obj.set("s", "str");
+    obj.set("b", true);
+    obj.set("f", 2.5);
+    EXPECT_EQ(obj.getInt("i", -1), 42);
+    EXPECT_EQ(obj.getInt("missing", -1), -1);
+    EXPECT_EQ(obj.getStr("s", "d"), "str");
+    EXPECT_EQ(obj.getStr("missing", "d"), "d");
+    EXPECT_TRUE(obj.getBool("b", false));
+    EXPECT_DOUBLE_EQ(obj.getNumber("f", 0), 2.5);
+    EXPECT_DOUBLE_EQ(obj.getNumber("i", 0), 42.0);
+}
+
+TEST(JsonArray, PushAndAt)
+{
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push("two");
+    arr.push(Json::object());
+    EXPECT_EQ(arr.size(), 3u);
+    EXPECT_EQ(arr.at(0).intVal(), 1);
+    EXPECT_EQ(arr.at(1).strVal(), "two");
+    EXPECT_TRUE(arr.at(2).isObject());
+    EXPECT_THROW(arr.at(3), std::out_of_range);
+}
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_TRUE(Json::parse("true").boolVal());
+    EXPECT_FALSE(Json::parse("false").boolVal());
+    EXPECT_EQ(Json::parse("123").intVal(), 123);
+    EXPECT_EQ(Json::parse("-5").intVal(), -5);
+    EXPECT_DOUBLE_EQ(Json::parse("1e3").numberVal(), 1000.0);
+    EXPECT_DOUBLE_EQ(Json::parse("-2.5E-1").numberVal(), -0.25);
+    EXPECT_EQ(Json::parse("\"abc\"").strVal(), "abc");
+}
+
+TEST(JsonParse, Whitespace)
+{
+    Json j = Json::parse("  {\n\t\"a\" : [ 1 , 2 ] }\r\n");
+    EXPECT_EQ(j.get("a")->size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures)
+{
+    Json j = Json::parse(R"({"a":{"b":[{"c":1},{"c":2}]},"d":null})");
+    ASSERT_NE(j.get("a"), nullptr);
+    const Json *b = j.get("a")->get("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->at(1).getInt("c", 0), 2);
+    EXPECT_TRUE(j.get("d")->isNull());
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(Json::parse(R"("a\nb")").strVal(), "a\nb");
+    EXPECT_EQ(Json::parse(R"("q\"q")").strVal(), "q\"q");
+    EXPECT_EQ(Json::parse(R"("A")").strVal(), "A");
+    EXPECT_EQ(Json::parse(R"("é")").strVal(), "\xc3\xa9");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(Json::parse(R"("😀")").strVal(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, IntOverflowFallsBackToDouble)
+{
+    Json j = Json::parse("99999999999999999999999999");
+    EXPECT_TRUE(j.isFloat());
+    EXPECT_GT(j.numberVal(), 9e25);
+}
+
+struct BadInput
+{
+    const char *text;
+    const char *why;
+};
+
+class JsonMalformed : public ::testing::TestWithParam<BadInput>
+{
+};
+
+TEST_P(JsonMalformed, Rejected)
+{
+    EXPECT_THROW(Json::parse(GetParam().text), ParseError)
+        << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonMalformed,
+    ::testing::Values(
+        BadInput{"", "empty input"},
+        BadInput{"{", "unterminated object"},
+        BadInput{"[1,2", "unterminated array"},
+        BadInput{"[1,]", "trailing comma"},
+        BadInput{"{\"a\":}", "missing value"},
+        BadInput{"{\"a\" 1}", "missing colon"},
+        BadInput{"{a:1}", "unquoted key"},
+        BadInput{"\"abc", "unterminated string"},
+        BadInput{"\"\\x\"", "bad escape"},
+        BadInput{"\"\\u12g4\"", "bad unicode escape"},
+        BadInput{"01", "leading zero then trailing digit"},
+        BadInput{"1.", "no digit after decimal point"},
+        BadInput{"1e", "no digit in exponent"},
+        BadInput{"+1", "leading plus"},
+        BadInput{"tru", "truncated literal"},
+        BadInput{"nulll", "trailing garbage"},
+        BadInput{"1 2", "two documents"},
+        BadInput{"\"a\nb\"", "raw control char in string"}));
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity)
+{
+    Json a = Json::parse(GetParam());
+    Json b = Json::parse(a.dump());
+    EXPECT_EQ(a, b) << GetParam();
+    // Pretty-printing must also round-trip.
+    Json c = Json::parse(a.dump(2));
+    EXPECT_EQ(a, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonRoundTrip,
+    ::testing::Values(
+        "null", "true", "0", "-1", "3.25", "\"\"", "\"text\"", "[]",
+        "{}", "[null,true,1,\"x\",[],{}]",
+        R"({"a":1,"b":[2,3],"c":{"d":"e"},"f":null})",
+        R"({"deep":[[[[[1]]]]]})",
+        R"(["backslash and quote","\\","\""])",
+        R"({"nums":[0.5,1e10,-3.125,1234567890123456789]})"));
+
+TEST(JsonEquality, NumericCrossTypeComparison)
+{
+    EXPECT_EQ(Json(1), Json(1.0));
+    EXPECT_NE(Json(1), Json(1.5));
+    EXPECT_NE(Json(1), Json("1"));
+}
+
+TEST(JsonParse, DeepNestingRejected)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_THROW(Json::parse(deep), ParseError);
+}
+
+TEST(JsonDump, PrettyPrint)
+{
+    Json obj = Json::object();
+    obj.set("a", 1);
+    std::string pretty = obj.dump(2);
+    EXPECT_NE(pretty.find("\n"), std::string::npos);
+    EXPECT_NE(pretty.find("  \"a\": 1"), std::string::npos);
+}

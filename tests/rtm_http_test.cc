@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Integration tests: a live monitored simulation queried over HTTP —
+ * the full AkitaRTM stack end to end, including the case-study-2
+ * debugging workflow (hang detection, buffer residue, per-component
+ * tick) and the pause/resume determinism property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gpu/platform.hh"
+#include "json/json.hh"
+#include "rtm/monitor.hh"
+#include "web/client.hh"
+#include "workloads/workloads.hh"
+
+using namespace akita;
+using akita::json::Json;
+
+namespace
+{
+
+gpu::KernelDescriptor
+smallKernel(std::uint32_t wgs)
+{
+    gpu::KernelDescriptor k;
+    k.name = "small";
+    k.numWorkGroups = wgs;
+    k.wavefrontsPerWG = 2;
+    k.trace = [](std::uint32_t wg, std::uint32_t wf) {
+        std::vector<gpu::WfOp> ops;
+        for (int i = 0; i < 4; i++) {
+            ops.push_back(gpu::WfOp::load(
+                0x10000ull + (wg * 64 + wf * 16 + i) * 4096, 64, 2));
+        }
+        return ops;
+    };
+    return k;
+}
+
+/** Platform + monitor + server, sim running on a worker thread. */
+struct LiveRig
+{
+    gpu::Platform plat;
+    rtm::Monitor mon;
+    std::thread simThread;
+
+    explicit LiveRig(gpu::PlatformConfig cfg =
+                         gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()))
+        : plat(cfg), mon(quietConfig())
+    {
+        mon.registerEngine(&plat.engine());
+        for (auto *c : plat.components())
+            mon.registerComponent(c);
+        plat.driver().setProgressListener(&mon);
+        EXPECT_TRUE(mon.startServer());
+    }
+
+    static rtm::MonitorConfig
+    quietConfig()
+    {
+        rtm::MonitorConfig cfg;
+        cfg.announceUrl = false;
+        cfg.sampleIntervalMs = 10;
+        cfg.hangThresholdSec = 0.2;
+        return cfg;
+    }
+
+    void
+    runAsync()
+    {
+        simThread = std::thread([this]() { plat.run(); });
+    }
+
+    void
+    join()
+    {
+        if (simThread.joinable())
+            simThread.join();
+    }
+
+    ~LiveRig()
+    {
+        plat.engine().stop();
+        join();
+        mon.stopServer();
+    }
+
+    web::HttpClient
+    client() const
+    {
+        return web::HttpClient("127.0.0.1", mon.serverPort());
+    }
+};
+
+Json
+getJson(const web::HttpClient &c, const std::string &target)
+{
+    auto r = c.get(target);
+    EXPECT_TRUE(r.has_value()) << target;
+    EXPECT_EQ(r->status, 200) << target << ": " << r->body;
+    return Json::parse(r->body);
+}
+
+} // namespace
+
+TEST(RtmHttp, StatusProgressAndCompletion)
+{
+    LiveRig rig;
+    auto k = smallKernel(64);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+
+    // Poll until completion; progress bars must reach 64/64.
+    for (int i = 0; i < 500; i++) {
+        Json bars = getJson(c, "/api/progress");
+        if (bars.size() == 1 &&
+            bars.at(0).getInt("completed", 0) == 64)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    rig.join();
+
+    Json bars = getJson(c, "/api/progress");
+    ASSERT_EQ(bars.size(), 1u);
+    EXPECT_EQ(bars.at(0).getStr("label"), "kernel small");
+    EXPECT_EQ(bars.at(0).getInt("completed", 0), 64);
+    EXPECT_EQ(bars.at(0).getInt("not_started", -1), 0);
+
+    Json status = getJson(c, "/api/status");
+    EXPECT_GT(status.getInt("now_ps", 0), 0);
+    EXPECT_GT(status.getInt("events", 0), 0);
+}
+
+TEST(RtmHttp, ComponentHierarchyAndSnapshot)
+{
+    LiveRig rig;
+    auto c = rig.client();
+
+    Json tree = getJson(c, "/api/components");
+    ASSERT_NE(tree.get("children"), nullptr);
+    // Root children include Driver, GPU[0..3], Network is not a
+    // component (it is a connection), so expect 5 nodes.
+    EXPECT_GE(tree.get("children")->size(), 5u);
+
+    Json comp = getJson(
+        c, "/api/component?name=GPU%5B0%5D.SA%5B0%5D.L1VCache%5B0%5D");
+    EXPECT_EQ(comp.getStr("name"), "GPU[0].SA[0].L1VCache[0]");
+    bool hasMshrCap = false;
+    for (const auto &f : comp.get("fields")->items()) {
+        if (f.getStr("name") == "mshr_capacity") {
+            hasMshrCap = true;
+            EXPECT_EQ(f.getInt("value", 0), 16);
+        }
+    }
+    EXPECT_TRUE(hasMshrCap);
+
+    auto missing = c.get("/api/component?name=Ghost");
+    EXPECT_EQ(missing->status, 404);
+    auto noName = c.get("/api/component");
+    EXPECT_EQ(noName->status, 400);
+}
+
+TEST(RtmHttp, BufferAnalyzerDuringLoad)
+{
+    LiveRig rig;
+    auto k = smallKernel(256);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+
+    // While the simulation runs, the analyzer must report rows with the
+    // Fig. 3 columns and honour sort/top parameters.
+    Json rows = getJson(c, "/api/buffers?sort=percent&top=10");
+    EXPECT_LE(rows.size(), 10u);
+    if (rows.size() >= 2) {
+        EXPECT_GE(rows.at(0).getNumber("percent", 0),
+                  rows.at(1).getNumber("percent", 0));
+    }
+    rig.join();
+
+    rows = getJson(c, "/api/buffers?sort=size&top=5");
+    for (const auto &row : rows.items()) {
+        EXPECT_FALSE(row.getStr("buffer").empty());
+        EXPECT_GE(row.getInt("cap", 0), row.getInt("size", 0));
+    }
+}
+
+TEST(RtmHttp, ValueMonitoringOverHttp)
+{
+    LiveRig rig;
+    auto k = smallKernel(512);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+
+    auto track = c.post(
+        "/api/monitor/track?component=GPU%5B0%5D.RDMA&field=transactions",
+        "");
+    ASSERT_TRUE(track.has_value());
+    ASSERT_EQ(track->status, 200) << track->body;
+    std::int64_t id = Json::parse(track->body).getInt("id", 0);
+    ASSERT_GT(id, 0);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    Json series = getJson(c, "/api/monitor/series?id=" +
+                                 std::to_string(id));
+    EXPECT_EQ(series.getStr("component"), "GPU[0].RDMA");
+    EXPECT_GE(series.get("points")->size(), 2u);
+
+    auto untrack =
+        c.post("/api/monitor/untrack?id=" + std::to_string(id), "");
+    EXPECT_EQ(untrack->status, 200);
+    auto gone = c.get("/api/monitor/series?id=" + std::to_string(id));
+    EXPECT_EQ(gone->status, 404);
+
+    rig.join();
+}
+
+TEST(RtmHttp, PauseFreezesVirtualTime)
+{
+    LiveRig rig;
+    auto k = smallKernel(2048);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_EQ(c.post("/api/pause", "")->status, 200);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    std::int64_t t1 = getJson(c, "/api/status").getInt("now_ps", 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::int64_t t2 = getJson(c, "/api/status").getInt("now_ps", 0);
+    EXPECT_EQ(t1, t2) << "virtual time advanced while paused";
+    EXPECT_TRUE(getJson(c, "/api/status").getBool("paused", false));
+
+    EXPECT_EQ(c.post("/api/resume", "")->status, 200);
+    rig.join();
+    std::int64_t t3 = getJson(c, "/api/status").getInt("now_ps", 0);
+    EXPECT_GT(t3, t2);
+}
+
+TEST(RtmHttp, ProfilerEndpoints)
+{
+    LiveRig rig;
+    auto k = smallKernel(256);
+    rig.plat.launchKernel(&k);
+    auto c = rig.client();
+
+    EXPECT_EQ(c.post("/api/profile/start", "")->status, 200);
+    rig.runAsync();
+    rig.join();
+
+    Json prof = getJson(c, "/api/profile?top=10");
+    EXPECT_TRUE(prof.getBool("enabled", false));
+    ASSERT_GT(prof.get("functions")->size(), 0u);
+    // Tick handlers of simulated components must appear.
+    bool sawTick = false;
+    for (const auto &f : prof.get("functions")->items()) {
+        if (f.getStr("name").find("::tick") != std::string::npos)
+            sawTick = true;
+        EXPECT_GE(f.getInt("total_ns", 0), f.getInt("self_ns", 0));
+    }
+    EXPECT_TRUE(sawTick);
+    EXPECT_EQ(c.post("/api/profile/stop", "")->status, 200);
+}
+
+TEST(RtmHttp, DashboardServed)
+{
+    LiveRig rig;
+    auto c = rig.client();
+    auto r = c.get("/");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, 200);
+    EXPECT_NE(r->body.find("AkitaRTM"), std::string::npos);
+    EXPECT_NE(r->body.find("/api/status"), std::string::npos);
+}
+
+TEST(RtmHttp, CaseStudy2HangWorkflow)
+{
+    // The paper's second case study over the real API: the legacy L2
+    // deadlock fires; the dashboard detects the hang; buffer residue
+    // points at the L2; per-component Tick wakes components but cannot
+    // resolve a true deadlock.
+    gpu::PlatformConfig cfg =
+        gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny());
+    cfg.legacyL2Deadlock = true;
+    cfg.gpu.l2.numSets = 1;
+    cfg.gpu.l2.ways = 4;
+    cfg.gpu.l2.wbInCapacity = 2;
+    cfg.gpu.l2.installCapacity = 2;
+    cfg.gpu.l2.wbFetchedCapacity = 2;
+    cfg.gpu.l2.dramWriteInflightMax = 1;
+
+    LiveRig rig(cfg);
+    workloads::TransposeParams tp;
+    tp.n = 128;
+    auto k = workloads::makeTranspose(tp);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+
+    // Wait for the hang signature: frozen time + drained queue.
+    bool hangSeen = false;
+    for (int i = 0; i < 600 && !hangSeen; i++) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        Json st = getJson(c, "/api/status");
+        hangSeen = st.get("hang")->getBool("hanging", false) &&
+                   st.get("hang")->getBool("queue_drained", false);
+    }
+    ASSERT_TRUE(hangSeen) << "hang was not detected";
+
+    // Bottleneck analyzer: non-empty buffers identify stuck components.
+    Json rows = getJson(c, "/api/buffers?sort=size&top=50");
+    bool l2Residue = false;
+    for (const auto &row : rows.items()) {
+        if (row.getInt("size", 0) > 0 &&
+            row.getStr("buffer").find(".L2[") != std::string::npos)
+            l2Residue = true;
+    }
+    EXPECT_TRUE(l2Residue) << "L2 buffers should hold residue";
+
+    // The Tick button wakes a component; the engine revives briefly
+    // but the deadlock persists (time stays frozen afterwards).
+    std::int64_t tBefore = getJson(c, "/api/status").getInt("now_ps", 0);
+    auto tick = c.post("/api/tick?component=GPU%5B0%5D.L2%5B0%5D", "");
+    EXPECT_EQ(tick->status, 200);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::int64_t tAfter = getJson(c, "/api/status").getInt("now_ps", 0);
+    EXPECT_GE(tAfter, tBefore);
+    EXPECT_LE(tAfter - tBefore, 10000) << "a kicked deadlock must not "
+                                          "make real progress";
+
+    rig.plat.engine().stop();
+    rig.join();
+}
+
+TEST(RtmHttp, MonitoredRunIsDeterministic)
+{
+    // Attaching the monitor (and polling it) must not change simulated
+    // behavior: final virtual time equals an unmonitored run.
+    sim::VTime unmonitored;
+    {
+        gpu::Platform plat(
+            gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()));
+        auto k = smallKernel(64);
+        plat.launchKernel(&k);
+        plat.run();
+        unmonitored = plat.engine().now();
+    }
+
+    LiveRig rig;
+    auto k = smallKernel(64);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+    for (int i = 0; i < 50; i++) {
+        c.get("/api/status");
+        c.get("/api/buffers?sort=percent&top=10");
+        c.get("/api/component?name=GPU%5B0%5D.RDMA");
+    }
+    rig.join();
+    EXPECT_EQ(rig.plat.engine().now(), unmonitored);
+}

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the simulation core: time, frequencies, the event
+ * queue, and the serial engine (including pause/resume, stop,
+ * wait-when-empty, and concurrent access).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sim/engine.hh"
+#include "sim/event.hh"
+#include "sim/time.hh"
+
+using namespace akita::sim;
+
+TEST(Time, Constants)
+{
+    EXPECT_EQ(kNanosecond, 1000u);
+    EXPECT_EQ(kSecond, 1000000000000ull);
+    EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(toSeconds(kMillisecond), 1e-3);
+}
+
+TEST(Time, Format)
+{
+    EXPECT_EQ(formatTime(500), "500 ps");
+    EXPECT_EQ(formatTime(1500), "1.500 ns");
+    EXPECT_EQ(formatTime(2 * kMicrosecond), "2.000 us");
+    EXPECT_EQ(formatTime(3 * kMillisecond), "3.000 ms");
+    EXPECT_EQ(formatTime(kSecond), "1.000000 s");
+}
+
+TEST(Freq, GhzPeriod)
+{
+    EXPECT_EQ(Freq::ghz(1).period(), 1000u);
+    EXPECT_EQ(Freq::ghz(2).period(), 500u);
+    EXPECT_EQ(Freq::mhz(500).period(), 2000u);
+    EXPECT_DOUBLE_EQ(Freq::ghz(1).hz(), 1e9);
+}
+
+TEST(Freq, TickAlignment)
+{
+    Freq f = Freq::ghz(1); // 1000 ps period.
+    EXPECT_EQ(f.thisTick(0), 0u);
+    EXPECT_EQ(f.thisTick(999), 0u);
+    EXPECT_EQ(f.thisTick(1000), 1000u);
+    EXPECT_EQ(f.nextTick(0), 1000u);
+    EXPECT_EQ(f.nextTick(1000), 2000u);
+    EXPECT_EQ(f.nextTick(1001), 2000u);
+    EXPECT_EQ(f.nCyclesLater(1500, 3), 4000u);
+    EXPECT_EQ(f.cycles(5500), 5u);
+}
+
+TEST(Freq, ZeroSafe)
+{
+    EXPECT_GE(Freq::ghz(0).period(), 1u);
+    EXPECT_GE(Freq::mhz(0).period(), 1u);
+    EXPECT_GE(Freq::fromPeriod(0).period(), 1u);
+}
+
+namespace
+{
+
+class Recorder : public EventHandler
+{
+  public:
+    void handle(Event &e) override { times.push_back(e.time()); }
+
+    std::string handlerName() const override { return "Recorder"; }
+
+    std::vector<VTime> times;
+};
+
+} // namespace
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    Recorder r;
+    q.push(std::make_unique<Event>(30, &r));
+    q.push(std::make_unique<Event>(10, &r));
+    q.push(std::make_unique<Event>(20, &r));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop()->time(), 10u);
+    EXPECT_EQ(q.pop()->time(), 20u);
+    EXPECT_EQ(q.pop()->time(), 30u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoAmongEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; i++) {
+        q.push(std::make_unique<FuncEvent>(
+            100, "f", [&order, i]() { order.push_back(i); }));
+    }
+    while (!q.empty()) {
+        EventPtr e = q.pop();
+        e->handler()->handle(*e);
+    }
+    for (int i = 0; i < 8; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, SecondaryAfterPrimary)
+{
+    EventQueue q;
+    std::vector<char> order;
+    q.push(std::make_unique<FuncEvent>(
+        100, "s", [&order]() { order.push_back('s'); }, true));
+    q.push(std::make_unique<FuncEvent>(
+        100, "p", [&order]() { order.push_back('p'); }, false));
+    while (!q.empty()) {
+        EventPtr e = q.pop();
+        e->handler()->handle(*e);
+    }
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 'p');
+    EXPECT_EQ(order[1], 's');
+}
+
+TEST(EventQueue, StressOrderingProperty)
+{
+    // Pseudo-random times must come out sorted.
+    EventQueue q;
+    Recorder r;
+    std::uint64_t state = 12345;
+    for (int i = 0; i < 2000; i++) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        q.push(std::make_unique<Event>(state % 1000, &r));
+    }
+    VTime prev = 0;
+    while (!q.empty()) {
+        VTime t = q.pop()->time();
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(SerialEngine, RunsEventsInOrder)
+{
+    SerialEngine eng;
+    std::vector<VTime> seen;
+    for (VTime t : {400u, 100u, 300u, 200u}) {
+        eng.scheduleAt(t, "t", [&seen, &eng]() {
+            seen.push_back(eng.now());
+        });
+    }
+    EXPECT_EQ(eng.run(), RunResult::Drained);
+    ASSERT_EQ(seen.size(), 4u);
+    EXPECT_EQ(seen, (std::vector<VTime>{100, 200, 300, 400}));
+    EXPECT_EQ(eng.now(), 400u);
+    EXPECT_EQ(eng.eventCount(), 4u);
+}
+
+TEST(SerialEngine, HandlersCanScheduleMoreEvents)
+{
+    SerialEngine eng;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        fired++;
+        if (fired < 10)
+            eng.scheduleAt(eng.now() + 10, "chain", chain);
+    };
+    eng.scheduleAt(0, "chain", chain);
+    eng.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(eng.now(), 90u);
+}
+
+TEST(SerialEngine, SchedulingInPastThrows)
+{
+    SerialEngine eng;
+    eng.scheduleAt(100, "x", []() {});
+    eng.run();
+    EXPECT_THROW(eng.scheduleAt(50, "late", []() {}),
+                 std::runtime_error);
+    // Scheduling at exactly now() is allowed.
+    EXPECT_NO_THROW(eng.scheduleAt(100, "now", []() {}));
+}
+
+TEST(SerialEngine, StopAbortsRun)
+{
+    SerialEngine eng;
+    int fired = 0;
+    for (int i = 1; i <= 100; i++) {
+        eng.scheduleAt(static_cast<VTime>(i * 10), "n", [&]() {
+            fired++;
+            if (fired == 5)
+                eng.stop();
+        });
+    }
+    EXPECT_EQ(eng.run(), RunResult::Stopped);
+    EXPECT_EQ(fired, 5);
+    // A later run (after the implicit stop-flag reset) continues.
+    EXPECT_EQ(eng.run(), RunResult::Drained);
+    EXPECT_EQ(fired, 100);
+}
+
+TEST(SerialEngine, PauseAndResumeFromAnotherThread)
+{
+    SerialEngine eng;
+    eng.setConcurrentAccess(true);
+
+    std::atomic<int> fired{0};
+    std::function<void()> chain = [&]() {
+        fired++;
+        if (fired < 10000)
+            eng.scheduleAt(eng.now() + 1, "c", chain);
+    };
+    eng.scheduleAt(0, "c", chain);
+
+    std::thread runner([&]() { eng.run(); });
+
+    // Pause mid-run, observe that progress stops.
+    while (fired.load() < 100)
+        std::this_thread::yield();
+    eng.pause();
+    while (!eng.paused() || false)
+        break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    int atPause = fired.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // At most one in-flight event finishes after pause.
+    EXPECT_LE(fired.load(), atPause + 1);
+
+    eng.resume();
+    runner.join();
+    EXPECT_EQ(fired.load(), 10000);
+}
+
+TEST(SerialEngine, WaitWhenEmptyBlocksAndExternalScheduleRevives)
+{
+    SerialEngine eng;
+    eng.setConcurrentAccess(true);
+    eng.setWaitWhenEmpty(true);
+
+    std::atomic<int> fired{0};
+    eng.scheduleAt(10, "a", [&]() { fired++; });
+
+    std::thread runner([&]() { eng.run(); });
+
+    while (fired.load() < 1)
+        std::this_thread::yield();
+    // Queue drained; engine must block rather than return.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(eng.running());
+    EXPECT_TRUE(eng.drainedWaiting());
+
+    // The RTM "Tick"/kick-start path: an external schedule revives it.
+    eng.scheduleAt(eng.now() + 5, "b", [&]() {
+        fired++;
+        eng.stop();
+    });
+    runner.join();
+    EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(SerialEngine, WithLockGivesConsistentSnapshots)
+{
+    SerialEngine eng;
+    eng.setConcurrentAccess(true);
+
+    // Two counters incremented in the same event must never be observed
+    // out of sync under the lock.
+    std::int64_t a = 0, b = 0;
+    std::function<void()> chain = [&]() {
+        a++;
+        b++;
+        if (a < 20000)
+            eng.scheduleAt(eng.now() + 1, "c", chain);
+    };
+    eng.scheduleAt(0, "c", chain);
+
+    std::thread runner([&]() { eng.run(); });
+    for (int i = 0; i < 200; i++) {
+        eng.withLock([&]() { EXPECT_EQ(a, b); });
+    }
+    runner.join();
+    EXPECT_EQ(a, 20000);
+}
+
+TEST(SerialEngine, HooksInvokedAroundEvents)
+{
+    class CountingHook : public Hook
+    {
+      public:
+        void
+        func(HookCtx &ctx) override
+        {
+            if (ctx.pos == &hookPosBeforeEvent)
+                before++;
+            if (ctx.pos == &hookPosAfterEvent)
+                after++;
+            if (ctx.pos == &hookPosQueueDrained)
+                drained++;
+        }
+
+        int before = 0, after = 0, drained = 0;
+    };
+
+    SerialEngine eng;
+    CountingHook hook;
+    eng.acceptHook(&hook);
+    for (int i = 0; i < 7; i++)
+        eng.scheduleAt(static_cast<VTime>(i), "e", []() {});
+    eng.run();
+    EXPECT_EQ(hook.before, 7);
+    EXPECT_EQ(hook.after, 7);
+    EXPECT_EQ(hook.drained, 1);
+}
+
+TEST(SerialEngine, InspectableFields)
+{
+    SerialEngine eng;
+    eng.scheduleAt(5, "e", []() {});
+    const auto &fields = eng.fields();
+    EXPECT_NE(fields.find("now_ps"), nullptr);
+    EXPECT_EQ(fields.find("queue_len")->getter().intVal(), 1);
+    eng.run();
+    EXPECT_EQ(fields.find("queue_len")->getter().intVal(), 0);
+    EXPECT_EQ(fields.find("total_events")->getter().intVal(), 1);
+    EXPECT_EQ(fields.find("now_ps")->getter().intVal(), 5);
+}
+
+TEST(FuncEvent, CarriesNameForProfiler)
+{
+    FuncEvent e(0, "MyHandler", []() {});
+    EXPECT_EQ(e.handlerName(), "MyHandler");
+}

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the HTTP substrate: wire parsing, URL decoding, routing,
+ * and live server/client round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "web/client.hh"
+#include "web/http.hh"
+#include "web/server.hh"
+
+using namespace akita::web;
+
+TEST(HttpParse, SimpleGet)
+{
+    Request req;
+    std::size_t consumed = 0;
+    std::string raw = "GET /api/time HTTP/1.1\r\nHost: x\r\n\r\n";
+    ASSERT_EQ(parseRequest(raw, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.path, "/api/time");
+    EXPECT_EQ(req.headers.at("host"), "x");
+    EXPECT_EQ(consumed, raw.size());
+}
+
+TEST(HttpParse, QueryParameters)
+{
+    Request req;
+    std::size_t consumed = 0;
+    std::string raw =
+        "GET /api/component?name=GPU%5B0%5D.CP&sort=size&flag "
+        "HTTP/1.1\r\n\r\n";
+    ASSERT_EQ(parseRequest(raw, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.path, "/api/component");
+    EXPECT_EQ(req.queryParam("name"), "GPU[0].CP");
+    EXPECT_EQ(req.queryParam("sort"), "size");
+    EXPECT_EQ(req.queryParam("flag"), "");
+    EXPECT_EQ(req.queryParam("missing", "dflt"), "dflt");
+    EXPECT_EQ(req.queryInt("missing", 7), 7);
+}
+
+TEST(HttpParse, QueryIntParsing)
+{
+    Request req;
+    std::size_t consumed = 0;
+    std::string raw = "GET /x?a=42&b=abc HTTP/1.1\r\n\r\n";
+    ASSERT_EQ(parseRequest(raw, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.queryInt("a", 0), 42);
+    EXPECT_EQ(req.queryInt("b", -1), -1) << "non-numeric uses default";
+}
+
+TEST(HttpParse, PostWithBody)
+{
+    Request req;
+    std::size_t consumed = 0;
+    std::string raw = "POST /api/x HTTP/1.1\r\nContent-Length: 5\r\n"
+                      "Content-Type: application/json\r\n\r\nhello";
+    ASSERT_EQ(parseRequest(raw, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.method, "POST");
+    EXPECT_EQ(req.body, "hello");
+}
+
+TEST(HttpParse, IncompleteNeedsMoreBytes)
+{
+    Request req;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parseRequest("GET /x HTTP/1.1\r\nHost:", req, consumed),
+              ParseResult::Incomplete);
+    EXPECT_EQ(parseRequest("GET /x HTTP/1.1\r\nContent-Length: 10"
+                           "\r\n\r\nabc",
+                           req, consumed),
+              ParseResult::Incomplete);
+    EXPECT_EQ(parseRequest("GE", req, consumed),
+              ParseResult::Incomplete);
+}
+
+TEST(HttpParse, PipelinedRequestsConsumeExactly)
+{
+    Request req;
+    std::size_t consumed = 0;
+    std::string two = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+    ASSERT_EQ(parseRequest(two, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.path, "/a");
+    two.erase(0, consumed);
+    ASSERT_EQ(parseRequest(two, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.path, "/b");
+}
+
+struct BadReq
+{
+    const char *raw;
+    const char *why;
+};
+
+class HttpMalformed : public ::testing::TestWithParam<BadReq>
+{
+};
+
+TEST_P(HttpMalformed, Rejected)
+{
+    Request req;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parseRequest(GetParam().raw, req, consumed),
+              ParseResult::Invalid)
+        << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, HttpMalformed,
+    ::testing::Values(
+        BadReq{"BROKEN\r\n\r\n", "no method/target split"},
+        BadReq{"GET  HTTP/1.1\r\n\r\n", "empty target"},
+        BadReq{"GET x HTTP/1.1\r\n\r\n", "target missing leading /"},
+        BadReq{"GET / SMTP/1.0\r\n\r\n", "not HTTP"},
+        BadReq{"GET / HTTP/1.1\r\nNoColonHeader\r\n\r\n",
+               "header without colon"},
+        BadReq{"GET / HTTP/1.1\r\nContent-Length: -4\r\n\r\n",
+               "negative content length"},
+        BadReq{"GET / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+               "absurd content length"}));
+
+TEST(UrlDecode, Basics)
+{
+    EXPECT_EQ(urlDecode("a%20b"), "a b");
+    EXPECT_EQ(urlDecode("%5B0%5D"), "[0]");
+    EXPECT_EQ(urlDecode("plain"), "plain");
+    EXPECT_EQ(urlDecode("bad%zz"), "bad%zz") << "invalid hex passes through";
+    EXPECT_EQ(urlDecode("%41%42"), "AB");
+}
+
+TEST(HttpResponse, Serialization)
+{
+    Response r = Response::json("{\"a\":1}");
+    std::string wire = r.serialize(true);
+    EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+              std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+
+    Response e = Response::error(404, "nope");
+    std::string ew = e.serialize(false);
+    EXPECT_NE(ew.find("404 Not Found"), std::string::npos);
+    EXPECT_NE(ew.find("Connection: close"), std::string::npos);
+}
+
+TEST(HttpResponse, ClientCanParseServerOutput)
+{
+    Response r = Response::ok("payload");
+    auto parsed = parseResponse(r.serialize(false));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->status, 200);
+    EXPECT_EQ(parsed->body, "payload");
+}
+
+// ---------------------------------------------------------------------
+// Live server tests
+// ---------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        server.route("GET", "/hello", [](const Request &) {
+            return Response::ok("world");
+        });
+        server.route("GET", "/echo", [](const Request &req) {
+            return Response::ok(req.queryParam("msg"));
+        });
+        server.route("POST", "/body", [](const Request &req) {
+            return Response::ok(req.body);
+        });
+        server.route("GET", "/api/tree/*", [](const Request &req) {
+            return Response::ok("prefix:" + req.path);
+        });
+        server.route("GET", "/boom", [](const Request &) -> Response {
+            throw std::runtime_error("kaboom");
+        });
+        ASSERT_TRUE(server.start(0));
+    }
+
+    HttpServer server;
+};
+
+TEST_F(ServerTest, RoundTrip)
+{
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.get("/hello");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, 200);
+    EXPECT_EQ(r->body, "world");
+}
+
+TEST_F(ServerTest, QueryReachesHandler)
+{
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.get("/echo?msg=hi%20there");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->body, "hi there");
+}
+
+TEST_F(ServerTest, PostBody)
+{
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.post("/body", "{\"x\":1}");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->body, "{\"x\":1}");
+}
+
+TEST_F(ServerTest, NotFound)
+{
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.get("/nope");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, 404);
+}
+
+TEST_F(ServerTest, MethodMatters)
+{
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.post("/hello", "");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, 404);
+}
+
+TEST_F(ServerTest, PrefixRoutes)
+{
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.get("/api/tree/a/b/c");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->body, "prefix:/api/tree/a/b/c");
+}
+
+TEST_F(ServerTest, HandlerExceptionBecomes500)
+{
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.get("/boom");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, 500);
+    EXPECT_NE(r->body.find("kaboom"), std::string::npos);
+}
+
+TEST_F(ServerTest, ConcurrentClients)
+{
+    constexpr int kThreads = 8;
+    constexpr int kReqs = 20;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&]() {
+            HttpClient client("127.0.0.1", server.port());
+            for (int i = 0; i < kReqs; i++) {
+                auto r = client.get("/hello");
+                if (r && r->status == 200 && r->body == "world")
+                    ok++;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load(), kThreads * kReqs);
+    EXPECT_GE(server.requestCount(), static_cast<std::uint64_t>(
+                                         kThreads * kReqs));
+}
+
+TEST_F(ServerTest, StopIsIdempotent)
+{
+    server.stop();
+    server.stop();
+    EXPECT_FALSE(server.running());
+    HttpClient client("127.0.0.1", server.port());
+    EXPECT_FALSE(client.get("/hello").has_value());
+}
+
+TEST(ServerLifecycle, EphemeralPortAssigned)
+{
+    HttpServer s;
+    s.route("GET", "/", [](const Request &) {
+        return Response::ok("ok");
+    });
+    ASSERT_TRUE(s.start(0));
+    EXPECT_GT(s.port(), 0);
+    EXPECT_EQ(s.url(), "http://127.0.0.1:" + std::to_string(s.port()));
+    s.stop();
+}
+
+TEST(ServerLifecycle, TwoServersCoexist)
+{
+    HttpServer a, b;
+    a.route("GET", "/", [](const Request &) {
+        return Response::ok("a");
+    });
+    b.route("GET", "/", [](const Request &) {
+        return Response::ok("b");
+    });
+    ASSERT_TRUE(a.start(0));
+    ASSERT_TRUE(b.start(0));
+    EXPECT_NE(a.port(), b.port());
+    HttpClient ca("127.0.0.1", a.port()), cb("127.0.0.1", b.port());
+    EXPECT_EQ(ca.get("/")->body, "a");
+    EXPECT_EQ(cb.get("/")->body, "b");
+}

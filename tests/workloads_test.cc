@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the benchmark workload generators: shape, determinism, and
+ * end-to-end execution of every paper benchmark on a small platform.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/platform.hh"
+#include "workloads/workloads.hh"
+
+using namespace akita;
+using namespace akita::workloads;
+
+namespace
+{
+
+/** Aggregate statistics over a kernel's full trace. */
+struct TraceStats
+{
+    std::uint64_t memOps = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t computeCycles = 0;
+};
+
+TraceStats
+scan(const gpu::KernelDescriptor &k, std::uint32_t max_wgs = 0)
+{
+    TraceStats s;
+    std::uint32_t wgs = k.numWorkGroups;
+    if (max_wgs != 0 && wgs > max_wgs)
+        wgs = max_wgs;
+    for (std::uint32_t wg = 0; wg < wgs; wg++) {
+        for (std::uint32_t wf = 0; wf < k.wavefrontsPerWG; wf++) {
+            for (const auto &op : k.trace(wg, wf)) {
+                s.computeCycles += op.computeCycles;
+                if (!op.hasMem())
+                    continue;
+                s.memOps++;
+                s.bytes += op.size;
+                if (op.isWrite)
+                    s.stores++;
+                else
+                    s.loads++;
+            }
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(Workloads, FirShape)
+{
+    FirParams p;
+    p.numSamples = 1 << 14;
+    auto k = makeFir(p);
+    EXPECT_EQ(k.name, "fir");
+    EXPECT_GT(k.numWorkGroups, 0u);
+    TraceStats s = scan(k);
+    EXPECT_GT(s.loads, s.stores) << "FIR reads taps + window per output";
+    EXPECT_GT(s.computeCycles, 0u);
+}
+
+TEST(Workloads, Im2ColPaperDefaults)
+{
+    Im2ColParams p; // Paper: 24x24, 6 channels, batch 640.
+    auto k = makeIm2Col(p);
+    EXPECT_EQ(k.numWorkGroups, 640u * 6u)
+        << "one WG per (image, channel)";
+    TraceStats s = scan(k, 8);
+    // im2col replicates each pixel K*K times: stores dominate bytes.
+    EXPECT_GT(s.stores, 0u);
+    EXPECT_GT(s.loads, 0u);
+}
+
+TEST(Workloads, TransposeStridedWrites)
+{
+    TransposeParams p;
+    p.n = 256;
+    auto k = makeTranspose(p);
+    TraceStats s = scan(k, 4);
+    EXPECT_GT(s.stores, s.loads)
+        << "column-major writes are split into strided chunks";
+}
+
+TEST(Workloads, KMeansStreamsPoints)
+{
+    KMeansParams p;
+    p.numPoints = 1 << 12;
+    auto k = makeKMeans(p);
+    TraceStats s = scan(k, 4);
+    EXPECT_GT(s.loads, 2 * s.stores);
+}
+
+TEST(Workloads, AesBalancedIo)
+{
+    AesParams p;
+    p.dataBytes = 1 << 18;
+    auto k = makeAes(p);
+    TraceStats s = scan(k, 4);
+    EXPECT_GT(s.loads, 0u);
+    EXPECT_GT(s.stores, 0u);
+}
+
+TEST(Workloads, BitonicMultiPass)
+{
+    BitonicParams p;
+    p.numElems = 1 << 12;
+    p.passes = 3;
+    auto k = makeBitonic(p);
+    TraceStats one = scan(k, 1);
+    p.passes = 6;
+    TraceStats two = scan(makeBitonic(p), 1);
+    EXPECT_EQ(two.memOps, 2 * one.memOps)
+        << "ops scale linearly with passes";
+}
+
+TEST(Workloads, MemCopyByteConservation)
+{
+    MemCopyParams p;
+    p.bytes = 1 << 20;
+    auto k = makeMemCopy(p);
+    TraceStats s = scan(k);
+    EXPECT_EQ(s.loads, s.stores);
+    EXPECT_EQ(s.bytes, 2ull * p.bytes) << "every byte read and written";
+}
+
+TEST(Workloads, TracesAreDeterministic)
+{
+    auto k = makeFir(FirParams{});
+    auto a = k.trace(3, 1);
+    auto b = k.trace(3, 1);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_EQ(a[i].size, b[i].size);
+        EXPECT_EQ(a[i].isWrite, b[i].isWrite);
+        EXPECT_EQ(a[i].computeCycles, b[i].computeCycles);
+    }
+}
+
+TEST(Workloads, PaperSuiteHasSixBenchmarks)
+{
+    auto suite = paperSuite(0.05);
+    ASSERT_EQ(suite.size(), 6u);
+    std::set<std::string> names;
+    for (const auto &b : suite)
+        names.insert(b.name);
+    EXPECT_TRUE(names.count("FIR"));
+    EXPECT_TRUE(names.count("im2col"));
+    EXPECT_TRUE(names.count("KMeans"));
+    EXPECT_TRUE(names.count("MatrixTranspose"));
+    EXPECT_TRUE(names.count("AES"));
+    EXPECT_TRUE(names.count("BitonicSort"));
+}
+
+TEST(Workloads, ScaleShrinksWork)
+{
+    auto small = paperSuite(0.02);
+    auto large = paperSuite(0.5);
+    for (std::size_t i = 0; i < small.size(); i++) {
+        EXPECT_LE(small[i].kernel.numWorkGroups,
+                  large[i].kernel.numWorkGroups)
+            << small[i].name;
+    }
+}
+
+// End-to-end: every paper benchmark completes on the tiny MCM platform.
+class WorkloadEndToEnd
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(WorkloadEndToEnd, CompletesOnMcm4)
+{
+    auto suite = paperSuite(0.02);
+    auto &bench = suite[GetParam()];
+
+    gpu::PlatformConfig cfg =
+        gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny());
+    gpu::Platform plat(cfg);
+    plat.launchKernel(&bench.kernel);
+    EXPECT_EQ(plat.run(), gpu::Platform::RunStatus::Completed)
+        << bench.name;
+    EXPECT_GT(plat.engine().now(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, WorkloadEndToEnd,
+                         ::testing::Range<std::size_t>(0, 6));

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * akita-inspect: command-line client for any AkitaRTM endpoint.
+ *
+ * The scriptable counterpart of the dashboard — useful over SSH, in CI,
+ * or from shell loops, and a second independent consumer of the HTTP
+ * API (after the browser frontend) demonstrating the §IV-B claim that
+ * the API is the integration boundary.
+ *
+ * Usage: akita-inspect [--host H] [--port P] <command> [args]
+ *
+ *   status                        simulation time/events/hang state
+ *   resources                     CPU%, RSS, thread count
+ *   components                    component hierarchy (indented)
+ *   component <name>              one component's fields and buffers
+ *   buffers [size|percent] [N]    bottleneck analyzer table
+ *   progress                      progress bars
+ *   throughput <name>             per-port rates of one component
+ *   topology                      connection map
+ *   pause | resume                simulation controls
+ *   tick <name>                   wake one component
+ *   profile [N]                   top-N profiler entries
+ *   profile-start | profile-stop  toggle the profiler
+ *   track <name> <field>          start a time series, prints its id
+ *   untrack <id>                  stop a time series
+ *   series <id>                   print a series (t_ps value rows)
+ *   export <id>                   print a series as CSV
+ *   watch [seconds]               poll status once per second
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hh"
+#include "web/client.hh"
+
+using akita::json::Json;
+using akita::web::HttpClient;
+
+namespace
+{
+
+int
+fail(const std::string &msg)
+{
+    std::fprintf(stderr, "akita-inspect: %s\n", msg.c_str());
+    return 1;
+}
+
+/** URL-encodes a query value (component names contain '[' / ']'). */
+std::string
+urlEncode(const std::string &s)
+{
+    static const char *hex = "0123456789ABCDEF";
+    std::string out;
+    for (unsigned char c : s) {
+        if (std::isalnum(c) || c == '-' || c == '_' || c == '.' ||
+            c == '~') {
+            out.push_back(static_cast<char>(c));
+        } else {
+            out.push_back('%');
+            out.push_back(hex[c >> 4]);
+            out.push_back(hex[c & 0xF]);
+        }
+    }
+    return out;
+}
+
+Json
+mustGet(const HttpClient &client, const std::string &target)
+{
+    auto r = client.get(target);
+    if (!r)
+        throw std::runtime_error("cannot reach the monitor (is the "
+                                 "simulation running?)");
+    if (r->status != 200)
+        throw std::runtime_error("HTTP " + std::to_string(r->status) +
+                                 ": " + r->body);
+    return Json::parse(r->body);
+}
+
+void
+mustPost(const HttpClient &client, const std::string &target)
+{
+    auto r = client.post(target, "");
+    if (!r)
+        throw std::runtime_error("cannot reach the monitor");
+    if (r->status != 200)
+        throw std::runtime_error("HTTP " + std::to_string(r->status) +
+                                 ": " + r->body);
+    std::printf("%s\n", r->body.c_str());
+}
+
+void
+printStatus(const Json &st)
+{
+    std::printf("t=%s  events=%lld  queue=%lld %s%s%s\n",
+                st.getStr("now").c_str(),
+                static_cast<long long>(st.getInt("events", 0)),
+                static_cast<long long>(st.getInt("queue_len", 0)),
+                st.getBool("paused", false) ? "[paused]" : "",
+                st.getBool("running", false) ? "" : "[not running]",
+                st.get("hang") != nullptr &&
+                        st.get("hang")->getBool("hanging", false)
+                    ? "  *** HANG SUSPECTED ***"
+                    : "");
+}
+
+void
+printTree(const Json &node, int depth)
+{
+    std::string label = node.getStr("label");
+    if (!label.empty())
+        std::printf("%*s%s\n", depth * 2, "", label.c_str());
+    const Json *children = node.get("children");
+    if (children != nullptr) {
+        for (const auto &c : children->items())
+            printTree(c, depth + 1);
+    }
+}
+
+int
+run(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 8080;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+            host = argv[++i];
+        } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        } else {
+            args.emplace_back(argv[i]);
+        }
+    }
+    if (args.empty())
+        return fail("missing command (see the header of this tool)");
+
+    HttpClient client(host, port);
+    const std::string &cmd = args[0];
+
+    if (cmd == "status") {
+        printStatus(mustGet(client, "/api/status"));
+        return 0;
+    }
+    if (cmd == "resources") {
+        Json r = mustGet(client, "/api/resources");
+        std::printf("cpu %.0f%%  rss %.1f MB  vm %.1f MB  threads %lld\n",
+                    r.getNumber("cpu_percent", 0),
+                    r.getNumber("rss_bytes", 0) / 1048576.0,
+                    r.getNumber("vm_bytes", 0) / 1048576.0,
+                    static_cast<long long>(r.getInt("num_threads", 0)));
+        return 0;
+    }
+    if (cmd == "components") {
+        printTree(mustGet(client, "/api/components"), -1);
+        return 0;
+    }
+    if (cmd == "component") {
+        if (args.size() < 2)
+            return fail("usage: component <name>");
+        Json c = mustGet(client,
+                         "/api/component?name=" + urlEncode(args[1]));
+        std::printf("%s\n", c.getStr("name").c_str());
+        for (const auto &f : c.get("fields")->items()) {
+            std::printf("  %-24s %-8s %s\n", f.getStr("name").c_str(),
+                        f.getStr("type").c_str(),
+                        f.get("value")->dump().c_str());
+        }
+        for (const auto &b : c.get("buffers")->items()) {
+            std::printf("  %-40s %lld/%lld\n",
+                        b.getStr("name").c_str(),
+                        static_cast<long long>(b.getInt("size", 0)),
+                        static_cast<long long>(b.getInt("capacity", 0)));
+        }
+        return 0;
+    }
+    if (cmd == "buffers") {
+        std::string sort = args.size() > 1 ? args[1] : "percent";
+        std::string top = args.size() > 2 ? args[2] : "20";
+        Json rows = mustGet(client, "/api/buffers?sort=" + sort +
+                                        "&top=" + top);
+        std::printf("%-50s %6s %5s\n", "Buffer", "Size", "Cap");
+        for (const auto &row : rows.items()) {
+            std::printf("%-50s %6lld %5lld\n",
+                        row.getStr("buffer").c_str(),
+                        static_cast<long long>(row.getInt("size", 0)),
+                        static_cast<long long>(row.getInt("cap", 0)));
+        }
+        return 0;
+    }
+    if (cmd == "progress") {
+        Json bars = mustGet(client, "/api/progress");
+        for (const auto &b : bars.items()) {
+            std::printf("%-28s %lld done / %lld running / %lld left\n",
+                        b.getStr("label").c_str(),
+                        static_cast<long long>(b.getInt("completed", 0)),
+                        static_cast<long long>(
+                            b.getInt("in_progress", 0)),
+                        static_cast<long long>(
+                            b.getInt("not_started", 0)));
+        }
+        return 0;
+    }
+    if (cmd == "throughput") {
+        if (args.size() < 2)
+            return fail("usage: throughput <component>");
+        Json ports = mustGet(
+            client, "/api/throughput?component=" + urlEncode(args[1]));
+        std::printf("%-40s %10s %12s %10s\n", "Port", "sent",
+                    "msgs/sim-s", "rejects");
+        for (const auto &p : ports.items()) {
+            std::printf("%-40s %10lld %12.3g %10lld\n",
+                        p.getStr("port").c_str(),
+                        static_cast<long long>(
+                            p.getInt("total_sent", 0)),
+                        p.getNumber("send_rate_sim_per_sec", 0),
+                        static_cast<long long>(
+                            p.getInt("send_rejections", 0)));
+        }
+        return 0;
+    }
+    if (cmd == "topology") {
+        Json topo = mustGet(client, "/api/topology");
+        for (const auto &conn : topo.items()) {
+            std::printf("%s\n", conn.getStr("connection").c_str());
+            for (const auto &p : conn.get("ports")->items())
+                std::printf("  %s\n", p.strVal().c_str());
+        }
+        return 0;
+    }
+    if (cmd == "pause") {
+        mustPost(client, "/api/pause");
+        return 0;
+    }
+    if (cmd == "resume") {
+        mustPost(client, "/api/resume");
+        return 0;
+    }
+    if (cmd == "tick") {
+        if (args.size() < 2)
+            return fail("usage: tick <component>");
+        mustPost(client, "/api/tick?component=" + urlEncode(args[1]));
+        return 0;
+    }
+    if (cmd == "profile-start") {
+        mustPost(client, "/api/profile/start");
+        return 0;
+    }
+    if (cmd == "profile-stop") {
+        mustPost(client, "/api/profile/stop");
+        return 0;
+    }
+    if (cmd == "profile") {
+        std::string top = args.size() > 1 ? args[1] : "15";
+        Json p = mustGet(client, "/api/profile?top=" + top);
+        std::printf("profiler %s\n", p.getBool("enabled", false)
+                                         ? "enabled"
+                                         : "disabled");
+        std::printf("%-44s %10s %10s %10s\n", "function", "self ms",
+                    "total ms", "calls");
+        for (const auto &f : p.get("functions")->items()) {
+            std::printf("%-44s %10.2f %10.2f %10lld\n",
+                        f.getStr("name").c_str(),
+                        f.getNumber("self_ns", 0) / 1e6,
+                        f.getNumber("total_ns", 0) / 1e6,
+                        static_cast<long long>(f.getInt("calls", 0)));
+        }
+        return 0;
+    }
+    if (cmd == "track") {
+        if (args.size() < 3)
+            return fail("usage: track <component> <field>");
+        auto r = client.post("/api/monitor/track?component=" +
+                                 urlEncode(args[1]) +
+                                 "&field=" + urlEncode(args[2]),
+                             "");
+        if (!r || r->status != 200)
+            return fail(r ? r->body : "unreachable");
+        std::printf("series id %lld\n",
+                    static_cast<long long>(
+                        Json::parse(r->body).getInt("id", 0)));
+        return 0;
+    }
+    if (cmd == "untrack") {
+        if (args.size() < 2)
+            return fail("usage: untrack <id>");
+        mustPost(client, "/api/monitor/untrack?id=" + args[1]);
+        return 0;
+    }
+    if (cmd == "series") {
+        if (args.size() < 2)
+            return fail("usage: series <id>");
+        Json s = mustGet(client, "/api/monitor/series?id=" + args[1]);
+        std::printf("# %s.%s\n", s.getStr("component").c_str(),
+                    s.getStr("field").c_str());
+        for (const auto &pt : s.get("points")->items()) {
+            std::printf("%lld %g\n",
+                        static_cast<long long>(pt.getInt("t_ps", 0)),
+                        pt.getNumber("v", 0));
+        }
+        return 0;
+    }
+    if (cmd == "export") {
+        if (args.size() < 2)
+            return fail("usage: export <id>");
+        auto r = client.get("/api/monitor/export?id=" + args[1]);
+        if (!r || r->status != 200)
+            return fail(r ? r->body : "unreachable");
+        std::fputs(r->body.c_str(), stdout);
+        return 0;
+    }
+    if (cmd == "watch") {
+        int seconds = args.size() > 1 ? std::atoi(args[1].c_str()) : 0;
+        for (int i = 0; seconds == 0 || i < seconds; i++) {
+            try {
+                printStatus(mustGet(client, "/api/status"));
+            } catch (const std::exception &e) {
+                std::printf("(%s)\n", e.what());
+            }
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+        }
+        return 0;
+    }
+    return fail("unknown command '" + cmd + "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        return fail(e.what());
+    }
+}
