@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_casestudy2_hang.dir/bench_casestudy2_hang.cc.o"
+  "CMakeFiles/bench_casestudy2_hang.dir/bench_casestudy2_hang.cc.o.d"
+  "bench_casestudy2_hang"
+  "bench_casestudy2_hang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_casestudy2_hang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_survey.dir/bench_fig6_survey.cc.o"
+  "CMakeFiles/bench_fig6_survey.dir/bench_fig6_survey.cc.o.d"
+  "bench_fig6_survey"
+  "bench_fig6_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hang_debug.dir/hang_debug.cpp.o"
+  "CMakeFiles/hang_debug.dir/hang_debug.cpp.o.d"
+  "hang_debug"
+  "hang_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hang_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im2col_casestudy.dir/im2col_casestudy.cpp.o"
+  "CMakeFiles/im2col_casestudy.dir/im2col_casestudy.cpp.o.d"
+  "im2col_casestudy"
+  "im2col_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im2col_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

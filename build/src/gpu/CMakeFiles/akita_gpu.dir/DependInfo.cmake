@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cp.cc" "src/gpu/CMakeFiles/akita_gpu.dir/cp.cc.o" "gcc" "src/gpu/CMakeFiles/akita_gpu.dir/cp.cc.o.d"
+  "/root/repo/src/gpu/cu.cc" "src/gpu/CMakeFiles/akita_gpu.dir/cu.cc.o" "gcc" "src/gpu/CMakeFiles/akita_gpu.dir/cu.cc.o.d"
+  "/root/repo/src/gpu/driver.cc" "src/gpu/CMakeFiles/akita_gpu.dir/driver.cc.o" "gcc" "src/gpu/CMakeFiles/akita_gpu.dir/driver.cc.o.d"
+  "/root/repo/src/gpu/platform.cc" "src/gpu/CMakeFiles/akita_gpu.dir/platform.cc.o" "gcc" "src/gpu/CMakeFiles/akita_gpu.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/akita_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/akita_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/akita_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

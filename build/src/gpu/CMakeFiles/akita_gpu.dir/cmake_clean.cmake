@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita_gpu.dir/cp.cc.o"
+  "CMakeFiles/akita_gpu.dir/cp.cc.o.d"
+  "CMakeFiles/akita_gpu.dir/cu.cc.o"
+  "CMakeFiles/akita_gpu.dir/cu.cc.o.d"
+  "CMakeFiles/akita_gpu.dir/driver.cc.o"
+  "CMakeFiles/akita_gpu.dir/driver.cc.o.d"
+  "CMakeFiles/akita_gpu.dir/platform.cc.o"
+  "CMakeFiles/akita_gpu.dir/platform.cc.o.d"
+  "libakita_gpu.a"
+  "libakita_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita_json.dir/json.cc.o"
+  "CMakeFiles/akita_json.dir/json.cc.o.d"
+  "libakita_json.a"
+  "libakita_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

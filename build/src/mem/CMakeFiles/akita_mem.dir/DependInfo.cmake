@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/akita_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/akita_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/akita_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/akita_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/l2cache.cc" "src/mem/CMakeFiles/akita_mem.dir/l2cache.cc.o" "gcc" "src/mem/CMakeFiles/akita_mem.dir/l2cache.cc.o.d"
+  "/root/repo/src/mem/rdma.cc" "src/mem/CMakeFiles/akita_mem.dir/rdma.cc.o" "gcc" "src/mem/CMakeFiles/akita_mem.dir/rdma.cc.o.d"
+  "/root/repo/src/mem/rob.cc" "src/mem/CMakeFiles/akita_mem.dir/rob.cc.o" "gcc" "src/mem/CMakeFiles/akita_mem.dir/rob.cc.o.d"
+  "/root/repo/src/mem/translator.cc" "src/mem/CMakeFiles/akita_mem.dir/translator.cc.o" "gcc" "src/mem/CMakeFiles/akita_mem.dir/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/akita_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita_mem.dir/cache.cc.o"
+  "CMakeFiles/akita_mem.dir/cache.cc.o.d"
+  "CMakeFiles/akita_mem.dir/dram.cc.o"
+  "CMakeFiles/akita_mem.dir/dram.cc.o.d"
+  "CMakeFiles/akita_mem.dir/l2cache.cc.o"
+  "CMakeFiles/akita_mem.dir/l2cache.cc.o.d"
+  "CMakeFiles/akita_mem.dir/rdma.cc.o"
+  "CMakeFiles/akita_mem.dir/rdma.cc.o.d"
+  "CMakeFiles/akita_mem.dir/rob.cc.o"
+  "CMakeFiles/akita_mem.dir/rob.cc.o.d"
+  "CMakeFiles/akita_mem.dir/translator.cc.o"
+  "CMakeFiles/akita_mem.dir/translator.cc.o.d"
+  "libakita_mem.a"
+  "libakita_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita_net.dir/switch.cc.o"
+  "CMakeFiles/akita_net.dir/switch.cc.o.d"
+  "CMakeFiles/akita_net.dir/switched.cc.o"
+  "CMakeFiles/akita_net.dir/switched.cc.o.d"
+  "libakita_net.a"
+  "libakita_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtm/api.cc" "src/rtm/CMakeFiles/akita_rtm.dir/api.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/api.cc.o.d"
+  "/root/repo/src/rtm/bufferanalyzer.cc" "src/rtm/CMakeFiles/akita_rtm.dir/bufferanalyzer.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/bufferanalyzer.cc.o.d"
+  "/root/repo/src/rtm/frontend.cc" "src/rtm/CMakeFiles/akita_rtm.dir/frontend.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/frontend.cc.o.d"
+  "/root/repo/src/rtm/hang.cc" "src/rtm/CMakeFiles/akita_rtm.dir/hang.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/hang.cc.o.d"
+  "/root/repo/src/rtm/monitor.cc" "src/rtm/CMakeFiles/akita_rtm.dir/monitor.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/monitor.cc.o.d"
+  "/root/repo/src/rtm/progressbar.cc" "src/rtm/CMakeFiles/akita_rtm.dir/progressbar.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/progressbar.cc.o.d"
+  "/root/repo/src/rtm/registry.cc" "src/rtm/CMakeFiles/akita_rtm.dir/registry.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/registry.cc.o.d"
+  "/root/repo/src/rtm/resources.cc" "src/rtm/CMakeFiles/akita_rtm.dir/resources.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/resources.cc.o.d"
+  "/root/repo/src/rtm/serialize.cc" "src/rtm/CMakeFiles/akita_rtm.dir/serialize.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/serialize.cc.o.d"
+  "/root/repo/src/rtm/throughput.cc" "src/rtm/CMakeFiles/akita_rtm.dir/throughput.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/throughput.cc.o.d"
+  "/root/repo/src/rtm/valuemonitor.cc" "src/rtm/CMakeFiles/akita_rtm.dir/valuemonitor.cc.o" "gcc" "src/rtm/CMakeFiles/akita_rtm.dir/valuemonitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/akita_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/akita_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/akita_web.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

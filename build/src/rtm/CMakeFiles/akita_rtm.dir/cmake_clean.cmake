@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita_rtm.dir/api.cc.o"
+  "CMakeFiles/akita_rtm.dir/api.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/bufferanalyzer.cc.o"
+  "CMakeFiles/akita_rtm.dir/bufferanalyzer.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/frontend.cc.o"
+  "CMakeFiles/akita_rtm.dir/frontend.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/hang.cc.o"
+  "CMakeFiles/akita_rtm.dir/hang.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/monitor.cc.o"
+  "CMakeFiles/akita_rtm.dir/monitor.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/progressbar.cc.o"
+  "CMakeFiles/akita_rtm.dir/progressbar.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/registry.cc.o"
+  "CMakeFiles/akita_rtm.dir/registry.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/resources.cc.o"
+  "CMakeFiles/akita_rtm.dir/resources.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/serialize.cc.o"
+  "CMakeFiles/akita_rtm.dir/serialize.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/throughput.cc.o"
+  "CMakeFiles/akita_rtm.dir/throughput.cc.o.d"
+  "CMakeFiles/akita_rtm.dir/valuemonitor.cc.o"
+  "CMakeFiles/akita_rtm.dir/valuemonitor.cc.o.d"
+  "libakita_rtm.a"
+  "libakita_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

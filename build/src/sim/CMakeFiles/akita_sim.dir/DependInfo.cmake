@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/buffer.cc" "src/sim/CMakeFiles/akita_sim.dir/buffer.cc.o" "gcc" "src/sim/CMakeFiles/akita_sim.dir/buffer.cc.o.d"
+  "/root/repo/src/sim/component.cc" "src/sim/CMakeFiles/akita_sim.dir/component.cc.o" "gcc" "src/sim/CMakeFiles/akita_sim.dir/component.cc.o.d"
+  "/root/repo/src/sim/connection.cc" "src/sim/CMakeFiles/akita_sim.dir/connection.cc.o" "gcc" "src/sim/CMakeFiles/akita_sim.dir/connection.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/akita_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/akita_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/port.cc" "src/sim/CMakeFiles/akita_sim.dir/port.cc.o" "gcc" "src/sim/CMakeFiles/akita_sim.dir/port.cc.o.d"
+  "/root/repo/src/sim/prof.cc" "src/sim/CMakeFiles/akita_sim.dir/prof.cc.o" "gcc" "src/sim/CMakeFiles/akita_sim.dir/prof.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/sim/CMakeFiles/akita_sim.dir/time.cc.o" "gcc" "src/sim/CMakeFiles/akita_sim.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

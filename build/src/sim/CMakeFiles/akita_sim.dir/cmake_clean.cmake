@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita_sim.dir/buffer.cc.o"
+  "CMakeFiles/akita_sim.dir/buffer.cc.o.d"
+  "CMakeFiles/akita_sim.dir/component.cc.o"
+  "CMakeFiles/akita_sim.dir/component.cc.o.d"
+  "CMakeFiles/akita_sim.dir/connection.cc.o"
+  "CMakeFiles/akita_sim.dir/connection.cc.o.d"
+  "CMakeFiles/akita_sim.dir/engine.cc.o"
+  "CMakeFiles/akita_sim.dir/engine.cc.o.d"
+  "CMakeFiles/akita_sim.dir/port.cc.o"
+  "CMakeFiles/akita_sim.dir/port.cc.o.d"
+  "CMakeFiles/akita_sim.dir/prof.cc.o"
+  "CMakeFiles/akita_sim.dir/prof.cc.o.d"
+  "CMakeFiles/akita_sim.dir/time.cc.o"
+  "CMakeFiles/akita_sim.dir/time.cc.o.d"
+  "libakita_sim.a"
+  "libakita_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

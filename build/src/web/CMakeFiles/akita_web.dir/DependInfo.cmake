@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/client.cc" "src/web/CMakeFiles/akita_web.dir/client.cc.o" "gcc" "src/web/CMakeFiles/akita_web.dir/client.cc.o.d"
+  "/root/repo/src/web/http.cc" "src/web/CMakeFiles/akita_web.dir/http.cc.o" "gcc" "src/web/CMakeFiles/akita_web.dir/http.cc.o.d"
+  "/root/repo/src/web/server.cc" "src/web/CMakeFiles/akita_web.dir/server.cc.o" "gcc" "src/web/CMakeFiles/akita_web.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita_web.dir/client.cc.o"
+  "CMakeFiles/akita_web.dir/client.cc.o.d"
+  "CMakeFiles/akita_web.dir/http.cc.o"
+  "CMakeFiles/akita_web.dir/http.cc.o.d"
+  "CMakeFiles/akita_web.dir/server.cc.o"
+  "CMakeFiles/akita_web.dir/server.cc.o.d"
+  "libakita_web.a"
+  "libakita_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

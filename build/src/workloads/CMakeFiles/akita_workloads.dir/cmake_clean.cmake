@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita_workloads.dir/workloads.cc.o"
+  "CMakeFiles/akita_workloads.dir/workloads.cc.o.d"
+  "libakita_workloads.a"
+  "libakita_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libakita_workloads.a"
+)

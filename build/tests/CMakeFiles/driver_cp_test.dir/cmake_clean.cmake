@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_cp_test.dir/driver_cp_test.cc.o"
+  "CMakeFiles/driver_cp_test.dir/driver_cp_test.cc.o.d"
+  "driver_cp_test"
+  "driver_cp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_cp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

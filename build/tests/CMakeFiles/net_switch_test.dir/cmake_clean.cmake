@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_switch_test.dir/net_switch_test.cc.o"
+  "CMakeFiles/net_switch_test.dir/net_switch_test.cc.o.d"
+  "net_switch_test"
+  "net_switch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_net_test.dir/rdma_net_test.cc.o"
+  "CMakeFiles/rdma_net_test.dir/rdma_net_test.cc.o.d"
+  "rdma_net_test"
+  "rdma_net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtm_ext_test.dir/rtm_ext_test.cc.o"
+  "CMakeFiles/rtm_ext_test.dir/rtm_ext_test.cc.o.d"
+  "rtm_ext_test"
+  "rtm_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtm_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

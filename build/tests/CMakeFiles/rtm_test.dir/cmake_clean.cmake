@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtm_test.dir/rtm_test.cc.o"
+  "CMakeFiles/rtm_test.dir/rtm_test.cc.o.d"
+  "rtm_test"
+  "rtm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_port_test.dir/sim_port_test.cc.o"
+  "CMakeFiles/sim_port_test.dir/sim_port_test.cc.o.d"
+  "sim_port_test"
+  "sim_port_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/web_test.cc" "tests/CMakeFiles/web_test.dir/web_test.cc.o" "gcc" "tests/CMakeFiles/web_test.dir/web_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtm/CMakeFiles/akita_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/akita_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/akita_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/akita_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/akita_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/akita_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/akita_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/akita_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

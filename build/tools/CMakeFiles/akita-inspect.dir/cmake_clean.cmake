@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/akita-inspect.dir/akita_inspect.cc.o"
+  "CMakeFiles/akita-inspect.dir/akita_inspect.cc.o.d"
+  "akita-inspect"
+  "akita-inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/akita-inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for akita-inspect.
+# This may be replaced when dependencies are built.
