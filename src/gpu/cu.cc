@@ -20,11 +20,11 @@ ComputeUnit::ComputeUnit(sim::Engine *engine, const std::string &name,
     });
     declareField("completed_wgs", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(completedWGs_));
+            static_cast<std::int64_t>(completedWGs()));
     });
     declareField("mem_reqs_issued", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(memReqsIssued_));
+            static_cast<std::int64_t>(memReqsIssued()));
     });
 }
 
@@ -120,7 +120,7 @@ ComputeUnit::execute()
         wf.pc++;
         wf.primed = false;
         memIssued++;
-        memReqsIssued_++;
+        memReqsIssued_.fetch_add(1, std::memory_order_relaxed);
         progress = true;
     }
 
@@ -155,7 +155,7 @@ ComputeUnit::finishWavefront(std::uint64_t uid)
         return;
     if (--wit->second == 0) {
         wgRemaining_.erase(wit);
-        completedWGs_++;
+        completedWGs_.fetch_add(1, std::memory_order_relaxed);
         doneWgQueue_.push_back(wg);
     }
 }
@@ -180,7 +180,7 @@ ComputeUnit::acceptWorkGroups()
         cpPort_ = msg->src;
         if (wfCount == 0) {
             // Degenerate work-group: nothing to run, complete at once.
-            completedWGs_++;
+            completedWGs_.fetch_add(1, std::memory_order_relaxed);
             doneWgQueue_.push_back(map->wgId);
             ctrlPort_->retrieveIncoming();
             progress = true;

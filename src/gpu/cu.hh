@@ -6,6 +6,7 @@
 #ifndef AKITA_GPU_CU_HH
 #define AKITA_GPU_CU_HH
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
@@ -66,7 +67,19 @@ class ComputeUnit : public sim::TickingComponent
 
     std::size_t residentWavefronts() const { return wavefronts_.size(); }
 
-    std::uint64_t completedWGs() const { return completedWGs_; }
+    /** Work-groups completed. Thread-safe (metrics sampler reads). */
+    std::uint64_t
+    completedWGs() const
+    {
+        return completedWGs_.load(std::memory_order_relaxed);
+    }
+
+    /** Memory requests issued toward the L1 pipeline. Thread-safe. */
+    std::uint64_t
+    memReqsIssued() const
+    {
+        return memReqsIssued_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Wavefront
@@ -100,8 +113,8 @@ class ComputeUnit : public sim::TickingComponent
     sim::Port *cpPort_ = nullptr;
     std::vector<std::uint32_t> doneWgQueue_;
 
-    std::uint64_t completedWGs_ = 0;
-    std::uint64_t memReqsIssued_ = 0;
+    std::atomic<std::uint64_t> completedWGs_{0};
+    std::atomic<std::uint64_t> memReqsIssued_{0};
 };
 
 } // namespace gpu

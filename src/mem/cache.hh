@@ -7,6 +7,7 @@
 #ifndef AKITA_MEM_CACHE_HH
 #define AKITA_MEM_CACHE_HH
 
+#include <atomic>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -62,8 +63,20 @@ class Directory
     }
 
     std::uint64_t lineSize() const { return lineSize_; }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
+
+    /** Hit/miss counters are atomics so the metrics sampler can read
+     * them from its own thread without the engine lock. */
+    std::uint64_t
+    hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Way
@@ -83,8 +96,8 @@ class Directory
     std::uint64_t lineSize_;
     std::vector<std::vector<Way>> sets_;
     std::uint64_t useClock_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
 };
 
 /**

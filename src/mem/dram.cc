@@ -15,11 +15,12 @@ DramController::DramController(sim::Engine *engine, const std::string &name,
         return introspect::Value::ofContainer(queue_.size(), {});
     });
     declareField("reads", [this]() {
-        return introspect::Value::ofInt(static_cast<std::int64_t>(reads_));
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(totalReads()));
     });
     declareField("writes", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(writes_));
+            static_cast<std::int64_t>(totalWrites()));
     });
 }
 
@@ -43,9 +44,9 @@ DramController::tick()
             continue;
         }
         if (it->req->isWrite)
-            writes_++;
+            writes_.fetch_add(1, std::memory_order_relaxed);
         else
-            reads_++;
+            reads_.fetch_add(1, std::memory_order_relaxed);
         it = queue_.erase(it);
         progress = true;
     }

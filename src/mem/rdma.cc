@@ -24,11 +24,11 @@ RdmaEngine::RdmaEngine(sim::Engine *engine, const std::string &name,
     });
     declareField("forwarded_out", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(forwardedOut_));
+            static_cast<std::int64_t>(totalForwardedOut()));
     });
     declareField("forwarded_in", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(forwardedIn_));
+            static_cast<std::int64_t>(totalForwardedIn()));
     });
 }
 
@@ -100,7 +100,7 @@ RdmaEngine::processInside()
             if (toOutside_->send(req) != sim::SendStatus::Ok)
                 break;
             outgoing_[req->id()] = returnTo;
-            forwardedOut_++;
+            forwardedOut_.fetch_add(1, std::memory_order_relaxed);
             toInside_->retrieveIncoming();
             progress = true;
             continue;
@@ -154,7 +154,7 @@ RdmaEngine::processOutside()
             if (toInside_->send(req) != sim::SendStatus::Ok)
                 break;
             incoming_[req->id()] = origin;
-            forwardedIn_++;
+            forwardedIn_.fetch_add(1, std::memory_order_relaxed);
             toOutside_->retrieveIncoming();
             progress = true;
             continue;

@@ -6,6 +6,7 @@
 #ifndef AKITA_MEM_RDMA_HH
 #define AKITA_MEM_RDMA_HH
 
+#include <atomic>
 #include <functional>
 #include <unordered_map>
 
@@ -88,6 +89,20 @@ class RdmaEngine : public sim::TickingComponent
         return outgoing_.size() + incoming_.size();
     }
 
+    /** Requests forwarded to remote chiplets. Thread-safe. */
+    std::uint64_t
+    totalForwardedOut() const
+    {
+        return forwardedOut_.load(std::memory_order_relaxed);
+    }
+
+    /** Remote requests serviced locally. Thread-safe. */
+    std::uint64_t
+    totalForwardedIn() const
+    {
+        return forwardedIn_.load(std::memory_order_relaxed);
+    }
+
   private:
     bool processInside();
     bool processOutside();
@@ -107,8 +122,8 @@ class RdmaEngine : public sim::TickingComponent
     /** reqId -> remote RDMA port awaiting our local response. */
     std::unordered_map<std::uint64_t, sim::Port *> incoming_;
 
-    std::uint64_t forwardedOut_ = 0;
-    std::uint64_t forwardedIn_ = 0;
+    std::atomic<std::uint64_t> forwardedOut_{0};
+    std::atomic<std::uint64_t> forwardedIn_{0};
 };
 
 } // namespace mem

@@ -144,7 +144,10 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
         std::string name = req.queryParam("component");
         if (name.empty())
             return web::Response::error(400, "missing ?component=");
-        auto ports = m->portThroughput(name);
+        // Each dashboard/curl client passes its own key so concurrent
+        // observers keep independent rate cursors.
+        std::string client = req.queryParam("client");
+        auto ports = m->portThroughput(name, client);
         if (ports.empty())
             return web::Response::error(404,
                                         "unknown component " + name);
@@ -184,6 +187,123 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
             arr.push(serializeSeries(s));
         return jsonResponse(arr);
     });
+
+    // ---- Metrics subsystem ----
+
+    server.route("GET", "/metrics", [m](const web::Request &) {
+        return web::Response::ok(
+            m->metrics().renderPrometheus(),
+            "text/plain; version=0.0.4; charset=utf-8");
+    });
+
+    server.route("GET", "/api/v1/metrics", [m](const web::Request &) {
+        json::Json arr = json::Json::array();
+        for (const auto &d : m->metrics().list()) {
+            json::Json dj = json::Json::object();
+            dj.set("name", d.name);
+            dj.set("help", d.help);
+            const char *type = d.type == metrics::Type::Counter
+                                   ? "counter"
+                                   : (d.type == metrics::Type::Histogram
+                                          ? "histogram"
+                                          : "gauge");
+            dj.set("type", std::string(type));
+            json::Json labels = json::Json::object();
+            for (const auto &kv : d.labels)
+                labels.set(kv.first, kv.second);
+            dj.set("labels", std::move(labels));
+            dj.set("has_series",
+                   d.series != metrics::SeriesMode::None);
+            arr.push(std::move(dj));
+        }
+        return jsonResponse(arr);
+    });
+
+    server.route("GET", "/api/v1/metrics/query",
+                 [m](const web::Request &req) {
+                     std::string name = req.queryParam("name");
+                     if (name.empty())
+                         return web::Response::error(400,
+                                                     "missing ?name=");
+                     std::int64_t from = req.queryInt("from", 0);
+                     std::int64_t to = req.queryInt(
+                         "to", std::numeric_limits<std::int64_t>::max());
+                     std::int64_t step = req.queryInt("step", 1000);
+                     // Optional label filter, e.g. &component=GPU1.L1V0.
+                     metrics::Labels filter;
+                     for (const char *key :
+                          {"component", "port", "buffer", "field"}) {
+                         std::string v = req.queryParam(key);
+                         if (!v.empty())
+                             filter.emplace_back(key, v);
+                     }
+                     auto series =
+                         m->metrics().query(name, filter, from, to, step);
+                     json::Json arr = json::Json::array();
+                     for (const auto &qs : series) {
+                         json::Json sj = json::Json::object();
+                         sj.set("name", qs.desc.name);
+                         json::Json labels = json::Json::object();
+                         for (const auto &kv : qs.desc.labels)
+                             labels.set(kv.first, kv.second);
+                         sj.set("labels", std::move(labels));
+                         json::Json pts = json::Json::array();
+                         for (const auto &b : qs.points) {
+                             json::Json bj = json::Json::object();
+                             bj.set("t_ms", b.startMs);
+                             bj.set("min", b.min);
+                             bj.set("max", b.max);
+                             bj.set("avg", b.avg());
+                             bj.set("last", b.last);
+                             bj.set("count", b.count);
+                             bj.set("sim_ps", b.lastSimPs);
+                             pts.push(std::move(bj));
+                         }
+                         sj.set("points", std::move(pts));
+                         arr.push(std::move(sj));
+                     }
+                     return jsonResponse(arr);
+                 });
+
+    server.routeStream(
+        "GET", "/api/v1/metrics/stream",
+        [m](const web::Request &req, web::StreamWriter &w) {
+            std::string name = req.queryParam("name");
+            int maxEvents =
+                static_cast<int>(req.queryInt("max_events", 0));
+            if (!w.writeHead(200,
+                             {{"Content-Type", "text/event-stream"},
+                              {"Cache-Control", "no-cache"}}))
+                return;
+            std::uint64_t seen = 0;
+            int sent = 0;
+            while (w.alive()) {
+                // Short waits keep shutdown latency bounded even when
+                // the sampler has stopped.
+                std::uint64_t v =
+                    m->metrics().waitForSample(seen, 250);
+                if (v == seen)
+                    continue;
+                seen = v;
+                json::Json arr = json::Json::array();
+                for (const auto &sv : m->metrics().latest(name)) {
+                    json::Json sj = json::Json::object();
+                    sj.set("name", sv.desc->name);
+                    json::Json labels = json::Json::object();
+                    for (const auto &kv : sv.desc->labels)
+                        labels.set(kv.first, kv.second);
+                    sj.set("labels", std::move(labels));
+                    sj.set("value", sv.value);
+                    sj.set("t_ms", sv.wallMs);
+                    sj.set("sim_ps", sv.simPs);
+                    arr.push(std::move(sj));
+                }
+                if (!w.write("data: " + arr.dump() + "\n\n"))
+                    break;
+                if (maxEvents > 0 && ++sent >= maxEvents)
+                    break;
+            }
+        });
 }
 
 } // namespace rtm

@@ -1,7 +1,13 @@
 #include "rtm/monitor.hh"
 
+#include <chrono>
 #include <cstdio>
 
+#include "gpu/cu.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/l2cache.hh"
+#include "mem/rdma.hh"
 #include "rtm/api.hh"
 #include "rtm/serialize.hh"
 #include "sim/component.hh"
@@ -12,10 +18,34 @@ namespace akita
 namespace rtm
 {
 
-Monitor::Monitor(const MonitorConfig &cfg) : cfg_(cfg)
+namespace
+{
+
+std::int64_t
+nowWallMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+Monitor::Monitor(const MonitorConfig &cfg)
+    : cfg_(cfg), values_(cfg.valueHistoryCap)
 {
     analyzer_ = std::make_unique<BufferAnalyzer>(&registry_);
     throughput_ = std::make_unique<ThroughputTracker>(&registry_);
+    if (cfg_.metricsEnabled) {
+        values_.attachStore(&metrics_);
+        metrics::Desc d;
+        d.name = "akita_http_requests_total";
+        d.help = "Dashboard HTTP requests served.";
+        d.type = metrics::Type::Counter;
+        metrics_.addCallback(std::move(d), [this]() {
+            return static_cast<double>(requestsServed());
+        });
+    }
 }
 
 Monitor::~Monitor()
@@ -38,12 +68,277 @@ Monitor::registerEngine(sim::SerialEngine *engine)
                                              cfg_.hangThresholdSec);
     // The engine itself is inspectable but is not a Component; its
     // fields are exposed through the status endpoint instead.
+    if (cfg_.metricsEnabled) {
+        instrumentEngine();
+        if (cfg_.autoSample)
+            ensureSampler();
+    }
 }
 
 void
 Monitor::registerComponent(sim::Component *component)
 {
     registry_.add(component);
+    if (cfg_.metricsEnabled)
+        instrumentComponent(component);
+}
+
+void
+Monitor::instrumentEngine()
+{
+    sim::SerialEngine *e = engine_;
+    {
+        metrics::Desc d;
+        d.name = "akita_engine_virtual_time_seconds";
+        d.help = "Simulated (virtual) time.";
+        d.type = metrics::Type::Gauge;
+        d.series = metrics::SeriesMode::Full;
+        metrics_.addCallback(std::move(d), [e]() {
+            return sim::toSeconds(e->now());
+        });
+    }
+    {
+        metrics::Desc d;
+        d.name = "akita_engine_events_total";
+        d.help = "Events executed by the engine.";
+        d.type = metrics::Type::Counter;
+        d.series = metrics::SeriesMode::Full;
+        metrics_.addCallback(std::move(d), [e]() {
+            return static_cast<double>(e->eventCount());
+        });
+    }
+    {
+        metrics::Desc d;
+        d.name = "akita_engine_scheduled_total";
+        d.help = "Events ever scheduled.";
+        d.type = metrics::Type::Counter;
+        metrics_.addCallback(std::move(d), [e]() {
+            return static_cast<double>(e->scheduledCount());
+        });
+    }
+    {
+        metrics::Desc d;
+        d.name = "akita_engine_queue_length";
+        d.help = "Events currently queued.";
+        d.type = metrics::Type::Gauge;
+        d.series = metrics::SeriesMode::Full;
+        // queueLength() takes the engine lock internally.
+        metrics_.addCallback(std::move(d), [e]() {
+            return static_cast<double>(e->queueLength());
+        });
+    }
+    {
+        metrics::Desc d;
+        d.name = "akita_engine_paused";
+        d.help = "1 while the simulation is paused.";
+        d.type = metrics::Type::Gauge;
+        metrics_.addCallback(std::move(d), [e]() {
+            return e->paused() ? 1.0 : 0.0;
+        });
+    }
+}
+
+void
+Monitor::instrumentComponent(sim::Component *component)
+{
+    const std::string &cname = component->name();
+
+    for (const auto &portPtr : component->ports()) {
+        sim::Port *p = portPtr.get();
+        metrics::Labels labels = {{"port", p->fullName()}};
+        metrics::Desc d;
+        d.name = "akita_port_sent_total";
+        d.help = "Messages sent from the port.";
+        d.type = metrics::Type::Counter;
+        d.labels = labels;
+        metrics_.addCallback(std::move(d), [p]() {
+            return static_cast<double>(p->totalSent());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_port_received_total";
+        d.help = "Messages delivered into the port.";
+        d.type = metrics::Type::Counter;
+        d.labels = labels;
+        metrics_.addCallback(std::move(d), [p]() {
+            return static_cast<double>(p->totalReceived());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_port_send_rejections_total";
+        d.help = "Sends rejected with Busy (backpressure).";
+        d.type = metrics::Type::Counter;
+        d.labels = labels;
+        metrics_.addCallback(std::move(d), [p]() {
+            return static_cast<double>(p->totalSendRejections());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_port_sent_bytes_total";
+        d.help = "Bytes sent from the port.";
+        d.type = metrics::Type::Counter;
+        d.labels = labels;
+        metrics_.addCallback(std::move(d), [p]() {
+            return static_cast<double>(p->totalSentBytes());
+        });
+    }
+
+    for (sim::Buffer *b : component->buffers()) {
+        metrics::Labels labels = {{"buffer", b->name()}};
+        metrics::Desc d;
+        d.name = "akita_buffer_occupancy";
+        d.help = "Messages currently buffered (approximate).";
+        d.type = metrics::Type::Gauge;
+        d.labels = labels;
+        metrics_.addCallback(std::move(d), [b]() {
+            return static_cast<double>(b->approxSize());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_buffer_pushed_total";
+        d.help = "Messages ever pushed into the buffer.";
+        d.type = metrics::Type::Counter;
+        d.labels = labels;
+        metrics_.addCallback(std::move(d), [b]() {
+            return static_cast<double>(b->totalPushed());
+        });
+    }
+
+    metrics::Labels comp = {{"component", cname}};
+
+    if (auto *c = dynamic_cast<mem::Cache *>(component)) {
+        metrics::Desc d;
+        d.name = "akita_cache_hits_total";
+        d.help = "Cache directory hits.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [c]() {
+            return static_cast<double>(c->directory().hits());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_cache_misses_total";
+        d.help = "Cache directory misses.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [c]() {
+            return static_cast<double>(c->directory().misses());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_cache_transactions";
+        d.help = "Outstanding downstream transactions (MSHR bound).";
+        d.type = metrics::Type::Gauge;
+        d.labels = comp;
+        d.series = metrics::SeriesMode::Full;
+        d.needsLock = true; // Reads container sizes.
+        metrics_.addCallback(std::move(d), [c]() {
+            return static_cast<double>(c->transactionCount());
+        });
+    } else if (auto *l2 = dynamic_cast<mem::L2Cache *>(component)) {
+        metrics::Desc d;
+        d.name = "akita_cache_hits_total";
+        d.help = "Cache directory hits.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [l2]() {
+            return static_cast<double>(l2->directory().hits());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_cache_misses_total";
+        d.help = "Cache directory misses.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [l2]() {
+            return static_cast<double>(l2->directory().misses());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_cache_transactions";
+        d.help = "Outstanding downstream transactions (MSHR bound).";
+        d.type = metrics::Type::Gauge;
+        d.labels = comp;
+        d.series = metrics::SeriesMode::Full;
+        d.needsLock = true;
+        metrics_.addCallback(std::move(d), [l2]() {
+            return static_cast<double>(l2->transactionCount());
+        });
+    } else if (auto *dram = dynamic_cast<mem::DramController *>(
+                   component)) {
+        metrics::Desc d;
+        d.name = "akita_dram_reads_total";
+        d.help = "DRAM read requests completed.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [dram]() {
+            return static_cast<double>(dram->totalReads());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_dram_writes_total";
+        d.help = "DRAM write requests completed.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [dram]() {
+            return static_cast<double>(dram->totalWrites());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_dram_transactions";
+        d.help = "Requests in the DRAM service queue.";
+        d.type = metrics::Type::Gauge;
+        d.labels = comp;
+        d.series = metrics::SeriesMode::Full;
+        d.needsLock = true;
+        metrics_.addCallback(std::move(d), [dram]() {
+            return static_cast<double>(dram->transactionCount());
+        });
+    } else if (auto *rdma = dynamic_cast<mem::RdmaEngine *>(component)) {
+        metrics::Desc d;
+        d.name = "akita_rdma_forwarded_out_total";
+        d.help = "Requests forwarded to remote chiplets.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [rdma]() {
+            return static_cast<double>(rdma->totalForwardedOut());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_rdma_forwarded_in_total";
+        d.help = "Remote requests serviced locally.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [rdma]() {
+            return static_cast<double>(rdma->totalForwardedIn());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_rdma_transactions";
+        d.help = "In-flight RDMA transactions (case study 1 signal).";
+        d.type = metrics::Type::Gauge;
+        d.labels = comp;
+        d.series = metrics::SeriesMode::Full;
+        d.needsLock = true;
+        metrics_.addCallback(std::move(d), [rdma]() {
+            return static_cast<double>(rdma->transactionCount());
+        });
+    } else if (auto *cu = dynamic_cast<gpu::ComputeUnit *>(component)) {
+        metrics::Desc d;
+        d.name = "akita_cu_completed_wgs_total";
+        d.help = "Work-groups completed by the compute unit.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        d.series = metrics::SeriesMode::Full;
+        metrics_.addCallback(std::move(d), [cu]() {
+            return static_cast<double>(cu->completedWGs());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_cu_mem_reqs_total";
+        d.help = "Memory requests issued toward the L1 pipeline.";
+        d.type = metrics::Type::Counter;
+        d.labels = comp;
+        metrics_.addCallback(std::move(d), [cu]() {
+            return static_cast<double>(cu->memReqsIssued());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_cu_resident_wavefronts";
+        d.help = "Wavefronts currently resident.";
+        d.type = metrics::Type::Gauge;
+        d.labels = comp;
+        d.needsLock = true;
+        metrics_.addCallback(std::move(d), [cu]() {
+            return static_cast<double>(cu->residentWavefronts());
+        });
+    }
 }
 
 void
@@ -142,14 +437,15 @@ Monitor::status()
 }
 
 std::vector<PortThroughput>
-Monitor::portThroughput(const std::string &component_name)
+Monitor::portThroughput(const std::string &component_name,
+                        const std::string &client)
 {
-    std::vector<PortThroughput> out;
-    withEngineLock([&]() {
-        out = throughput_->sample(
-            component_name, engine_ != nullptr ? engine_->now() : 0);
-    });
-    return out;
+    // Port counters are relaxed atomics now, so throughput queries no
+    // longer borrow the engine lock at all — a monitoring client
+    // polling rates costs the simulation thread nothing.
+    return throughput_->sample(
+        component_name, engine_ != nullptr ? engine_->now() : 0,
+        client);
 }
 
 json::Json
@@ -224,9 +520,19 @@ Monitor::trackValue(const std::string &component_name,
 void
 Monitor::sampleNow()
 {
+    std::int64_t wallMs = nowWallMs();
     withEngineLock([&]() {
-        values_.sampleAll(engine_ != nullptr ? engine_->now() : 0);
+        values_.sampleAll(engine_ != nullptr ? engine_->now() : 0,
+                          wallMs);
     });
+}
+
+void
+Monitor::metricsSamplePass()
+{
+    metrics_.samplePass(
+        nowWallMs(), engine_ != nullptr ? engine_->now() : 0,
+        [this](const std::function<void()> &fn) { withEngineLock(fn); });
 }
 
 void
@@ -240,15 +546,25 @@ Monitor::ensureSampler()
 void
 Monitor::samplerLoop()
 {
+    auto lastMetricsPass = std::chrono::steady_clock::now() -
+                           std::chrono::hours(1);
     std::unique_lock<std::mutex> lk(samplerMu_);
     while (samplerRunning_.load()) {
         samplerCv_.wait_for(
             lk, std::chrono::milliseconds(cfg_.sampleIntervalMs));
         if (!samplerRunning_.load())
             break;
-        if (values_.numTracked() == 0)
-            continue;
-        sampleNow();
+        if (values_.numTracked() != 0)
+            sampleNow();
+        // Metrics passes run on their own (slower) cadence: a pass
+        // visits every instrument, the value monitor only a handful.
+        auto now = std::chrono::steady_clock::now();
+        if (cfg_.metricsEnabled &&
+            now - lastMetricsPass >=
+                std::chrono::milliseconds(cfg_.metricsIntervalMs)) {
+            lastMetricsPass = now;
+            metricsSamplePass();
+        }
     }
 }
 
@@ -261,6 +577,7 @@ Monitor::startServer()
     installApiRoutes(*server_, *this);
     if (!server_->start(cfg_.port))
         return false;
+    serverRaw_.store(server_.get(), std::memory_order_release);
     if (cfg_.announceUrl) {
         std::printf("AkitaRTM dashboard: %s\n", server_->url().c_str());
         std::fflush(stdout);
@@ -271,6 +588,9 @@ Monitor::startServer()
 void
 Monitor::stopServer()
 {
+    // Wake any SSE handlers blocked on the next sampling pass so the
+    // server's worker threads can observe the shutdown promptly.
+    metrics_.notifyWaiters();
     if (server_ != nullptr)
         server_->stop();
 }

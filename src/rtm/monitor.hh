@@ -30,6 +30,7 @@
 
 #include "gpu/progress.hh"
 #include "json/json.hh"
+#include "metrics/registry.hh"
 #include "rtm/bufferanalyzer.hh"
 #include "rtm/hang.hh"
 #include "rtm/progressbar.hh"
@@ -53,6 +54,13 @@ struct MonitorConfig
     std::uint16_t port = 0;
     /** Milliseconds between value-monitor samples. */
     int sampleIntervalMs = 50;
+    /**
+     * Milliseconds between metrics-store sampling passes. A pass walks
+     * every registered instrument, so it runs on a slower cadence than
+     * the (cheap, few-series) value monitor; the store's finest bucket
+     * is 1 s, which 250 ms sampling already over-resolves 4x.
+     */
+    int metricsIntervalMs = 250;
     /** Wall seconds of frozen virtual time before reporting a hang. */
     double hangThresholdSec = 2.0;
     /**
@@ -63,6 +71,19 @@ struct MonitorConfig
     bool autoSample = true;
     /** Print the dashboard URL on startServer (paper §IV-A). */
     bool announceUrl = true;
+    /**
+     * Retained points per tracked value series. The paper's dashboard
+     * keeps 300; longer investigations can raise it (the metrics store
+     * additionally keeps downsampled history beyond this cap).
+     */
+    std::size_t valueHistoryCap = 300;
+    /**
+     * Enables the metrics subsystem: registered engines/components get
+     * standard instruments, and the sampler thread records them into
+     * the multi-resolution store served at /metrics and the
+     * /api/v1/metrics endpoints.
+     */
+    bool metricsEnabled = true;
 };
 
 /**
@@ -176,10 +197,13 @@ class Monitor : public gpu::KernelProgressListener
     /**
      * Per-port achieved throughput of one component (§VIII's proposed
      * view): totals plus rates over virtual time since the previous
-     * query.
+     * query *by the same client*. Distinct clients keep independent
+     * delta cursors, so concurrent dashboards don't corrupt each
+     * other's rates.
      */
     std::vector<PortThroughput>
-    portThroughput(const std::string &component_name);
+    portThroughput(const std::string &component_name,
+                   const std::string &client = "");
 
     /** Connectivity map: one entry per registered connection. */
     json::Json topology() const;
@@ -238,6 +262,19 @@ class Monitor : public gpu::KernelProgressListener
     /** Takes one sampling pass now (under the engine lock). */
     void sampleNow();
 
+    // ---- Metrics store ----
+
+    /** The in-process metrics registry (instruments + time series). */
+    metrics::MetricRegistry &metrics() { return metrics_; }
+    const metrics::MetricRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Runs one metrics sampling pass now (pull callbacks + series
+     * append). The sampler thread does this automatically every
+     * sampleIntervalMs; deterministic harnesses call it directly.
+     */
+    void metricsSamplePass();
+
     // ---- Web server ----
 
     /** Starts the dashboard server; returns false on bind failure. */
@@ -258,7 +295,10 @@ class Monitor : public gpu::KernelProgressListener
     std::uint64_t
     requestsServed() const
     {
-        return server_ ? server_->requestCount() : 0;
+        // Atomic raw pointer: the metrics sampler reads this while
+        // startServer may be constructing server_.
+        web::HttpServer *s = serverRaw_.load(std::memory_order_acquire);
+        return s ? s->requestCount() : 0;
     }
 
     // ---- KernelProgressListener (driver integration) ----
@@ -275,9 +315,12 @@ class Monitor : public gpu::KernelProgressListener
   private:
     void samplerLoop();
     void ensureSampler();
+    void instrumentEngine();
+    void instrumentComponent(sim::Component *component);
 
     MonitorConfig cfg_;
     sim::SerialEngine *engine_ = nullptr;
+    metrics::MetricRegistry metrics_;
 
     ComponentRegistry registry_;
     std::vector<sim::Connection *> connections_;
@@ -289,6 +332,7 @@ class Monitor : public gpu::KernelProgressListener
     std::unique_ptr<HangWatch> hangWatch_;
 
     std::unique_ptr<web::HttpServer> server_;
+    std::atomic<web::HttpServer *> serverRaw_{nullptr};
 
     std::thread sampler_;
     std::atomic<bool> samplerRunning_{false};

@@ -1,5 +1,6 @@
 #include "rtm/throughput.hh"
 
+#include "sim/component.hh"
 #include "sim/port.hh"
 
 namespace akita
@@ -9,7 +10,7 @@ namespace rtm
 
 std::vector<PortThroughput>
 ThroughputTracker::sample(const std::string &component_name,
-                          sim::VTime now)
+                          sim::VTime now, const std::string &client)
 {
     std::vector<PortThroughput> out;
     sim::Component *c = registry_->find(component_name);
@@ -17,15 +18,35 @@ ThroughputTracker::sample(const std::string &component_name,
         return out;
 
     std::lock_guard<std::mutex> lk(mu_);
+
+    auto it = clients_.find(client);
+    if (it == clients_.end()) {
+        if (clients_.size() >= kMaxClients) {
+            // Evict the least-recently-used cursor.
+            const std::string &victim = lru_.back();
+            clients_.erase(victim);
+            lru_.pop_back();
+        }
+        lru_.push_front(client);
+        it = clients_.emplace(client, ClientState{}).first;
+        it->second.lruPos = lru_.begin();
+    } else {
+        lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+        it->second.lruPos = lru_.begin();
+    }
+    ClientState &state = it->second;
+
     for (const auto &p : c->ports()) {
         PortThroughput t;
         t.port = p->fullName();
+        // Atomic counter reads; consistent enough for rate deltas
+        // without stopping the simulation.
         t.totalSent = p->totalSent();
         t.totalSentBytes = p->totalSentBytes();
         t.totalReceived = p->totalReceived();
         t.sendRejections = p->totalSendRejections();
 
-        Prev &prev = prev_[t.port];
+        Prev &prev = state.prev[t.port];
         if (prev.valid && now > prev.at) {
             double dt = sim::toSeconds(now - prev.at);
             t.sendRateSimPerSec =
@@ -40,6 +61,13 @@ ThroughputTracker::sample(const std::string &component_name,
         out.push_back(std::move(t));
     }
     return out;
+}
+
+std::size_t
+ThroughputTracker::numClients() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return clients_.size();
 }
 
 } // namespace rtm

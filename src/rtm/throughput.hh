@@ -7,12 +7,19 @@
  * This module implements it: each query computes per-port message and
  * byte rates from counter deltas between successive queries, in both
  * wall time and virtual time.
+ *
+ * Deltas are tracked *per client*: every dashboard tab (or curl loop)
+ * passes its own client key and gets its own cursor, so two concurrent
+ * observers each see correct rates instead of stealing each other's
+ * deltas. Port counters are relaxed atomics, so sampling does not need
+ * the engine lock at all.
  */
 
 #ifndef AKITA_RTM_THROUGHPUT_HH
 #define AKITA_RTM_THROUGHPUT_HH
 
 #include <chrono>
+#include <list>
 #include <map>
 #include <mutex>
 #include <string>
@@ -45,26 +52,36 @@ struct PortThroughput
  *
  * Rates are over *virtual* time: they characterize the simulated
  * hardware (achieved bandwidth), not the simulator's wall-clock speed.
- * The first query of a port reports totals with zero rates.
+ * The first query of a port by a given client reports totals with zero
+ * rates.
  */
 class ThroughputTracker
 {
   public:
+    /** Client-cursor cap; least-recently-used cursors are evicted. */
+    static constexpr std::size_t kMaxClients = 256;
+
     explicit ThroughputTracker(const ComponentRegistry *registry)
         : registry_(registry)
     {
     }
 
     /**
-     * Samples every port of @p component_name.
+     * Samples every port of @p component_name for @p client.
      *
-     * Must be called under the engine lock (the Monitor facade does).
+     * Reads atomic port counters; no engine lock required.
      *
      * @param now Current virtual time.
+     * @param client Cursor key; each distinct client keeps independent
+     *        delta state ("" is a valid shared default).
      * @return Empty when the component is unknown.
      */
     std::vector<PortThroughput> sample(const std::string &component_name,
-                                       sim::VTime now);
+                                       sim::VTime now,
+                                       const std::string &client = "");
+
+    /** Number of live client cursors (for tests). */
+    std::size_t numClients() const;
 
   private:
     struct Prev
@@ -75,9 +92,17 @@ class ThroughputTracker
         bool valid = false;
     };
 
+    struct ClientState
+    {
+        std::map<std::string, Prev> prev; // By full port name.
+        std::list<std::string>::iterator lruPos;
+    };
+
     const ComponentRegistry *registry_;
-    std::mutex mu_;
-    std::map<std::string, Prev> prev_;
+    mutable std::mutex mu_;
+    std::map<std::string, ClientState> clients_;
+    /** Most-recently-used client keys, front = newest. */
+    std::list<std::string> lru_;
 };
 
 } // namespace rtm

@@ -5,6 +5,13 @@ namespace akita
 namespace rtm
 {
 
+void
+ValueMonitor::attachStore(metrics::MetricRegistry *store)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    store_ = store;
+}
+
 std::uint64_t
 ValueMonitor::track(const std::string &component_name,
                     const std::string &field_name,
@@ -18,6 +25,16 @@ ValueMonitor::track(const std::string &component_name,
     e.componentName = component_name;
     e.fieldName = field_name;
     e.getter = std::move(getter);
+    if (store_ != nullptr) {
+        metrics::Desc d;
+        d.name = "akita_tracked_value";
+        d.help = "Dashboard-tracked component field.";
+        d.type = metrics::Type::Gauge;
+        d.labels = {{"component", component_name},
+                    {"field", field_name}};
+        d.series = metrics::SeriesMode::Full;
+        e.storeId = store_->addPushed(std::move(d));
+    }
     entries_.push_back(std::move(e));
     return entries_.back().id;
 }
@@ -28,6 +45,8 @@ ValueMonitor::untrack(std::uint64_t id)
     std::lock_guard<std::mutex> lk(mu_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
         if (it->id == id) {
+            if (store_ != nullptr && it->storeId != 0)
+                store_->remove(it->storeId);
             entries_.erase(it);
             return true;
         }
@@ -36,14 +55,16 @@ ValueMonitor::untrack(std::uint64_t id)
 }
 
 void
-ValueMonitor::sampleAll(sim::VTime now)
+ValueMonitor::sampleAll(sim::VTime now, std::int64_t wall_ms)
 {
     std::lock_guard<std::mutex> lk(mu_);
     for (auto &e : entries_) {
         double v = e.getter().numeric();
         e.ring.push_back(ValueSample{now, v});
-        if (e.ring.size() > kMaxPoints)
+        if (e.ring.size() > maxPoints_)
             e.ring.pop_front();
+        if (store_ != nullptr && e.storeId != 0)
+            store_->recordPushed(e.storeId, wall_ms, now, v);
     }
 }
 

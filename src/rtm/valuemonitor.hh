@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "introspect/field.hh"
+#include "metrics/registry.hh"
 #include "sim/time.hh"
 
 namespace akita
@@ -51,11 +52,31 @@ struct TrackedSeries
 class ValueMonitor
 {
   public:
-    /** Maximum retained points per series (paper: 300). */
+    /** Default retained points per series (paper: 300). */
     static constexpr std::size_t kMaxPoints = 300;
 
     /** Maximum simultaneously tracked series (paper: 5). */
     static constexpr std::size_t kMaxSeries = 5;
+
+    /**
+     * @param max_points In-monitor ring size per series. The paper's
+     *        dashboard keeps 300; harnesses that want longer windows
+     *        raise it (MonitorConfig::valueHistoryCap plumbs through).
+     */
+    explicit ValueMonitor(std::size_t max_points = kMaxPoints)
+        : maxPoints_(max_points == 0 ? 1 : max_points)
+    {
+    }
+
+    std::size_t maxPoints() const { return maxPoints_; }
+
+    /**
+     * Mirrors every tracked series into @p store as a pushed
+     * "akita_tracked_value" instrument, giving it multi-resolution
+     * history far beyond the in-monitor ring. Call before track();
+     * nullptr detaches.
+     */
+    void attachStore(metrics::MetricRegistry *store);
 
     /**
      * Starts tracking a field.
@@ -70,8 +91,13 @@ class ValueMonitor
     /** Stops tracking. @return False when the id is unknown. */
     bool untrack(std::uint64_t id);
 
-    /** Samples every tracked series at the given simulation time. */
-    void sampleAll(sim::VTime now);
+    /**
+     * Samples every tracked series at the given simulation time.
+     *
+     * @param wall_ms Wall-clock milliseconds for the attached store's
+     *        bucketing; 0 is fine when no store is attached.
+     */
+    void sampleAll(sim::VTime now, std::int64_t wall_ms = 0);
 
     /** Snapshot of one series; empty id==0 sentinel when unknown. */
     TrackedSeries series(std::uint64_t id) const;
@@ -89,11 +115,15 @@ class ValueMonitor
         std::string fieldName;
         introspect::FieldGetter getter;
         std::deque<ValueSample> ring;
+        /** Id of the mirrored store instrument (0 = none). */
+        std::uint64_t storeId = 0;
     };
 
+    std::size_t maxPoints_;
     mutable std::mutex mu_;
     std::vector<Entry> entries_;
     std::uint64_t nextId_ = 1;
+    metrics::MetricRegistry *store_ = nullptr;
 };
 
 } // namespace rtm

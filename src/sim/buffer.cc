@@ -19,7 +19,7 @@ Buffer::Buffer(std::string name, std::size_t capacity)
     });
     declareField("total_pushed", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(totalPushed_));
+            static_cast<std::int64_t>(totalPushed()));
     });
     declareField("peak_size", [this]() {
         return introspect::Value::ofInt(
@@ -35,7 +35,8 @@ Buffer::push(MsgPtr msg)
                                  ": push on a full buffer");
     }
     q_.push_back(std::move(msg));
-    totalPushed_++;
+    totalPushed_.inc();
+    occupancy_.set(static_cast<double>(q_.size()));
     if (q_.size() > peakSize_)
         peakSize_ = q_.size();
 }
@@ -47,6 +48,7 @@ Buffer::popMatching(const std::function<bool(const Msg &)> &pred)
         if (pred(**it)) {
             MsgPtr m = std::move(*it);
             q_.erase(it);
+            occupancy_.set(static_cast<double>(q_.size()));
             return m;
         }
     }
@@ -60,6 +62,7 @@ Buffer::pop()
         return nullptr;
     MsgPtr m = std::move(q_.front());
     q_.pop_front();
+    occupancy_.set(static_cast<double>(q_.size()));
     return m;
 }
 

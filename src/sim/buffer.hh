@@ -16,6 +16,7 @@
 #include <string>
 
 #include "introspect/field.hh"
+#include "metrics/instrument.hh"
 #include "sim/msg.hh"
 
 namespace akita
@@ -77,10 +78,26 @@ class Buffer : public introspect::Inspectable
     MsgPtr popMatching(const std::function<bool(const Msg &)> &pred);
 
     /** Removes all messages. */
-    void clear() { q_.clear(); }
+    void
+    clear()
+    {
+        q_.clear();
+        occupancy_.set(0);
+    }
 
     /** Total number of messages ever pushed. */
-    std::uint64_t totalPushed() const { return totalPushed_; }
+    std::uint64_t totalPushed() const { return totalPushed_.value(); }
+
+    /**
+     * Occupancy as of the last push/pop, readable from any thread
+     * without the engine lock. May lag size() by an in-flight event;
+     * exact reads still require the lock.
+     */
+    std::size_t
+    approxSize() const
+    {
+        return static_cast<std::size_t>(occupancy_.value());
+    }
 
     /** Highest occupancy ever observed. */
     std::size_t peakSize() const { return peakSize_; }
@@ -92,7 +109,8 @@ class Buffer : public introspect::Inspectable
     std::string name_;
     std::size_t capacity_;
     std::deque<MsgPtr> q_;
-    std::uint64_t totalPushed_ = 0;
+    metrics::Counter totalPushed_;
+    metrics::Gauge occupancy_;
     std::size_t peakSize_ = 0;
 };
 

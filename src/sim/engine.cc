@@ -26,6 +26,10 @@ SerialEngine::SerialEngine()
         return introspect::Value::ofInt(
             static_cast<std::int64_t>(eventCount()));
     });
+    declareField("total_scheduled", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(scheduledCount()));
+    });
     declareField("paused",
                  [this]() { return introspect::Value::ofBool(paused()); });
     declareField("running",
@@ -41,6 +45,7 @@ SerialEngine::schedule(EventPtr event)
             std::to_string(event->time()) +
             ", now=" + std::to_string(now()) + ")");
     }
+    totalScheduled_.fetch_add(1, std::memory_order_relaxed);
     if (concurrent_) {
         std::lock_guard<std::recursive_mutex> lk(mu_);
         queue_.push(std::move(event));

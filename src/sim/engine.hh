@@ -96,6 +96,13 @@ class SerialEngine : public Engine
         return totalEvents_.load(std::memory_order_relaxed);
     }
 
+    /** Total number of events ever scheduled. Thread-safe. */
+    std::uint64_t
+    scheduledCount() const
+    {
+        return totalScheduled_.load(std::memory_order_relaxed);
+    }
+
     /**
      * Enables cross-thread access (monitor attached).
      *
@@ -166,6 +173,7 @@ class SerialEngine : public Engine
     EventQueue queue_;
     std::atomic<VTime> now_{0};
     std::atomic<std::uint64_t> totalEvents_{0};
+    std::atomic<std::uint64_t> totalScheduled_{0};
 
     bool concurrent_ = false;
     bool waitWhenEmpty_ = false;

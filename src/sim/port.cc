@@ -37,11 +37,11 @@ Port::send(MsgPtr msg)
     msg->src = this;
     SendStatus st = conn_->send(msg); // Keep a local ref across the call.
     if (st == SendStatus::Ok) {
-        totalSent_++;
-        totalSentBytes_ += msg->trafficBytes;
+        totalSent_.inc();
+        totalSentBytes_.inc(msg->trafficBytes);
     } else {
         msg->src = prevSrc;
-        totalRejected_++;
+        totalRejected_.inc();
     }
     return st;
 }
@@ -75,7 +75,7 @@ void
 Port::deliver(MsgPtr msg)
 {
     invokeHook(hookPosPortDeliver, msg.get());
-    totalReceived_++;
+    totalReceived_.inc();
     buf_.push(std::move(msg));
     if (owner_ != nullptr)
         owner_->wake();

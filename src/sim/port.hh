@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "metrics/instrument.hh"
 #include "sim/buffer.hh"
 #include "sim/hook.hh"
 #include "sim/msg.hh"
@@ -96,17 +97,22 @@ class Port : public Hookable
     /** True when the incoming buffer can accept another delivery. */
     bool canAcceptDelivery() const { return buf_.canPush(); }
 
+    /**
+     * Traffic counters. Backed by relaxed atomics so monitor threads
+     * (throughput view, metrics sampler) read them without taking the
+     * engine lock.
+     */
     /** Total messages ever sent from this port. */
-    std::uint64_t totalSent() const { return totalSent_; }
+    std::uint64_t totalSent() const { return totalSent_.value(); }
 
     /** Total sends rejected with Busy (backpressure indicator). */
-    std::uint64_t totalSendRejections() const { return totalRejected_; }
+    std::uint64_t totalSendRejections() const { return totalRejected_.value(); }
 
     /** Total bytes successfully sent from this port. */
-    std::uint64_t totalSentBytes() const { return totalSentBytes_; }
+    std::uint64_t totalSentBytes() const { return totalSentBytes_.value(); }
 
     /** Total messages ever delivered into this port. */
-    std::uint64_t totalReceived() const { return totalReceived_; }
+    std::uint64_t totalReceived() const { return totalReceived_.value(); }
 
   private:
     Component *owner_;
@@ -114,10 +120,10 @@ class Port : public Hookable
     std::string fullName_;
     Buffer buf_;
     Connection *conn_ = nullptr;
-    std::uint64_t totalSent_ = 0;
-    std::uint64_t totalRejected_ = 0;
-    std::uint64_t totalSentBytes_ = 0;
-    std::uint64_t totalReceived_ = 0;
+    metrics::Counter totalSent_;
+    metrics::Counter totalRejected_;
+    metrics::Counter totalSentBytes_;
+    metrics::Counter totalReceived_;
 };
 
 } // namespace sim

@@ -73,10 +73,13 @@ HttpClient::roundTrip(const std::string &request) const
         if (n <= 0)
             break;
         data.append(buf, static_cast<std::size_t>(n));
-        // Stop as soon as a complete response is parseable.
+        // Stop as soon as a complete response is parseable. Responses
+        // without Content-Length are close-framed: keep reading to EOF.
         if (auto parsed = parseResponse(data)) {
-            ::close(fd);
-            return ClientResponse{parsed->status, parsed->body};
+            if (parsed->headers.count("content-length")) {
+                ::close(fd);
+                return ClientResponse{parsed->status, parsed->body};
+            }
         }
     }
     ::close(fd);

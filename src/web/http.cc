@@ -280,11 +280,16 @@ parseResponse(const std::string &data)
     if (bodyStart == std::string::npos || !valid)
         return std::nullopt;
 
-    std::size_t contentLen = 0;
     auto it = resp.headers.find("content-length");
-    if (it != resp.headers.end())
-        contentLen = static_cast<std::size_t>(
-            std::strtoll(it->second.c_str(), nullptr, 10));
+    if (it == resp.headers.end()) {
+        // Connection-close framing (e.g. streamed responses): the body
+        // is whatever has arrived so far; the caller decides when the
+        // response is complete (EOF).
+        resp.body = data.substr(bodyStart);
+        return resp;
+    }
+    auto contentLen = static_cast<std::size_t>(
+        std::strtoll(it->second.c_str(), nullptr, 10));
     if (data.size() < bodyStart + contentLen)
         return std::nullopt;
     resp.body = data.substr(bodyStart, contentLen);

@@ -13,6 +13,37 @@ namespace akita
 namespace web
 {
 
+bool
+StreamWriter::writeHead(
+    int status,
+    const std::vector<std::pair<std::string, std::string>> &headers)
+{
+    std::string head = "HTTP/1.1 " + std::to_string(status) +
+                       (status == 200 ? " OK" : " Error") + "\r\n";
+    for (const auto &kv : headers)
+        head += kv.first + ": " + kv.second + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    return write(head);
+}
+
+bool
+StreamWriter::write(const std::string &chunk)
+{
+    if (!alive())
+        return false;
+    std::size_t off = 0;
+    while (off < chunk.size()) {
+        ssize_t n = ::send(fd_, chunk.data() + off, chunk.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            failed_ = true;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
 HttpServer::HttpServer() = default;
 
 HttpServer::~HttpServer()
@@ -21,8 +52,9 @@ HttpServer::~HttpServer()
 }
 
 void
-HttpServer::route(const std::string &method, const std::string &pattern,
-                  Handler handler)
+HttpServer::addRoute(const std::string &method,
+                     const std::string &pattern, Handler handler,
+                     StreamHandler stream)
 {
     std::lock_guard<std::mutex> lk(routesMu_);
     Route r;
@@ -35,7 +67,23 @@ HttpServer::route(const std::string &method, const std::string &pattern,
         r.prefix = false;
     }
     r.handler = std::move(handler);
+    r.stream = std::move(stream);
     routes_.push_back(std::move(r));
+}
+
+void
+HttpServer::route(const std::string &method, const std::string &pattern,
+                  Handler handler)
+{
+    addRoute(method, pattern, std::move(handler), nullptr);
+}
+
+void
+HttpServer::routeStream(const std::string &method,
+                        const std::string &pattern,
+                        StreamHandler handler)
+{
+    addRoute(method, pattern, nullptr, std::move(handler));
 }
 
 bool
@@ -177,6 +225,19 @@ HttpServer::handleConnection(int fd)
         if (conn != req.headers.end() && conn->second == "close")
             keepAlive = false;
 
+        Route r;
+        if (findRoute(req, r) && r.stream) {
+            // Streaming response: the handler writes incrementally;
+            // connection-close is the framing, so never keep-alive.
+            StreamWriter w(fd, &running_);
+            try {
+                r.stream(req, w);
+            } catch (const std::exception &) {
+                // Best effort; the stream just ends.
+            }
+            break;
+        }
+
         Response resp = dispatch(req);
         std::string out = resp.serialize(keepAlive);
         if (::send(fd, out.data(), out.size(), MSG_NOSIGNAL) < 0)
@@ -190,34 +251,41 @@ HttpServer::handleConnection(int fd)
     activeFds_.erase(fd);
 }
 
+bool
+HttpServer::findRoute(const Request &req, Route &out)
+{
+    std::lock_guard<std::mutex> lk(routesMu_);
+    std::size_t bestLen = 0;
+    bool bestExact = false;
+    bool found = false;
+    for (const auto &r : routes_) {
+        if (r.method != "*" && r.method != req.method)
+            continue;
+        if (r.prefix) {
+            if (req.path.rfind(r.pattern, 0) == 0 && !bestExact &&
+                r.pattern.size() >= bestLen) {
+                bestLen = r.pattern.size();
+                out = r;
+                found = true;
+            }
+        } else if (r.pattern == req.path) {
+            out = r;
+            bestExact = true;
+            found = true;
+        }
+    }
+    return found;
+}
+
 Response
 HttpServer::dispatch(const Request &req)
 {
-    Handler handler;
-    {
-        std::lock_guard<std::mutex> lk(routesMu_);
-        std::size_t bestLen = 0;
-        bool bestExact = false;
-        for (const auto &r : routes_) {
-            if (r.method != "*" && r.method != req.method)
-                continue;
-            if (r.prefix) {
-                if (req.path.rfind(r.pattern, 0) == 0 && !bestExact &&
-                    r.pattern.size() >= bestLen) {
-                    bestLen = r.pattern.size();
-                    handler = r.handler;
-                }
-            } else if (r.pattern == req.path) {
-                handler = r.handler;
-                bestExact = true;
-            }
-        }
-    }
-    if (!handler)
+    Route r;
+    if (!findRoute(req, r) || !r.handler)
         return Response::error(404, "no route for " + req.path);
 
     try {
-        return handler(req);
+        return r.handler(req);
     } catch (const std::exception &e) {
         return Response::error(500, std::string("handler error: ") +
                                         e.what());

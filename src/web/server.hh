@@ -30,6 +30,49 @@ namespace web
 using Handler = std::function<Response(const Request &)>;
 
 /**
+ * Incremental writer for streaming responses (Server-Sent Events).
+ *
+ * A stream handler writes the head once, then chunks for as long as
+ * alive() holds. The connection closes when the handler returns —
+ * streaming responses carry no Content-Length, so close is the framing.
+ */
+class StreamWriter
+{
+  public:
+    StreamWriter(int fd, const std::atomic<bool> *server_running)
+        : fd_(fd), serverRunning_(server_running)
+    {
+    }
+
+    /**
+     * Writes the status line and headers. "Connection: close" is added
+     * automatically. @return False when the client is gone.
+     */
+    bool writeHead(
+        int status,
+        const std::vector<std::pair<std::string, std::string>> &headers);
+
+    /** Writes one chunk of body. @return False when the client is gone. */
+    bool write(const std::string &chunk);
+
+    /** True until the client disconnects or the server stops. */
+    bool
+    alive() const
+    {
+        return !failed_ && serverRunning_->load();
+    }
+
+  private:
+    int fd_;
+    const std::atomic<bool> *serverRunning_;
+    bool failed_ = false;
+};
+
+/** Streaming handler; runs on a server worker thread. */
+using StreamHandler =
+    std::function<void(const Request &, StreamWriter &)>;
+
+/**
  * A small routing HTTP server bound to 127.0.0.1.
  *
  * Routes are matched most-specific-first: exact paths win over prefix
@@ -52,6 +95,13 @@ class HttpServer
      */
     void route(const std::string &method, const std::string &pattern,
                Handler handler);
+
+    /**
+     * Registers a streaming handler (same pattern rules as route()).
+     * The connection is closed when the handler returns.
+     */
+    void routeStream(const std::string &method,
+                     const std::string &pattern, StreamHandler handler);
 
     /**
      * Binds and starts serving.
@@ -86,11 +136,15 @@ class HttpServer
         std::string pattern; // Without the trailing "*".
         bool prefix;
         Handler handler;
+        StreamHandler stream; // Set for routeStream registrations.
     };
 
     void acceptLoop();
     void handleConnection(int fd);
     Response dispatch(const Request &req);
+    bool findRoute(const Request &req, Route &out);
+    void addRoute(const std::string &method, const std::string &pattern,
+                  Handler handler, StreamHandler stream);
 
     std::vector<Route> routes_;
     std::mutex routesMu_;

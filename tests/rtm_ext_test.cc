@@ -25,9 +25,11 @@ struct Rig
     gpu::Platform plat;
     rtm::Monitor mon;
 
-    Rig()
+    Rig() : Rig(config()) {}
+
+    explicit Rig(const rtm::MonitorConfig &cfg)
         : plat(gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny())),
-          mon(config())
+          mon(cfg)
     {
         mon.registerEngine(&plat.engine());
         for (auto *c : plat.components())
@@ -86,6 +88,80 @@ TEST(Throughput, TotalsAndRates)
         }
     }
     EXPECT_TRUE(memPortActive);
+}
+
+TEST(Throughput, TwoClientsIndependentCursors)
+{
+    Rig rig;
+    const std::string comp = "GPU[0].SA[0].CU[0]";
+
+    // Both clients establish baselines before any traffic.
+    rig.mon.portThroughput(comp, "a");
+    rig.mon.portThroughput(comp, "b");
+
+    rig.runKernel();
+
+    // A drains its delta twice; B's cursor must stay untouched.
+    auto a1 = rig.mon.portThroughput(comp, "a");
+    auto a2 = rig.mon.portThroughput(comp, "a");
+    auto b1 = rig.mon.portThroughput(comp, "b");
+
+    double aRate = 0, bRate = 0;
+    for (const auto &t : a1)
+        aRate += t.sendRateSimPerSec;
+    for (const auto &t : b1)
+        bRate += t.sendRateSimPerSec;
+    EXPECT_GT(aRate, 0.0);
+    // The shared-cursor bug zeroed B's first post-run rate because A's
+    // queries consumed the delta; per-client cursors keep them equal.
+    EXPECT_DOUBLE_EQ(bRate, aRate);
+    for (const auto &t : a2)
+        EXPECT_EQ(t.sendRateSimPerSec, 0.0)
+            << "no virtual time elapsed between A's queries";
+    // Totals are absolute and identical for every observer.
+    for (std::size_t i = 0; i < a1.size(); i++)
+        EXPECT_EQ(a1[i].totalSent, b1[i].totalSent);
+}
+
+TEST(Throughput, ClientCursorLruEviction)
+{
+    Rig rig;
+    rig.runKernel();
+    const std::string comp = "GPU[0].SA[0].CU[0]";
+
+    rtm::ThroughputTracker tracker(&rig.mon.registry());
+    // More clients than the cursor table retains: the oldest fall off
+    // but the table never grows unbounded.
+    for (int i = 0; i < 300; i++)
+        tracker.sample(comp, rig.plat.engine().now(),
+                       "client-" + std::to_string(i));
+    EXPECT_LE(tracker.numClients(), 256u);
+}
+
+TEST(ValueMonitor, HistoryCapConfigurable)
+{
+    rtm::MonitorConfig cfg;
+    cfg.announceUrl = false;
+    cfg.autoSample = false;
+    cfg.valueHistoryCap = 4;
+    Rig rig(cfg);
+
+    auto id = rig.mon.trackValue("GPU[0].RDMA", "transactions");
+    ASSERT_GT(id, 0u);
+    for (int i = 0; i < 10; i++)
+        rig.mon.sampleNow();
+
+    // The dashboard ring honours the configured cap...
+    auto s = rig.mon.valueSeries(id);
+    EXPECT_EQ(s.samples.size(), 4u);
+
+    // ...while the metrics store retains the full raw history beyond
+    // the cap (no 300-point cliff).
+    auto series = rig.mon.metrics().query(
+        "akita_tracked_value", {{"component", "GPU[0].RDMA"}}, 0,
+        std::numeric_limits<std::int64_t>::max(), 1);
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_GE(series[0].points.size(), 10u);
 }
 
 TEST(Throughput, UnknownComponentEmpty)

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
 #include <thread>
 
 #include "gpu/platform.hh"
@@ -336,6 +338,159 @@ TEST(RtmHttp, CaseStudy2HangWorkflow)
 
     rig.plat.engine().stop();
     rig.join();
+}
+
+TEST(RtmHttp, PrometheusScrapeHasFamilies)
+{
+    LiveRig rig;
+    auto k = smallKernel(256);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+
+    // Let the sampler take a few passes while the workload runs.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    auto r = c.get("/metrics");
+    ASSERT_TRUE(r.has_value());
+    ASSERT_EQ(r->status, 200);
+
+    // Count distinct instrument families from "# TYPE <name> <kind>".
+    std::set<std::string> families;
+    std::istringstream lines(r->body);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("# TYPE ", 0) == 0) {
+            auto sp = line.find(' ', 7);
+            families.insert(line.substr(7, sp - 7));
+        }
+    }
+    EXPECT_GE(families.size(), 10u) << r->body;
+    for (const char *want :
+         {"akita_engine_events_total", "akita_engine_virtual_time_seconds",
+          "akita_port_sent_total", "akita_buffer_occupancy",
+          "akita_cache_hits_total", "akita_dram_reads_total",
+          "akita_rdma_forwarded_out_total", "akita_cu_completed_wgs_total",
+          "akita_http_requests_total",
+          "akita_metrics_sample_pass_seconds"}) {
+        EXPECT_TRUE(families.count(want)) << "missing family " << want;
+    }
+    rig.join();
+}
+
+TEST(RtmHttp, MetricsQueryEndpoint)
+{
+    LiveRig rig;
+    auto k = smallKernel(256);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+    rig.join();
+    // Workload done; force one more pass so the final totals land.
+    rig.mon.metricsSamplePass();
+
+    auto missing = c.get("/api/v1/metrics/query");
+    EXPECT_EQ(missing->status, 400);
+
+    Json list = getJson(c, "/api/v1/metrics");
+    EXPECT_GE(list.size(), 10u);
+
+    Json series = getJson(
+        c, "/api/v1/metrics/query?name=akita_engine_events_total&step=1");
+    ASSERT_EQ(series.size(), 1u);
+    const Json *pts = series.at(0).get("points");
+    ASSERT_NE(pts, nullptr);
+    ASSERT_GE(pts->size(), 1u);
+    // Cumulative event counter: non-decreasing across points, positive
+    // at the end.
+    double prev = -1;
+    for (const auto &p : pts->items()) {
+        double last = p.getNumber("last", -1);
+        EXPECT_GE(last, prev);
+        prev = last;
+    }
+    EXPECT_GT(prev, 0);
+
+    // Label-filtered query: one CU's completed work-groups.
+    Json cu = getJson(c,
+                      "/api/v1/metrics/query?name=akita_cu_completed_wgs_"
+                      "total&component=GPU%5B0%5D.SA%5B0%5D.CU%5B0%5D");
+    ASSERT_EQ(cu.size(), 1u);
+    EXPECT_EQ(cu.at(0).get("labels")->getStr("component"),
+              "GPU[0].SA[0].CU[0]");
+}
+
+TEST(RtmHttp, MetricsStreamSse)
+{
+    LiveRig rig;
+    auto k = smallKernel(128);
+    rig.plat.launchKernel(&k);
+    rig.runAsync();
+    auto c = rig.client();
+
+    // max_events=1 makes the stream close after one event so the
+    // plain read-to-EOF client can consume it.
+    auto r = c.get(
+        "/api/v1/metrics/stream?name=akita_engine_events_total&"
+        "max_events=1");
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, 200);
+    auto at = r->body.find("data: ");
+    ASSERT_NE(at, std::string::npos) << r->body;
+    std::string payload = r->body.substr(at + 6);
+    payload = payload.substr(0, payload.find('\n'));
+    Json arr = Json::parse(payload);
+    ASSERT_GE(arr.size(), 1u);
+    EXPECT_EQ(arr.at(0).getStr("name"), "akita_engine_events_total");
+    EXPECT_GE(arr.at(0).getNumber("value", -1), 0);
+    rig.join();
+}
+
+TEST(RtmHttp, TwoThroughputClientsIndependentRates)
+{
+    LiveRig rig;
+    auto k = smallKernel(128);
+    rig.plat.launchKernel(&k);
+    auto c = rig.client();
+    const std::string q =
+        "/api/throughput?component=GPU%5B0%5D.RDMA&client=";
+
+    // Both clients take a baseline cursor before the run.
+    Json a1 = getJson(c, q + "a");
+    Json b1 = getJson(c, q + "b");
+    ASSERT_GE(a1.size(), 1u);
+    for (const auto &p : a1.items())
+        EXPECT_EQ(p.getNumber("send_rate_sim_per_sec", -1), 0);
+
+    rig.runAsync();
+    rig.join();
+
+    // Client A queries twice after completion; the second A query
+    // consumes A's delta. B's cursor must be unaffected: its first
+    // post-run query still sees the full run's worth of traffic.
+    Json a2 = getJson(c, q + "a");
+    Json a3 = getJson(c, q + "a");
+    Json b2 = getJson(c, q + "b");
+
+    double aRate = 0, bRate = 0;
+    std::int64_t aTotal = 0, bTotal = 0;
+    for (const auto &p : a2.items()) {
+        aRate += p.getNumber("send_rate_sim_per_sec", 0);
+        aTotal += p.getInt("total_sent", 0);
+    }
+    for (const auto &p : b2.items()) {
+        bRate += p.getNumber("send_rate_sim_per_sec", 0);
+        bTotal += p.getInt("total_sent", 0);
+    }
+    EXPECT_GT(aTotal, 0);
+    EXPECT_EQ(aTotal, bTotal) << "totals are absolute, not per-client";
+    EXPECT_GT(aRate, 0);
+    // With the old shared cursor, A's second query (a3) would have
+    // zeroed the delta so B's rate would read 0 here.
+    EXPECT_DOUBLE_EQ(bRate, aRate)
+        << "client B's rate was corrupted by client A's queries";
+    // a3 itself sees no further virtual-time progress => zero rates.
+    for (const auto &p : a3.items())
+        EXPECT_EQ(p.getNumber("send_rate_sim_per_sec", -1), 0);
 }
 
 TEST(RtmHttp, MonitoredRunIsDeterministic)

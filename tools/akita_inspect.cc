@@ -21,6 +21,9 @@
  *   tick <name>                   wake one component
  *   profile [N]                   top-N profiler entries
  *   profile-start | profile-stop  toggle the profiler
+ *   metrics                       list instrument families
+ *   metrics <name> [step_ms]      range-query one family's time series
+ *   scrape                        raw Prometheus exposition
  *   track <name> <field>          start a time series, prints its id
  *   untrack <id>                  stop a time series
  *   series <id>                   print a series (t_ps value rows)
@@ -270,6 +273,44 @@ run(int argc, char **argv)
                         f.getNumber("self_ns", 0) / 1e6,
                         f.getNumber("total_ns", 0) / 1e6,
                         static_cast<long long>(f.getInt("calls", 0)));
+        }
+        return 0;
+    }
+    if (cmd == "scrape") {
+        auto r = client.get("/metrics");
+        if (!r || r->status != 200)
+            return fail(r ? r->body : "unreachable");
+        std::fputs(r->body.c_str(), stdout);
+        return 0;
+    }
+    if (cmd == "metrics") {
+        if (args.size() < 2) {
+            // List registered families: name, type, labels.
+            Json list = mustGet(client, "/api/v1/metrics");
+            std::printf("%-44s %-10s %s\n", "name", "type", "labels");
+            for (const auto &d : list.items()) {
+                std::string labels = d.get("labels")->dump();
+                std::printf("%-44s %-10s %s\n",
+                            d.getStr("name").c_str(),
+                            d.getStr("type").c_str(), labels.c_str());
+            }
+            return 0;
+        }
+        std::string step = args.size() > 2 ? args[2] : "1000";
+        Json series =
+            mustGet(client, "/api/v1/metrics/query?name=" +
+                                urlEncode(args[1]) + "&step=" + step);
+        for (const auto &s : series.items()) {
+            std::printf("# %s %s\n", s.getStr("name").c_str(),
+                        s.get("labels")->dump().c_str());
+            for (const auto &p : s.get("points")->items()) {
+                std::printf("%lld min=%g max=%g avg=%g last=%g "
+                            "count=%lld\n",
+                            static_cast<long long>(p.getInt("t_ms", 0)),
+                            p.getNumber("min", 0), p.getNumber("max", 0),
+                            p.getNumber("avg", 0), p.getNumber("last", 0),
+                            static_cast<long long>(p.getInt("count", 0)));
+            }
         }
         return 0;
     }
