@@ -32,7 +32,8 @@ struct Rig
     workloads::Benchmark bench;
 
     Rig()
-        : plat(gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny())),
+        : plat(bench::applyEngine(
+              gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()))),
           mon(bench::quietMonitor()),
           bench(workloads::paperSuite(bench::benchScale(0.25))[0]) // FIR
     {
@@ -70,8 +71,9 @@ struct Rig
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCli(argc, argv);
     int runs = bench::envInt("AKITA_RUNS", 3);
 
     auto timeScenario = [&](const std::function<double()> &once) {

@@ -72,8 +72,9 @@ runIm2Col(gpu::PlatformConfig cfg)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCli(argc, argv);
     using bench::section;
     section("Network ablation — im2col on the 4-chiplet MCM GPU");
     std::printf("%-36s %14s %12s %10s\n", "network", "completion",
@@ -86,7 +87,8 @@ main()
     };
     std::vector<Row> rows;
 
-    auto base = gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny());
+    auto base = bench::applyEngine(
+        gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()));
 
     {
         Row r{"crossbar (default bandwidth)", base};

@@ -39,14 +39,15 @@ buggyConfig()
     cfg.gpu.l2.installCapacity = 2;
     cfg.gpu.l2.wbFetchedCapacity = 2;
     cfg.gpu.l2.dramWriteInflightMax = 1;
-    return cfg;
+    return bench::applyEngine(std::move(cfg));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCli(argc, argv);
     using bench::section;
 
     workloads::TransposeParams tp;

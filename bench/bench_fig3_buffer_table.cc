@@ -18,8 +18,9 @@
 using namespace akita;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCli(argc, argv);
     using bench::section;
 
     gpu::PlatformConfig cfg = bench::evalPlatform();

@@ -114,11 +114,13 @@ class Source : public sim::TickingComponent
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCli(argc, argv);
     using bench::section;
 
-    sim::SerialEngine eng;
+    auto engine = bench::makeEngine();
+    sim::Engine &eng = *engine;
     sim::DirectConnection conn(&eng, "Chain", sim::kNanosecond);
 
     // Service rates: A, B, D fast (1 cycle); C slow (6 cycles).

@@ -22,8 +22,9 @@
 using namespace akita;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCli(argc, argv);
     using bench::section;
     using bench::sparkline;
     using bench::stats;

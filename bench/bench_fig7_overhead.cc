@@ -141,8 +141,9 @@ runOnce(const workloads::Benchmark &bench, Scenario scenario)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseCli(argc, argv);
     int runs = bench::envInt("AKITA_RUNS", 3);
     double scale = bench::benchScale(0.25);
     auto suite = workloads::paperSuite(scale);

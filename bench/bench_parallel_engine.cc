@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Head-to-head engine benchmark: SerialEngine vs ParallelEngine at
+ * 1/2/4/8 workers. Two engine-bound scenarios:
+ *
+ *   - compute: K co-timed handler chains each burning deterministic
+ *     CPU work per event. Parallel speedup here requires real cores;
+ *     on a single-core host the sweep documents the coordination
+ *     overhead instead.
+ *   - latency_bound: K co-timed handlers each blocking ~200 us per
+ *     event (stand-in for co-simulation / external-process stalls,
+ *     where the handler waits rather than computes). Worker overlap
+ *     wins even on one core because the blocked time is concurrent.
+ *
+ * Prints a JSON document (BENCH_parallel_engine.json) to stdout;
+ * human-readable progress goes to stderr. AKITA_RUNS (default 3)
+ * repetitions, minimum taken.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "json/json.hh"
+#include "sim/sim.hh"
+
+using namespace akita;
+
+namespace
+{
+
+/** A self-rescheduling handler: fires `limit` times at a fixed period,
+ * doing `spinIters` of hash work and/or `sleepUs` of blocking per
+ * event. All chains share the same period, so every step is a cohort
+ * of K independent partitions. */
+class ChainHandler : public sim::EventHandler
+{
+  public:
+    ChainHandler(sim::Engine *eng, int limit, std::uint64_t spin_iters,
+                 int sleep_us)
+        : eng_(eng), limit_(limit), spinIters_(spin_iters),
+          sleepUs_(sleep_us)
+    {
+    }
+
+    void
+    handle(sim::Event &ev) override
+    {
+        std::uint64_t h = 1469598103934665603ull ^ ev.time();
+        for (std::uint64_t i = 0; i < spinIters_; i++) {
+            h ^= i;
+            h *= 1099511628211ull;
+        }
+        sink += h;
+        if (sleepUs_ > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(sleepUs_));
+        }
+        if (++fired_ < limit_) {
+            eng_->schedule(std::make_unique<sim::Event>(
+                ev.time() + sim::kNanosecond, this));
+        }
+    }
+
+    volatile std::uint64_t sink = 0;
+
+  private:
+    sim::Engine *eng_;
+    int fired_ = 0;
+    int limit_;
+    std::uint64_t spinIters_;
+    int sleepUs_;
+};
+
+struct Scenario
+{
+    const char *name;
+    int chains;
+    int fires;
+    std::uint64_t spinIters;
+    int sleepUs;
+};
+
+double
+runOnce(sim::Engine &eng, const Scenario &sc)
+{
+    std::vector<std::unique_ptr<ChainHandler>> handlers;
+    handlers.reserve(static_cast<std::size_t>(sc.chains));
+    sim::VTime start = eng.now() + sim::kNanosecond;
+    for (int i = 0; i < sc.chains; i++) {
+        handlers.push_back(std::make_unique<ChainHandler>(
+            &eng, sc.fires, sc.spinIters, sc.sleepUs));
+        eng.schedule(
+            std::make_unique<sim::Event>(start, handlers.back().get()));
+    }
+    bench::Stopwatch sw;
+    eng.run();
+    return sw.seconds();
+}
+
+double
+minOfRuns(const Scenario &sc, int workers, int runs)
+{
+    // workers < 0 selects the serial engine; 0+ the parallel one
+    // (0 = hardware concurrency).
+    double best = 1e18;
+    for (int r = 0; r < runs; r++) {
+        std::unique_ptr<sim::Engine> eng;
+        if (workers < 0)
+            eng = std::make_unique<sim::SerialEngine>();
+        else
+            eng = std::make_unique<sim::ParallelEngine>(workers);
+        best = std::min(best, runOnce(*eng, sc));
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseCli(argc, argv);
+    int runs = bench::envInt("AKITA_RUNS", 3);
+    const int workerSweep[] = {1, 2, 4, 8};
+
+    const Scenario scenarios[] = {
+        {"compute", 16, 400, 4000, 0},
+        {"latency_bound", 8, 50, 0, 200},
+    };
+
+    json::Json doc = json::Json::object();
+    doc.set("bench", "parallel_engine");
+    doc.set("host_cores",
+            static_cast<std::int64_t>(
+                std::thread::hardware_concurrency()));
+    doc.set("runs_per_cell", runs);
+
+    json::Json byScenario = json::Json::object();
+    for (const Scenario &sc : scenarios) {
+        std::fprintf(stderr, "%s: serial...\n", sc.name);
+        double serial = minOfRuns(sc, -1, runs);
+        json::Json row = json::Json::object();
+        row.set("chains", sc.chains);
+        row.set("events", sc.chains * sc.fires);
+        row.set("serial_sec", serial);
+        json::Json par = json::Json::object();
+        double best = serial;
+        for (int w : workerSweep) {
+            std::fprintf(stderr, "%s: %d workers...\n", sc.name, w);
+            double t = minOfRuns(sc, w, runs);
+            par.set(std::to_string(w), t);
+            best = std::min(best, t);
+        }
+        row.set("parallel_sec", std::move(par));
+        row.set("best_speedup", serial / best);
+        byScenario.set(sc.name, std::move(row));
+    }
+    doc.set("scenarios", std::move(byScenario));
+
+    std::printf("%s\n", doc.dump(2).c_str());
+    return 0;
+}

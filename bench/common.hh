@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -20,6 +21,55 @@ namespace akita
 {
 namespace bench
 {
+
+/** @{ Remembered argv so platform factories deep inside a harness can
+ * honor --engine=serial|parallel and --workers=N (the AKITA_ENGINE /
+ * AKITA_WORKERS env vars work too; flags win). Call parseCli() first
+ * thing in main(). */
+inline int &
+cliArgc()
+{
+    static int v = 0;
+    return v;
+}
+
+inline char **&
+cliArgv()
+{
+    static char **v = nullptr;
+    return v;
+}
+
+inline void
+parseCli(int argc, char **argv)
+{
+    cliArgc() = argc;
+    cliArgv() = argv;
+}
+/** @} */
+
+/** Applies the engine selection (env vars, then CLI flags) to a
+ * platform configuration. */
+inline gpu::PlatformConfig
+applyEngine(gpu::PlatformConfig cfg)
+{
+    if (cliArgv() != nullptr)
+        gpu::applyEngineArgs(cfg, cliArgc(), cliArgv());
+    else
+        gpu::applyEngineEnv(cfg);
+    return cfg;
+}
+
+/** Builds a bare engine honoring the same selection, for harnesses
+ * that drive sim components without a gpu::Platform. */
+inline std::unique_ptr<sim::Engine>
+makeEngine()
+{
+    gpu::PlatformConfig cfg = applyEngine(gpu::PlatformConfig{});
+    if (cfg.engineKind == gpu::EngineKind::Parallel)
+        return std::make_unique<sim::ParallelEngine>(cfg.workers);
+    return std::make_unique<sim::SerialEngine>();
+}
 
 /** Reads a double from the environment with a default. */
 inline double
@@ -50,7 +100,7 @@ evalPlatform()
 {
     gpu::GpuConfig chip = fullScale() ? gpu::GpuConfig::r9nano()
                                       : gpu::GpuConfig::medium();
-    return gpu::PlatformConfig::mcm4(chip);
+    return applyEngine(gpu::PlatformConfig::mcm4(chip));
 }
 
 /** Default workload scale (AKITA_SCALE overrides). */

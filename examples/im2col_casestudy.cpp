@@ -35,10 +35,11 @@ step(const char *text)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     gpu::PlatformConfig cfg =
         gpu::PlatformConfig::mcm4(gpu::GpuConfig::medium());
+    gpu::applyEngineArgs(cfg, argc, argv); // --engine= / --workers=
     gpu::Platform platform(cfg);
 
     rtm::Monitor monitor;

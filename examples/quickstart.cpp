@@ -30,6 +30,7 @@ main(int argc, char **argv)
     //    quickstart runs in seconds.
     gpu::PlatformConfig cfg =
         gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny());
+    gpu::applyEngineArgs(cfg, argc, argv); // --engine= / --workers=
     gpu::Platform platform(cfg);
 
     // 2. Attach the monitor: register the engine and every component,

@@ -16,7 +16,7 @@ Driver::Driver(sim::Engine *engine, const std::string &name, sim::Freq freq,
     });
     declareField("kernels_completed", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(kernelsCompleted_));
+            static_cast<std::int64_t>(kernelsCompleted()));
     });
     declareField("active_kernel", [this]() {
         return active_ ? introspect::Value::ofStr(active_->kernel->name)
@@ -32,6 +32,7 @@ std::uint64_t
 Driver::launchKernel(const KernelDescriptor *kernel)
 {
     queue_.push_back(kernel);
+    pendingKernels_.fetch_add(1, std::memory_order_release);
     wake();
     return nextSeq_ + queue_.size() - 1;
 }
@@ -82,7 +83,8 @@ Driver::startNextKernel()
         // Empty kernel or no GPUs: complete immediately.
         if (listener_ != nullptr)
             listener_->kernelFinished(active->seq);
-        kernelsCompleted_++;
+        kernelsCompleted_.fetch_add(1, std::memory_order_relaxed);
+        pendingKernels_.fetch_sub(1, std::memory_order_release);
         if (autoStop_ && queue_.empty())
             engine()->stop();
         return true;
@@ -141,8 +143,11 @@ Driver::processReports()
                 if (--active_->partitionsPending == 0) {
                     if (listener_ != nullptr)
                         listener_->kernelFinished(active_->seq);
-                    kernelsCompleted_++;
+                    kernelsCompleted_.fetch_add(
+                        1, std::memory_order_relaxed);
                     active_.reset();
+                    pendingKernels_.fetch_sub(
+                        1, std::memory_order_release);
                     if (autoStop_ && queue_.empty())
                         engine()->stop();
                 }

@@ -6,6 +6,7 @@
 #ifndef AKITA_GPU_DRIVER_HH
 #define AKITA_GPU_DRIVER_HH
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -78,14 +79,22 @@ class Driver : public sim::TickingComponent
      */
     void setAutoStop(bool on) { autoStop_ = on; }
 
-    /** True when every enqueued kernel completed. */
+    /**
+     * True when every enqueued kernel completed. Safe to call from
+     * monitor threads while the simulation runs: backed by an atomic
+     * counter rather than the tick-thread-owned queue.
+     */
     bool
     allKernelsDone() const
     {
-        return queue_.empty() && !active_;
+        return pendingKernels_.load(std::memory_order_acquire) == 0;
     }
 
-    std::uint64_t kernelsCompleted() const { return kernelsCompleted_; }
+    std::uint64_t
+    kernelsCompleted() const
+    {
+        return kernelsCompleted_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct ActiveKernel
@@ -111,7 +120,9 @@ class Driver : public sim::TickingComponent
     std::deque<const KernelDescriptor *> queue_;
     std::unique_ptr<ActiveKernel> active_;
     std::uint64_t nextSeq_ = 1;
-    std::uint64_t kernelsCompleted_ = 0;
+    /** Launched minus completed; the only cross-thread read surface. */
+    std::atomic<std::uint64_t> pendingKernels_{0};
+    std::atomic<std::uint64_t> kernelsCompleted_{0};
     bool autoStop_ = true;
 };
 

@@ -1,5 +1,7 @@
 #include "gpu/platform.hh"
 
+#include <cstdlib>
+
 namespace akita
 {
 namespace gpu
@@ -63,7 +65,10 @@ PlatformConfig::mcm4(const GpuConfig &chip)
 
 Platform::Platform(const PlatformConfig &cfg) : cfg_(cfg)
 {
-    engine_ = std::make_unique<sim::SerialEngine>();
+    if (cfg_.engineKind == EngineKind::Parallel)
+        engine_ = std::make_unique<sim::ParallelEngine>(cfg_.workers);
+    else
+        engine_ = std::make_unique<sim::SerialEngine>();
     driver_ = std::make_unique<Driver>(engine_.get(), "Driver", cfg_.freq);
     network_ = std::make_unique<net::SwitchedNetwork>(
         engine_.get(), "Network", cfg_.network);
@@ -351,6 +356,42 @@ Platform::run()
         return RunStatus::Completed;
     return result == sim::RunResult::Stopped ? RunStatus::Stopped
                                              : RunStatus::Hung;
+}
+
+namespace
+{
+
+void
+applyEngineChoice(PlatformConfig &cfg, const std::string &kind)
+{
+    if (kind == "parallel")
+        cfg.engineKind = EngineKind::Parallel;
+    else if (kind == "serial")
+        cfg.engineKind = EngineKind::Serial;
+}
+
+} // namespace
+
+void
+applyEngineEnv(PlatformConfig &cfg)
+{
+    if (const char *e = std::getenv("AKITA_ENGINE"))
+        applyEngineChoice(cfg, e);
+    if (const char *w = std::getenv("AKITA_WORKERS"))
+        cfg.workers = std::atoi(w);
+}
+
+void
+applyEngineArgs(PlatformConfig &cfg, int argc, char **argv)
+{
+    applyEngineEnv(cfg);
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg.rfind("--engine=", 0) == 0)
+            applyEngineChoice(cfg, arg.substr(9));
+        else if (arg.rfind("--workers=", 0) == 0)
+            cfg.workers = std::atoi(arg.c_str() + 10);
+    }
 }
 
 } // namespace gpu

@@ -69,9 +69,22 @@ enum class NetworkTopology
     Ring,
 };
 
+/** Which event engine drives the platform. */
+enum class EngineKind
+{
+    /** Single-threaded SerialEngine (default; deterministic). */
+    Serial,
+    /** Multi-worker ParallelEngine (same-timestamp cohorts). */
+    Parallel,
+};
+
 /** Whole-platform shape. */
 struct PlatformConfig
 {
+    /** Event engine implementation. */
+    EngineKind engineKind = EngineKind::Serial;
+    /** Parallel-engine worker count; 0 = hardware concurrency. */
+    int workers = 0;
     std::size_t numGpus = 1;
     GpuConfig gpu;
     net::SwitchedNetwork::Config network;
@@ -125,7 +138,7 @@ class Platform
     Platform(const Platform &) = delete;
     Platform &operator=(const Platform &) = delete;
 
-    sim::SerialEngine &engine() { return *engine_; }
+    sim::Engine &engine() { return *engine_; }
     Driver &driver() { return *driver_; }
     net::SwitchedNetwork &network() { return *network_; }
     const PlatformConfig &config() const { return cfg_; }
@@ -163,7 +176,7 @@ class Platform
     void buildRingNetwork();
 
     PlatformConfig cfg_;
-    std::unique_ptr<sim::SerialEngine> engine_;
+    std::unique_ptr<sim::Engine> engine_;
     std::unique_ptr<Driver> driver_;
     std::unique_ptr<net::SwitchedNetwork> network_;
     std::unique_ptr<sim::DirectConnection> driverConn_;
@@ -175,6 +188,24 @@ class Platform
     std::vector<std::unique_ptr<mem::AddressMapper>> mappers_;
     std::vector<sim::Component *> allComponents_;
 };
+
+/**
+ * Applies the standard engine-selection flags/environment to a config.
+ *
+ * Recognized argv flags (consumed semantically, not removed):
+ *   --engine=serial|parallel
+ *   --workers=N
+ * Environment (lower precedence than flags):
+ *   AKITA_ENGINE=serial|parallel
+ *   AKITA_WORKERS=N
+ *
+ * Lets every bench/example binary opt into the parallel engine with the
+ * same switches.
+ */
+void applyEngineArgs(PlatformConfig &cfg, int argc, char **argv);
+
+/** Environment-only variant for harnesses without argv access. */
+void applyEngineEnv(PlatformConfig &cfg);
 
 } // namespace gpu
 } // namespace akita

@@ -17,13 +17,14 @@ SwitchedNetwork::SwitchedNetwork(sim::Engine *engine, std::string name,
 {
     declareField("in_flight", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(inFlightTotal_));
+            static_cast<std::int64_t>(inFlight()));
     });
     declareField("total_bytes", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(totalBytes_));
+            static_cast<std::int64_t>(totalBytes()));
     });
     declareField("total_msgs", [this]() {
+        std::lock_guard<std::mutex> lk(mu_);
         return introspect::Value::ofInt(
             static_cast<std::int64_t>(totalMsgs_));
     });
@@ -45,30 +46,34 @@ SwitchedNetwork::send(sim::MsgPtr msg)
                                  " cannot reach port " + dst->fullName());
     }
 
-    std::size_t &reserved = pending_[dst];
-    if (dst->buf().size() + reserved >= dst->buf().capacity()) {
-        if (msg->src != nullptr && msg->src->owner() != nullptr) {
-            auto &waiters = blockedSenders_[dst];
-            sim::Component *owner = msg->src->owner();
-            if (std::find(waiters.begin(), waiters.end(), owner) ==
-                waiters.end())
-                waiters.push_back(owner);
-        }
-        return sim::SendStatus::Busy;
-    }
-
     sim::VTime now = engine_->now();
-    sim::VTime &freeAt = linkFreeAt_[dst];
-    sim::VTime start = std::max(now, freeAt);
-    auto serialize = static_cast<sim::VTime>(
-        static_cast<double>(msg->trafficBytes) * psPerByte_);
-    sim::VTime done = start + std::max<sim::VTime>(serialize, 1);
-    freeAt = done;
+    sim::VTime done;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::size_t &reserved = pending_[dst];
+        if (dst->buf().size() + reserved >= dst->buf().capacity()) {
+            if (msg->src != nullptr && msg->src->owner() != nullptr) {
+                auto &waiters = blockedSenders_[dst];
+                sim::Component *owner = msg->src->owner();
+                if (std::find(waiters.begin(), waiters.end(), owner) ==
+                    waiters.end())
+                    waiters.push_back(owner);
+            }
+            return sim::SendStatus::Busy;
+        }
 
-    reserved++;
-    inFlightTotal_++;
-    totalBytes_ += msg->trafficBytes;
-    totalMsgs_++;
+        sim::VTime &freeAt = linkFreeAt_[dst];
+        sim::VTime start = std::max(now, freeAt);
+        auto serialize = static_cast<sim::VTime>(
+            static_cast<double>(msg->trafficBytes) * psPerByte_);
+        done = start + std::max<sim::VTime>(serialize, 1);
+        freeAt = done;
+
+        reserved++;
+        inFlightTotal_++;
+        totalBytes_ += msg->trafficBytes;
+        totalMsgs_++;
+    }
     msg->sendTime = now;
 
     sim::MsgPtr owned = std::move(msg);
@@ -83,6 +88,9 @@ void
 SwitchedNetwork::deliver(sim::MsgPtr msg)
 {
     sim::Port *dst = msg->dst;
+    // Held across the push so the reservation release and buffer fill
+    // are one atomic step from a concurrent sender's point of view.
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = pending_.find(dst);
     if (it != pending_.end() && it->second > 0)
         it->second--;
@@ -93,12 +101,17 @@ SwitchedNetwork::deliver(sim::MsgPtr msg)
 void
 SwitchedNetwork::notifyAvailable(sim::Port *dst)
 {
-    auto it = blockedSenders_.find(dst);
-    if (it == blockedSenders_.end())
-        return;
-    for (sim::Component *c : it->second)
+    std::vector<sim::Component *> toWake;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = blockedSenders_.find(dst);
+        if (it == blockedSenders_.end())
+            return;
+        toWake = std::move(it->second);
+        blockedSenders_.erase(it);
+    }
+    for (sim::Component *c : toWake)
         c->wake();
-    blockedSenders_.erase(it);
 }
 
 } // namespace net

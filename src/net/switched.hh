@@ -7,6 +7,7 @@
 #define AKITA_NET_SWITCHED_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@ namespace net
  * congested receiver backpressures senders — the "slow network" whose
  * effect case study 1 observes as ~1000 transactions piling up in the
  * RDMA engine.
+ *
+ * Internally synchronized like DirectConnection: link occupancy,
+ * reservations, and traffic totals sit behind one mutex so co-timed
+ * sends and deliveries from parallel-engine workers stay consistent.
  */
 class SwitchedNetwork : public sim::Connection,
                         public introspect::Inspectable
@@ -59,10 +64,20 @@ class SwitchedNetwork : public sim::Connection,
     void notifyAvailable(sim::Port *dst) override;
 
     /** Messages in flight across the network. */
-    std::size_t inFlight() const { return inFlightTotal_; }
+    std::size_t
+    inFlight() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return inFlightTotal_;
+    }
 
     /** Total bytes ever transferred. */
-    std::uint64_t totalBytes() const { return totalBytes_; }
+    std::uint64_t
+    totalBytes() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return totalBytes_;
+    }
 
   private:
     void deliver(sim::MsgPtr msg);
@@ -73,6 +88,11 @@ class SwitchedNetwork : public sim::Connection,
     /** Picoseconds to serialize one byte onto a link. */
     double psPerByte_;
 
+    /**
+     * Guards linkFreeAt_, pending_, blockedSenders_, and the totals.
+     * Lock order: network -> buffer; wake() runs after release.
+     */
+    mutable std::mutex mu_;
     std::vector<sim::Port *> ports_;
     /** Earliest time each destination's ingress link is free. */
     std::map<sim::Port *, sim::VTime> linkFreeAt_;

@@ -36,7 +36,7 @@ struct HangStatus
     bool queueDrained = false;
 };
 
-/** Watches a SerialEngine for the hang signature. */
+/** Watches an engine (serial or parallel) for the hang signature. */
 class HangWatch
 {
   public:
@@ -45,7 +45,7 @@ class HangWatch
      *        hang is reported (paper: "once these states last for a few
      *        seconds, we are confident").
      */
-    explicit HangWatch(const sim::SerialEngine *engine,
+    explicit HangWatch(const sim::Engine *engine,
                        double threshold_sec = 2.0)
         : engine_(engine), thresholdSec_(threshold_sec)
     {
@@ -55,7 +55,7 @@ class HangWatch
     HangStatus check();
 
   private:
-    const sim::SerialEngine *engine_;
+    const sim::Engine *engine_;
     double thresholdSec_;
 
     std::mutex mu_;

@@ -59,7 +59,7 @@ Monitor::~Monitor()
 }
 
 void
-Monitor::registerEngine(sim::SerialEngine *engine)
+Monitor::registerEngine(sim::Engine *engine)
 {
     engine_ = engine;
     engine_->setConcurrentAccess(true);
@@ -86,7 +86,7 @@ Monitor::registerComponent(sim::Component *component)
 void
 Monitor::instrumentEngine()
 {
-    sim::SerialEngine *e = engine_;
+    sim::Engine *e = engine_;
     {
         metrics::Desc d;
         d.name = "akita_engine_virtual_time_seconds";

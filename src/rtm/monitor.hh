@@ -108,7 +108,7 @@ class Monitor : public gpu::KernelProgressListener
      * engine into concurrent-access mode and enables wait-when-empty so
      * hangs stay inspectable.
      */
-    void registerEngine(sim::SerialEngine *engine);
+    void registerEngine(sim::Engine *engine);
 
     /** Starts monitoring a component (fields + ports + buffers). */
     void registerComponent(sim::Component *component);
@@ -132,7 +132,7 @@ class Monitor : public gpu::KernelProgressListener
             registerComponent(c);
     }
 
-    sim::SerialEngine *engine() const { return engine_; }
+    sim::Engine *engine() const { return engine_; }
     const ComponentRegistry &registry() const { return registry_; }
 
     // ---- Progress bars ----
@@ -319,7 +319,7 @@ class Monitor : public gpu::KernelProgressListener
     void instrumentComponent(sim::Component *component);
 
     MonitorConfig cfg_;
-    sim::SerialEngine *engine_ = nullptr;
+    sim::Engine *engine_ = nullptr;
     metrics::MetricRegistry metrics_;
 
     ComponentRegistry registry_;

@@ -23,14 +23,15 @@ Buffer::Buffer(std::string name, std::size_t capacity)
     });
     declareField("peak_size", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(peakSize_));
+            static_cast<std::int64_t>(peakSize()));
     });
 }
 
 void
 Buffer::push(MsgPtr msg)
 {
-    if (full()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.size() >= capacity_) {
         throw std::runtime_error("buffer overflow on " + name_ +
                                  ": push on a full buffer");
     }
@@ -44,6 +45,7 @@ Buffer::push(MsgPtr msg)
 MsgPtr
 Buffer::popMatching(const std::function<bool(const Msg &)> &pred)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     for (auto it = q_.begin(); it != q_.end(); ++it) {
         if (pred(**it)) {
             MsgPtr m = std::move(*it);
@@ -58,6 +60,7 @@ Buffer::popMatching(const std::function<bool(const Msg &)> &pred)
 MsgPtr
 Buffer::pop()
 {
+    std::lock_guard<std::mutex> lk(mu_);
     if (q_.empty())
         return nullptr;
     MsgPtr m = std::move(q_.front());

@@ -13,6 +13,7 @@
 
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "introspect/field.hh"
@@ -30,6 +31,13 @@ namespace sim
  * push on a full buffer is a programming error (senders must check
  * canPush first); this is what forces explicit backpressure handling in
  * components.
+ *
+ * All operations are internally synchronized: under the parallel engine
+ * a port's buffer is pushed by connection delivery events while the
+ * owning component pops it from its own tick handler, concurrently.
+ * Note a canPush()/push() pair is still not atomic across callers —
+ * components rely on the connection-level reservation protocol (or on
+ * being the buffer's only consumer) for that, same as the serial build.
  */
 class Buffer : public introspect::Inspectable
 {
@@ -42,20 +50,44 @@ class Buffer : public introspect::Inspectable
 
     const std::string &name() const { return name_; }
     std::size_t capacity() const { return capacity_; }
-    std::size_t size() const { return q_.size(); }
-    bool empty() const { return q_.empty(); }
-    bool full() const { return q_.size() >= capacity_; }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return q_.size();
+    }
+
+    bool
+    empty() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return q_.empty();
+    }
+
+    bool
+    full() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return q_.size() >= capacity_;
+    }
 
     /** Occupancy in [0,1]. */
     double
     fullness() const
     {
+        std::lock_guard<std::mutex> lk(mu_);
         return static_cast<double>(q_.size()) /
                static_cast<double>(capacity_);
     }
 
     /** True when at least one more message fits. */
-    bool canPush() const { return q_.size() < capacity_; }
+    bool
+    canPush() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return q_.size() < capacity_;
+    }
 
     /**
      * Appends a message.
@@ -65,7 +97,12 @@ class Buffer : public introspect::Inspectable
     void push(MsgPtr msg);
 
     /** The oldest message without removing it; nullptr when empty. */
-    MsgPtr peek() const { return q_.empty() ? nullptr : q_.front(); }
+    MsgPtr
+    peek() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return q_.empty() ? nullptr : q_.front();
+    }
 
     /** Removes and returns the oldest message; nullptr when empty. */
     MsgPtr pop();
@@ -81,6 +118,7 @@ class Buffer : public introspect::Inspectable
     void
     clear()
     {
+        std::lock_guard<std::mutex> lk(mu_);
         q_.clear();
         occupancy_.set(0);
     }
@@ -90,8 +128,7 @@ class Buffer : public introspect::Inspectable
 
     /**
      * Occupancy as of the last push/pop, readable from any thread
-     * without the engine lock. May lag size() by an in-flight event;
-     * exact reads still require the lock.
+     * without any lock. May lag size() by an in-flight event.
      */
     std::size_t
     approxSize() const
@@ -100,14 +137,27 @@ class Buffer : public introspect::Inspectable
     }
 
     /** Highest occupancy ever observed. */
-    std::size_t peakSize() const { return peakSize_; }
+    std::size_t
+    peakSize() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return peakSize_;
+    }
 
-    /** Iteration support for components that scan their queues. */
+    /**
+     * Iteration support for components that scan their queues.
+     *
+     * Not internally synchronized: only safe from the owning handler
+     * when nothing else can touch the buffer (i.e. nothing delivers to
+     * it mid-cohort), or under an external lock.
+     */
     const std::deque<MsgPtr> &contents() const { return q_; }
 
   private:
     std::string name_;
     std::size_t capacity_;
+    /** Guards q_ and peakSize_. Leaf lock: never call out while held. */
+    mutable std::mutex mu_;
     std::deque<MsgPtr> q_;
     metrics::Counter totalPushed_;
     metrics::Gauge occupancy_;

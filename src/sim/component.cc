@@ -48,11 +48,11 @@ TickingComponent::TickingComponent(Engine *engine, std::string name,
     });
     declareField("total_ticks", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(totalTicks_));
+            static_cast<std::int64_t>(totalTicks()));
     });
     declareField("progress_ticks", [this]() {
         return introspect::Value::ofInt(
-            static_cast<std::int64_t>(progressTicks_));
+            static_cast<std::int64_t>(progressTicks()));
     });
 }
 
@@ -66,10 +66,23 @@ void
 TickingComponent::scheduleTickAt(VTime t)
 {
     VTime target = std::max(t, freq_.nextTick(engine()->now()));
-    if (tickScheduled_ && tickAt_ <= target)
-        return; // An earlier (or equal) tick is already queued.
-    tickScheduled_ = true;
-    tickAt_ = target;
+    {
+        std::lock_guard<std::mutex> lk(tickMu_);
+        // Dedup only exact-time requests. Suppressing a LATER target
+        // because an earlier tick is pending would lose deadlines: the
+        // earlier tick may find nothing to do and sleep without
+        // re-arming (e.g. a wake lands between handle() clearing the
+        // flag and tick() arming its service deadline — the deadline
+        // event would never exist and the component freezes).
+        if (tickScheduled_.load(std::memory_order_relaxed) &&
+            tickAt_ == target)
+            return;
+        tickScheduled_.store(true, std::memory_order_relaxed);
+        tickAt_ = target;
+    }
+    // Schedule outside tickMu_: the engine takes its own lock, and a
+    // monitor thread may call wake() while holding the engine lock —
+    // nesting the other way around would deadlock.
     engine()->schedule(std::make_unique<Event>(target, this));
 }
 
@@ -77,17 +90,20 @@ void
 TickingComponent::handle(Event &)
 {
     VTime now = engine()->now();
-    if (now >= tickAt_)
-        tickScheduled_ = false;
+    {
+        std::lock_guard<std::mutex> lk(tickMu_);
+        if (now >= tickAt_)
+            tickScheduled_.store(false, std::memory_order_relaxed);
+    }
     if (everTicked_ && lastTickAt_ == now)
         return; // Duplicate event in the same cycle: already ticked.
     lastTickAt_ = now;
     everTicked_ = true;
 
-    totalTicks_++;
+    totalTicks_.fetch_add(1, std::memory_order_relaxed);
     bool progress = tick();
     if (progress) {
-        progressTicks_++;
+        progressTicks_.fetch_add(1, std::memory_order_relaxed);
         tickLater();
     }
     // No progress: stay asleep until wake() or an armed deadline tick.

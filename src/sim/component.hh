@@ -6,7 +6,9 @@
 #ifndef AKITA_SIM_COMPONENT_HH
 #define AKITA_SIM_COMPONENT_HH
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -130,24 +132,39 @@ class TickingComponent : public Component, public EventHandler
     std::string handlerName() const override { return name() + "::tick"; }
 
     /** True when no tick is scheduled (the component sleeps). */
-    bool asleep() const { return !tickScheduled_; }
+    bool asleep() const
+    {
+        return !tickScheduled_.load(std::memory_order_relaxed);
+    }
 
     /** Total ticks executed. */
-    std::uint64_t totalTicks() const { return totalTicks_; }
+    std::uint64_t totalTicks() const
+    {
+        return totalTicks_.load(std::memory_order_relaxed);
+    }
 
     /** Ticks that reported progress. */
-    std::uint64_t progressTicks() const { return progressTicks_; }
+    std::uint64_t progressTicks() const
+    {
+        return progressTicks_.load(std::memory_order_relaxed);
+    }
 
   private:
     Freq freq_;
-    bool tickScheduled_ = false;
+    /**
+     * Guards tickAt_/tickScheduled_ transitions: under the parallel
+     * engine, wake() arrives from other components' handlers (and from
+     * monitor threads) while this component's own tick handler runs.
+     */
+    mutable std::mutex tickMu_;
+    std::atomic<bool> tickScheduled_{false};
     /** Earliest time a tick event is already queued for. */
     VTime tickAt_ = 0;
-    /** Cycle of the most recent executed tick (same-cycle dedupe). */
+    /** Cycle of the most recent executed tick (handler-only). */
     VTime lastTickAt_ = 0;
     bool everTicked_ = false;
-    std::uint64_t totalTicks_ = 0;
-    std::uint64_t progressTicks_ = 0;
+    std::atomic<std::uint64_t> totalTicks_{0};
+    std::atomic<std::uint64_t> progressTicks_{0};
 };
 
 } // namespace sim

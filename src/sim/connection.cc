@@ -35,22 +35,25 @@ DirectConnection::send(MsgPtr msg)
             (msg->src ? msg->src->fullName() : "?") + ")");
     }
 
-    std::size_t &reserved = pending_[dst];
-    if (dst->buf().size() + reserved >= dst->buf().capacity()) {
-        // Destination full (counting in-flight reservations): register the
-        // sender for a wake so sleep/wake ticking does not deadlock.
-        if (msg->src != nullptr && msg->src->owner() != nullptr) {
-            auto &waiters = blockedSenders_[dst];
-            Component *owner = msg->src->owner();
-            if (std::find(waiters.begin(), waiters.end(), owner) ==
-                waiters.end())
-                waiters.push_back(owner);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::size_t &reserved = pending_[dst];
+        if (dst->buf().size() + reserved >= dst->buf().capacity()) {
+            // Destination full (counting in-flight reservations): register
+            // the sender for a wake so sleep/wake ticking does not deadlock.
+            if (msg->src != nullptr && msg->src->owner() != nullptr) {
+                auto &waiters = blockedSenders_[dst];
+                Component *owner = msg->src->owner();
+                if (std::find(waiters.begin(), waiters.end(), owner) ==
+                    waiters.end())
+                    waiters.push_back(owner);
+            }
+            return SendStatus::Busy;
         }
-        return SendStatus::Busy;
+        reserved++;
+        inFlightTotal_++;
     }
-
-    reserved++;
-    inFlightTotal_++;
+    // The reservation is booked; scheduling can happen outside the lock.
     msg->sendTime = engine_->now();
 
     // Capture by value: the lambda owns the message until delivery.
@@ -66,6 +69,10 @@ void
 DirectConnection::deliver(MsgPtr msg)
 {
     Port *dst = msg->dst;
+    // The lock is held across the buffer push: releasing the
+    // reservation first would let a concurrent send() observe free
+    // capacity that this still-undelivered message is about to consume.
+    std::lock_guard<std::mutex> lk(mu_);
     auto it = pending_.find(dst);
     if (it != pending_.end() && it->second > 0)
         it->second--;
@@ -76,12 +83,19 @@ DirectConnection::deliver(MsgPtr msg)
 void
 DirectConnection::notifyAvailable(Port *dst)
 {
-    auto it = blockedSenders_.find(dst);
-    if (it == blockedSenders_.end())
-        return;
-    for (Component *c : it->second)
+    std::vector<Component *> toWake;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = blockedSenders_.find(dst);
+        if (it == blockedSenders_.end())
+            return;
+        toWake = std::move(it->second);
+        blockedSenders_.erase(it);
+    }
+    // Wake outside the lock: wake() re-enters the engine (and possibly
+    // this connection, when the woken tick retries a send).
+    for (Component *c : toWake)
         c->wake();
-    blockedSenders_.erase(it);
 }
 
 } // namespace sim

@@ -7,6 +7,7 @@
 #define AKITA_SIM_CONNECTION_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,12 @@ class Connection
  * at send time, so in-flight messages never overflow the destination:
  * when no space remains, send returns Busy and the sending component is
  * woken once space frees.
+ *
+ * Internally synchronized: under the parallel engine, sends from many
+ * component handlers and co-timed delivery events race on the
+ * reservation table. The mutex is held across the delivery push so the
+ * invariant size+reserved <= capacity can never be violated by a send
+ * that sneaks between the reservation release and the buffer push.
  */
 class DirectConnection : public Connection
 {
@@ -83,7 +90,12 @@ class DirectConnection : public Connection
     void notifyAvailable(Port *dst) override;
 
     /** Messages currently in flight on this connection. */
-    std::size_t inFlight() const { return inFlightTotal_; }
+    std::size_t
+    inFlight() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return inFlightTotal_;
+    }
 
   private:
     void deliver(MsgPtr msg);
@@ -92,6 +104,11 @@ class DirectConnection : public Connection
     std::string name_;
     VTime latency_;
     std::vector<Port *> ports_;
+    /**
+     * Guards pending_, blockedSenders_, inFlightTotal_. Lock order:
+     * conn -> buffer (leaf); wake() is always called after releasing it.
+     */
+    mutable std::mutex mu_;
     /** Space reserved at each destination by in-flight messages. */
     std::map<Port *, std::size_t> pending_;
     /**

@@ -1,5 +1,7 @@
 #include "sim/engine.hh"
 
+#include <thread>
+
 #include "sim/prof.hh"
 
 namespace akita
@@ -39,18 +41,29 @@ SerialEngine::SerialEngine()
 void
 SerialEngine::schedule(EventPtr event)
 {
-    if (event->time() < now()) {
-        throw std::runtime_error(
-            "cannot schedule event in the past (t=" +
-            std::to_string(event->time()) +
-            ", now=" + std::to_string(now()) + ")");
-    }
-    totalScheduled_.fetch_add(1, std::memory_order_relaxed);
     if (concurrent_) {
+        // The past-check must run under the lock: a cross-thread
+        // schedule could otherwise pass the check against a stale now()
+        // and still land in the past once the simulation thread
+        // advances time.
         std::lock_guard<std::recursive_mutex> lk(mu_);
+        if (event->time() < now()) {
+            throw std::runtime_error(
+                "cannot schedule event in the past (t=" +
+                std::to_string(event->time()) +
+                ", now=" + std::to_string(now()) + ")");
+        }
+        totalScheduled_.fetch_add(1, std::memory_order_relaxed);
         queue_.push(std::move(event));
         cv_.notify_all();
     } else {
+        if (event->time() < now()) {
+            throw std::runtime_error(
+                "cannot schedule event in the past (t=" +
+                std::to_string(event->time()) +
+                ", now=" + std::to_string(now()) + ")");
+        }
+        totalScheduled_.fetch_add(1, std::memory_order_relaxed);
         queue_.push(std::move(event));
     }
 }
@@ -91,8 +104,16 @@ void
 SerialEngine::withLock(const std::function<void()> &fn) const
 {
     if (concurrent_) {
-        std::lock_guard<std::recursive_mutex> lk(mu_);
-        fn();
+        // Announce the wait so the event loop yields between batches
+        // instead of immediately re-acquiring the lock (monitor
+        // fairness); the count stays up until fn has finished, so the
+        // loop cannot starve a queue of waiting monitor threads.
+        lockWaiters_.fetch_add(1, std::memory_order_acq_rel);
+        {
+            std::lock_guard<std::recursive_mutex> lk(mu_);
+            fn();
+        }
+        lockWaiters_.fetch_sub(1, std::memory_order_acq_rel);
     } else {
         fn();
     }
@@ -102,8 +123,12 @@ void
 SerialEngine::executeEvent(Event &event)
 {
     invokeHook(hookPosBeforeEvent, &event);
-    {
+    if (Profiler::instance().enabled()) {
+        // handlerName() typically builds a string; only pay for it when
+        // the profiler is actually collecting.
         ProfScope scope(event.handler()->handlerName());
+        event.handler()->handle(event);
+    } else {
         event.handler()->handle(event);
     }
     invokeHook(hookPosAfterEvent, &event);
@@ -163,6 +188,14 @@ SerialEngine::runLocked()
             executeEvent(*ev);
         }
         lk.unlock();
+        // Handoff: a bare unlock/lock on a mutex gives waiting monitor
+        // threads no fairness guarantee — the loop usually re-acquires
+        // immediately and a withLock() caller can starve for thousands
+        // of batches. Spin-yield until the announced waiters drain.
+        while (lockWaiters_.load(std::memory_order_acquire) > 0 &&
+               !stopRequested_.load(std::memory_order_relaxed)) {
+            std::this_thread::yield();
+        }
         lk.lock();
     }
     return RunResult::Stopped;

@@ -35,7 +35,11 @@ enum class RunResult
  * Abstract engine interface (mirrors Akita's Engine).
  *
  * RTM's registerEngine accepts this interface, so alternative engines
- * (e.g. a parallel engine) can reuse the monitor unchanged.
+ * (e.g. the parallel engine) reuse the monitor unchanged. Beyond the
+ * core schedule/run surface, the interface carries the *monitor
+ * contract*: concurrent-access mode, pause/resume, wait-when-empty,
+ * drained-waiting (the hang signature), and withLock — the consistent
+ * snapshot point every RTM view borrows.
  */
 class Engine : public Hookable, public introspect::Inspectable
 {
@@ -60,8 +64,55 @@ class Engine : public Hookable, public introspect::Inspectable
     /** Requests run() to return as soon as possible. Thread-safe. */
     virtual void stop() = 0;
 
-    /** Total number of events executed so far. */
+    /** Total number of events executed so far. Thread-safe. */
     virtual std::uint64_t eventCount() const = 0;
+
+    /** Total number of events ever scheduled. Thread-safe. */
+    virtual std::uint64_t scheduledCount() const = 0;
+
+    // ---- The monitor contract ----
+
+    /**
+     * Enables cross-thread access (monitor attached). Must be called
+     * before run(); switching modes mid-run is not supported. Engines
+     * that are always safe for cross-thread access may ignore it.
+     */
+    virtual void setConcurrentAccess(bool on) = 0;
+
+    /** True when cross-thread access is safe. */
+    virtual bool concurrentAccess() const = 0;
+
+    /**
+     * When true, a drained queue blocks run() instead of returning, so a
+     * deadlocked simulation stays alive for inspection (and can be
+     * revived by scheduling new events, e.g. RTM's Tick button).
+     */
+    virtual void setWaitWhenEmpty(bool on) = 0;
+
+    /** Pauses execution before the next event. Thread-safe. */
+    virtual void pause() = 0;
+
+    /** Resumes a paused engine ("Kick Start"). Thread-safe. */
+    virtual void resume() = 0;
+
+    virtual bool paused() const = 0;
+
+    /** True while run() is executing (possibly blocked). */
+    virtual bool running() const = 0;
+
+    /** True when run() is blocked on an empty queue (hang signature). */
+    virtual bool drainedWaiting() const = 0;
+
+    /** Number of events currently queued. Thread-safe. */
+    virtual std::size_t queueLength() const = 0;
+
+    /**
+     * Runs @p fn at a consistent point (no event mid-execution).
+     *
+     * Requires concurrent access mode when called from a non-simulation
+     * thread. May be called from event handlers.
+     */
+    virtual void withLock(const std::function<void()> &fn) const = 0;
 };
 
 /**
@@ -96,29 +147,17 @@ class SerialEngine : public Engine
         return totalEvents_.load(std::memory_order_relaxed);
     }
 
-    /** Total number of events ever scheduled. Thread-safe. */
     std::uint64_t
-    scheduledCount() const
+    scheduledCount() const override
     {
         return totalScheduled_.load(std::memory_order_relaxed);
     }
 
-    /**
-     * Enables cross-thread access (monitor attached).
-     *
-     * Must be called before run(); switching modes mid-run is not
-     * supported.
-     */
-    void setConcurrentAccess(bool on) { concurrent_ = on; }
+    void setConcurrentAccess(bool on) override { concurrent_ = on; }
 
-    bool concurrentAccess() const { return concurrent_; }
+    bool concurrentAccess() const override { return concurrent_; }
 
-    /**
-     * When true, a drained queue blocks run() instead of returning, so a
-     * deadlocked simulation stays alive for inspection (and can be
-     * revived by scheduling new events, e.g. RTM's Tick button).
-     */
-    void setWaitWhenEmpty(bool on) { waitWhenEmpty_ = on; }
+    void setWaitWhenEmpty(bool on) override { waitWhenEmpty_ = on; }
 
     /**
      * Events executed per engine-lock acquisition in concurrent mode.
@@ -136,34 +175,30 @@ class SerialEngine : public Engine
 
     int lockBatch() const { return lockBatch_; }
 
-    /** Pauses execution before the next event. Thread-safe. */
-    void pause();
+    void pause() override;
+    void resume() override;
 
-    /** Resumes a paused engine ("Kick Start"). Thread-safe. */
-    void resume();
-
-    bool paused() const { return paused_.load(std::memory_order_relaxed); }
-
-    /** True while run() is executing (possibly blocked). */
-    bool running() const { return running_.load(std::memory_order_relaxed); }
-
-    /** True when run() is blocked on an empty queue (hang signature). */
     bool
-    drainedWaiting() const
+    paused() const override
+    {
+        return paused_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    running() const override
+    {
+        return running_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    drainedWaiting() const override
     {
         return drainedWaiting_.load(std::memory_order_relaxed);
     }
 
-    /** Number of events currently queued. Thread-safe. */
-    std::size_t queueLength() const;
+    std::size_t queueLength() const override;
 
-    /**
-     * Runs @p fn at a consistent point (no event mid-execution).
-     *
-     * Requires concurrent access mode when called from a non-simulation
-     * thread. May be called from event handlers (the lock is recursive).
-     */
-    void withLock(const std::function<void()> &fn) const;
+    void withLock(const std::function<void()> &fn) const override;
 
   private:
     RunResult runLocked();
@@ -182,6 +217,8 @@ class SerialEngine : public Engine
     std::atomic<bool> running_{false};
     std::atomic<bool> stopRequested_{false};
     std::atomic<bool> drainedWaiting_{false};
+    /** Monitor threads currently waiting for (or holding) the lock. */
+    mutable std::atomic<int> lockWaiters_{0};
 
     mutable std::recursive_mutex mu_;
     mutable std::condition_variable_any cv_;

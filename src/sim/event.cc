@@ -1,0 +1,97 @@
+#include "sim/event.hh"
+
+#include <algorithm>
+
+namespace akita
+{
+namespace sim
+{
+
+void
+EventQueue::push(EventPtr event)
+{
+    VTime t = event->time();
+    Bucket &b = buckets_[t];
+    bool wasLive = b.live();
+    if (event->isSecondary())
+        b.secondary.push_back(std::move(event));
+    else
+        b.primary.push_back(std::move(event));
+    if (!wasLive) {
+        // Invariant: the heap holds every live timestamp at least once.
+        // Re-pushing a timestamp whose stale entry is still queued only
+        // creates a harmless duplicate that pruning discards later.
+        timesHeap_.push_back(t);
+        std::push_heap(timesHeap_.begin(), timesHeap_.end(),
+                       std::greater<VTime>());
+    }
+    size_++;
+}
+
+EventQueue::Bucket *
+EventQueue::frontBucket() const
+{
+    while (!timesHeap_.empty()) {
+        VTime t = timesHeap_.front();
+        auto it = buckets_.find(t);
+        if (it != buckets_.end() && it->second.live())
+            return &it->second;
+        std::pop_heap(timesHeap_.begin(), timesHeap_.end(),
+                      std::greater<VTime>());
+        timesHeap_.pop_back();
+        if (it != buckets_.end() && !it->second.live())
+            buckets_.erase(it);
+    }
+    return nullptr;
+}
+
+VTime
+EventQueue::peekTime() const
+{
+    Bucket *b = frontBucket();
+    return b->livePrimary() ? b->primary[b->primaryHead]->time()
+                            : b->secondary[b->secondaryHead]->time();
+}
+
+EventPtr
+EventQueue::pop()
+{
+    Bucket *b = frontBucket();
+    EventPtr out;
+    if (b->livePrimary()) {
+        out = std::move(b->primary[b->primaryHead++]);
+        if (!b->livePrimary()) {
+            b->primary.clear();
+            b->primaryHead = 0;
+        }
+    } else {
+        out = std::move(b->secondary[b->secondaryHead++]);
+        if (!b->liveSecondary()) {
+            b->secondary.clear();
+            b->secondaryHead = 0;
+        }
+    }
+    size_--;
+    return out;
+}
+
+std::size_t
+EventQueue::popCohort(std::vector<EventPtr> &out)
+{
+    Bucket *b = frontBucket();
+    if (b == nullptr)
+        return 0;
+    std::vector<EventPtr> &vec =
+        b->livePrimary() ? b->primary : b->secondary;
+    std::size_t &head = b->livePrimary() ? b->primaryHead : b->secondaryHead;
+    std::size_t n = vec.size() - head;
+    for (std::size_t i = head; i < vec.size(); i++)
+        out.push_back(std::move(vec[i]));
+    vec.clear();
+    head = 0;
+    size_ -= n;
+    return n;
+}
+
+} // namespace sim
+} // namespace akita

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -100,95 +101,84 @@ class FuncEvent : public Event, public EventHandler
 };
 
 /**
- * A stable min-heap of events ordered by (time, primary-before-secondary,
- * insertion sequence).
+ * Time-ordered queue of events: (time, primary-before-secondary, FIFO).
  *
- * Implemented by hand rather than with std::priority_queue so that
- * move-only EventPtr values can be popped without const_cast tricks.
+ * Two-level structure replacing the former single binary heap. Events
+ * land in per-timestamp buckets (append-only vectors, one for each
+ * phase), and a small min-heap orders only the *distinct* live
+ * timestamps. Pushing costs one hash lookup and a vector append —
+ * co-timed events (the common case in cycle-aligned simulations) never
+ * pay a per-event heap sift — and the whole co-timed cohort can be
+ * popped at once, which is what the parallel engine executes between
+ * step barriers.
+ *
+ * Not internally synchronized: engines serialize access (the serial
+ * engine with its run lock, the parallel engine by mutating the queue
+ * only at step barriers).
  */
 class EventQueue
 {
   public:
     /** Inserts an event. */
-    void
-    push(EventPtr event)
-    {
-        heap_.push_back(Entry{event->time(), event->isSecondary(), seq_++,
-                              std::move(event)});
-        siftUp(heap_.size() - 1);
-    }
+    void push(EventPtr event);
 
-    /** Removes and returns the earliest event; queue must be non-empty. */
-    EventPtr
-    pop()
-    {
-        EventPtr out = std::move(heap_.front().event);
-        heap_.front() = std::move(heap_.back());
-        heap_.pop_back();
-        if (!heap_.empty())
-            siftDown(0);
-        return out;
-    }
+    /**
+     * Removes and returns the earliest event; queue must be non-empty.
+     *
+     * Order: time ascending; at equal times every primary event pops
+     * before any secondary event; within the same (time, phase), FIFO.
+     */
+    EventPtr pop();
+
+    /**
+     * Removes every queued event sharing the earliest (time, phase) and
+     * appends them, in FIFO order, to @p out.
+     *
+     * The cohort is either all primary or all secondary: at a time with
+     * both, the primary cohort pops first and a subsequent call returns
+     * the secondaries. Events pushed after the call (e.g. by executing
+     * the cohort) form a later cohort even at the same timestamp.
+     *
+     * @return Number of events appended; 0 when the queue is empty.
+     */
+    std::size_t popCohort(std::vector<EventPtr> &out);
 
     /** Time of the earliest event; queue must be non-empty. */
-    VTime peekTime() const { return heap_.front().time; }
+    VTime peekTime() const;
 
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
 
   private:
-    struct Entry
+    /** All events at one timestamp, split by phase, consumed by head. */
+    struct Bucket
     {
-        VTime time;
-        bool secondary;
-        std::uint64_t seq;
-        EventPtr event;
+        std::vector<EventPtr> primary;
+        std::vector<EventPtr> secondary;
+        std::size_t primaryHead = 0;
+        std::size_t secondaryHead = 0;
 
-        /** True when this entry fires strictly before @p o. */
-        bool
-        before(const Entry &o) const
+        bool livePrimary() const { return primaryHead < primary.size(); }
+
+        bool liveSecondary() const
         {
-            if (time != o.time)
-                return time < o.time;
-            if (secondary != o.secondary)
-                return !secondary;
-            return seq < o.seq;
+            return secondaryHead < secondary.size();
         }
+
+        bool live() const { return livePrimary() || liveSecondary(); }
     };
 
-    void
-    siftUp(std::size_t i)
-    {
-        while (i > 0) {
-            std::size_t parent = (i - 1) / 2;
-            if (!heap_[i].before(heap_[parent]))
-                break;
-            std::swap(heap_[i], heap_[parent]);
-            i = parent;
-        }
-    }
+    /**
+     * Bucket of the earliest live time, pruning drained heap entries;
+     * nullptr when the queue is empty.
+     */
+    Bucket *frontBucket() const;
 
-    void
-    siftDown(std::size_t i)
-    {
-        std::size_t n = heap_.size();
-        while (true) {
-            std::size_t l = 2 * i + 1;
-            std::size_t r = 2 * i + 2;
-            std::size_t best = i;
-            if (l < n && heap_[l].before(heap_[best]))
-                best = l;
-            if (r < n && heap_[r].before(heap_[best]))
-                best = r;
-            if (best == i)
-                break;
-            std::swap(heap_[i], heap_[best]);
-            i = best;
-        }
-    }
-
-    std::vector<Entry> heap_;
-    std::uint64_t seq_ = 0;
+    // Mutable: peekTime() lazily prunes drained timestamps.
+    mutable std::unordered_map<VTime, Bucket> buckets_;
+    /** Min-heap (std::greater) of live timestamps; may hold stale dups. */
+    mutable std::vector<VTime> timesHeap_;
+    std::size_t size_ = 0;
 };
 
 } // namespace sim

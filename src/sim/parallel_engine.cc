@@ -1,0 +1,379 @@
+#include "sim/parallel_engine.hh"
+
+#include <algorithm>
+
+#include "sim/prof.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+namespace
+{
+
+/**
+ * Identifies the engine (and staging slot) the current thread is
+ * executing a phase for. Lets schedule() from a running handler append
+ * to the worker's lock-free staging buffer, and lets withLock() from a
+ * handler run inline instead of deadlocking on the step lock.
+ */
+struct ExecContext
+{
+    const ParallelEngine *engine = nullptr;
+    std::vector<EventPtr> *staged = nullptr;
+};
+
+thread_local ExecContext tlsExec;
+
+} // namespace
+
+ParallelEngine::ParallelEngine(int workers)
+    : numWorkers_(workers > 0
+                      ? workers
+                      : std::max(1u, std::thread::hardware_concurrency()))
+{
+    declareField("now_ps", [this]() {
+        return introspect::Value::ofInt(static_cast<std::int64_t>(now()));
+    });
+    declareField("queue_len", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(queueLength()));
+    });
+    declareField("total_events", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(eventCount()));
+    });
+    declareField("total_scheduled", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(scheduledCount()));
+    });
+    declareField("total_steps", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(stepCount()));
+    });
+    declareField("workers", [this]() {
+        return introspect::Value::ofInt(numWorkers_);
+    });
+    declareField("paused",
+                 [this]() { return introspect::Value::ofBool(paused()); });
+    declareField("running",
+                 [this]() { return introspect::Value::ofBool(running()); });
+
+    slots_.reserve(static_cast<std::size_t>(numWorkers_));
+    for (int i = 0; i < numWorkers_; i++)
+        slots_.push_back(std::make_unique<ExecSlot>());
+    for (int i = 1; i < numWorkers_; i++) {
+        pool_.emplace_back(
+            [this, i]() { workerLoop(static_cast<std::size_t>(i)); });
+    }
+}
+
+ParallelEngine::~ParallelEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(poolMu_);
+        poolShutdown_ = true;
+    }
+    poolCv_.notify_all();
+    for (std::thread &t : pool_)
+        t.join();
+}
+
+void
+ParallelEngine::schedule(EventPtr event)
+{
+    if (tlsExec.engine == this) {
+        // Called from a handler this engine is executing: now() is
+        // frozen at the cohort time for the whole phase, so the
+        // past-check is race-free without a lock.
+        if (event->time() < now_.load(std::memory_order_relaxed)) {
+            throw std::runtime_error(
+                "cannot schedule event in the past (t=" +
+                std::to_string(event->time()) +
+                ", now=" + std::to_string(now()) + ")");
+        }
+        totalScheduled_.fetch_add(1, std::memory_order_relaxed);
+        tlsExec.staged->push_back(std::move(event));
+        return;
+    }
+    // External thread (monitor, setup code): serialize at the step
+    // barrier. The past-check runs under the lock so time cannot
+    // advance between check and insert.
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    if (event->time() < now()) {
+        throw std::runtime_error(
+            "cannot schedule event in the past (t=" +
+            std::to_string(event->time()) +
+            ", now=" + std::to_string(now()) + ")");
+    }
+    totalScheduled_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push(std::move(event));
+    cv_.notify_all();
+}
+
+void
+ParallelEngine::stop()
+{
+    stopRequested_.store(true);
+    cv_.notify_all();
+}
+
+void
+ParallelEngine::pause()
+{
+    paused_.store(true);
+}
+
+void
+ParallelEngine::resume()
+{
+    paused_.store(false);
+    cv_.notify_all();
+}
+
+std::size_t
+ParallelEngine::queueLength() const
+{
+    if (tlsExec.engine == this) {
+        // Handler context: the coordinator holds the step lock for the
+        // whole phase (blocking here would deadlock a worker), and the
+        // queue is not mutated until the phase barrier, so the unlocked
+        // read is stable.
+        return queue_.size();
+    }
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return queue_.size();
+}
+
+void
+ParallelEngine::withLock(const std::function<void()> &fn) const
+{
+    if (tlsExec.engine == this) {
+        // A handler is already inside the consistent domain of its own
+        // partition; blocking on the step lock (held by the
+        // coordinator until every worker finishes) would deadlock.
+        fn();
+        return;
+    }
+    lockWaiters_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::recursive_mutex> lk(mu_);
+        fn();
+    }
+    lockWaiters_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+ParallelEngine::executeEvent(Event &event)
+{
+    invokeHook(hookPosBeforeEvent, &event);
+    if (Profiler::instance().enabled()) {
+        ProfScope scope(event.handler()->handlerName());
+        event.handler()->handle(event);
+    } else {
+        event.handler()->handle(event);
+    }
+    invokeHook(hookPosAfterEvent, &event);
+    totalEvents_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ParallelEngine::executeInline(std::vector<EventPtr> &cohort)
+{
+    ExecSlot &slot = *slots_[0];
+    tlsExec = {this, &slot.staged};
+    try {
+        for (EventPtr &ev : cohort)
+            executeEvent(*ev);
+    } catch (...) {
+        slot.error = std::current_exception();
+    }
+    tlsExec = {};
+}
+
+void
+ParallelEngine::executePartitions(ExecSlot &slot)
+{
+    tlsExec = {this, &slot.staged};
+    try {
+        for (std::size_t p : slot.parts) {
+            for (EventPtr &ev : partitions_[p])
+                executeEvent(*ev);
+        }
+    } catch (...) {
+        if (!slot.error)
+            slot.error = std::current_exception();
+    }
+    tlsExec = {};
+}
+
+void
+ParallelEngine::workerLoop(std::size_t id)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(poolMu_);
+            poolCv_.wait(lk, [&]() {
+                return poolShutdown_ || phaseGen_ != seen;
+            });
+            if (poolShutdown_)
+                return;
+            seen = phaseGen_;
+        }
+        executePartitions(*slots_[id]);
+        {
+            std::lock_guard<std::mutex> lk(poolMu_);
+            phaseDone_++;
+        }
+        poolDoneCv_.notify_one();
+    }
+}
+
+void
+ParallelEngine::mergeStaged()
+{
+    for (auto &slotPtr : slots_) {
+        for (EventPtr &ev : slotPtr->staged)
+            queue_.push(std::move(ev));
+        slotPtr->staged.clear();
+    }
+}
+
+void
+ParallelEngine::executeCohort(std::vector<EventPtr> &cohort)
+{
+    // Partition by handler, preserving scheduling order within each
+    // partition and first-seen order across partitions.
+    partitionOf_.clear();
+    for (auto &part : partitions_)
+        part.clear();
+    std::size_t numParts = 0;
+    bool partitioned = numWorkers_ > 1 && cohort.size() > 1;
+    if (partitioned) {
+        for (EventPtr &ev : cohort) {
+            auto it = partitionOf_.find(ev->handler());
+            std::size_t p;
+            if (it == partitionOf_.end()) {
+                p = numParts++;
+                partitionOf_.emplace(ev->handler(), p);
+                if (partitions_.size() < numParts)
+                    partitions_.emplace_back();
+            } else {
+                p = it->second;
+            }
+            partitions_[p].push_back(std::move(ev));
+        }
+    }
+
+    if (!partitioned || numParts <= 1) {
+        // Single worker, single event, or single handler: run inline in
+        // FIFO order (this is also what makes 1-worker order identical
+        // to the serial engine).
+        if (partitioned) {
+            // Everything went into partition 0; restore the cohort.
+            cohort.swap(partitions_[0]);
+            partitions_[0].clear();
+        }
+        executeInline(cohort);
+    } else {
+        // Distribute partitions round-robin over executors; executor 0
+        // is the coordinator itself.
+        std::size_t execs =
+            std::min(static_cast<std::size_t>(numWorkers_), numParts);
+        for (auto &slotPtr : slots_)
+            slotPtr->parts.clear();
+        for (std::size_t p = 0; p < numParts; p++)
+            slots_[p % execs]->parts.push_back(p);
+
+        {
+            std::lock_guard<std::mutex> lk(poolMu_);
+            phaseDone_ = 0;
+            phaseGen_++;
+        }
+        poolCv_.notify_all();
+
+        executePartitions(*slots_[0]);
+
+        {
+            std::unique_lock<std::mutex> lk(poolMu_);
+            poolDoneCv_.wait(lk, [&]() {
+                return phaseDone_ ==
+                       static_cast<std::size_t>(numWorkers_ - 1);
+            });
+        }
+        for (auto &part : partitions_)
+            part.clear();
+    }
+
+    cohort.clear();
+    mergeStaged();
+    totalSteps_.fetch_add(1, std::memory_order_relaxed);
+
+    for (auto &slotPtr : slots_) {
+        if (slotPtr->error) {
+            std::exception_ptr err = slotPtr->error;
+            slotPtr->error = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+}
+
+RunResult
+ParallelEngine::runLoop()
+{
+    std::unique_lock<std::recursive_mutex> lk(mu_);
+    while (!stopRequested_.load(std::memory_order_relaxed)) {
+        if (paused_.load(std::memory_order_relaxed)) {
+            cv_.wait(lk, [this]() {
+                return !paused_.load() || stopRequested_.load();
+            });
+            continue;
+        }
+        if (queue_.empty()) {
+            invokeHook(hookPosQueueDrained, nullptr);
+            if (!waitWhenEmpty_)
+                return RunResult::Drained;
+            drainedWaiting_.store(true);
+            cv_.wait(lk, [this]() {
+                return !queue_.empty() || stopRequested_.load();
+            });
+            drainedWaiting_.store(false);
+            continue;
+        }
+        now_.store(queue_.peekTime(), std::memory_order_relaxed);
+        cohort_.clear();
+        queue_.popCohort(cohort_);
+        executeCohort(cohort_);
+        lk.unlock();
+        // Same monitor-fairness handoff as the serial engine: let
+        // announced withLock() waiters take the step barrier.
+        while (lockWaiters_.load(std::memory_order_acquire) > 0 &&
+               !stopRequested_.load(std::memory_order_relaxed)) {
+            std::this_thread::yield();
+        }
+        lk.lock();
+    }
+    return RunResult::Stopped;
+}
+
+RunResult
+ParallelEngine::run()
+{
+    stopRequested_.store(false);
+    running_.store(true);
+    try {
+        RunResult result = runLoop();
+        running_.store(false);
+        cv_.notify_all();
+        return result;
+    } catch (...) {
+        running_.store(false);
+        cv_.notify_all();
+        throw;
+    }
+}
+
+} // namespace sim
+} // namespace akita

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The parallel (multi-worker) simulation engine.
+ *
+ * Conservative same-timestamp parallelism, the design Akita's framework
+ * paper describes: all primary events sharing the earliest timestamp
+ * form a *cohort* that executes concurrently, with a barrier before the
+ * co-timed secondary events and before virtual time advances. Events
+ * are partitioned by EventHandler — every event of one handler runs on
+ * one worker, in scheduling order — so per-component FIFO semantics are
+ * preserved and a component's handler never races with itself.
+ * Cross-component interaction during a cohort goes through the locked
+ * ports/buffers/connections of the simulation layer.
+ */
+
+#ifndef AKITA_SIM_PARALLEL_ENGINE_HH
+#define AKITA_SIM_PARALLEL_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+/**
+ * Multi-worker engine executing co-timed event cohorts concurrently.
+ *
+ * Threading model:
+ *  - run() is the coordinator: it pops cohorts, partitions them by
+ *    handler, dispatches partitions to a persistent worker pool (the
+ *    coordinator itself executes as worker 0), and merges events staged
+ *    by workers back into the queue at the step barrier.
+ *  - The engine mutex is held for the whole step, so Monitor withLock()
+ *    requests serialize at the step barrier — the parallel engine's
+ *    consistent snapshot point. The same fairness handoff as the serial
+ *    engine keeps monitor requests from starving.
+ *  - schedule() from an executing handler is lock-free: events go to a
+ *    per-worker staging buffer merged at the barrier. schedule() from
+ *    any other thread takes the engine lock (and so also revives a
+ *    drained wait-when-empty engine — RTM's Tick button).
+ *
+ * Determinism: with workers()==1 the engine executes every cohort
+ * inline, in FIFO order, and produces the identical event order as
+ * SerialEngine. With N workers, events of one handler still execute in
+ * scheduling order; only the interleaving *between* handlers varies.
+ *
+ * Engine hooks (BeforeEvent/AfterEvent) are invoked from worker
+ * threads; hooks attached to a multi-worker engine must be thread-safe.
+ */
+class ParallelEngine : public Engine
+{
+  public:
+    /**
+     * @param workers Total executor count including the coordinator;
+     *        0 picks std::thread::hardware_concurrency().
+     */
+    explicit ParallelEngine(int workers = 0);
+
+    ~ParallelEngine() override;
+
+    ParallelEngine(const ParallelEngine &) = delete;
+    ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+    void schedule(EventPtr event) override;
+
+    VTime now() const override { return now_.load(std::memory_order_relaxed); }
+
+    RunResult run() override;
+    void stop() override;
+
+    std::uint64_t
+    eventCount() const override
+    {
+        return totalEvents_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    scheduledCount() const override
+    {
+        return totalScheduled_.load(std::memory_order_relaxed);
+    }
+
+    /** No-op: the parallel engine is always safe for cross-thread use. */
+    void setConcurrentAccess(bool) override {}
+
+    bool concurrentAccess() const override { return true; }
+
+    void setWaitWhenEmpty(bool on) override { waitWhenEmpty_ = on; }
+
+    void pause() override;
+    void resume() override;
+
+    bool
+    paused() const override
+    {
+        return paused_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    running() const override
+    {
+        return running_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    drainedWaiting() const override
+    {
+        return drainedWaiting_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t queueLength() const override;
+
+    void withLock(const std::function<void()> &fn) const override;
+
+    /** Configured executor count (coordinator + pool threads). */
+    int workers() const { return numWorkers_; }
+
+    /** Cohorts executed so far (one barrier each). Thread-safe. */
+    std::uint64_t
+    stepCount() const
+    {
+        return totalSteps_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** Per-executor phase state, padded against false sharing. */
+    struct alignas(64) ExecSlot
+    {
+        /** Partition indices this executor runs, ascending. */
+        std::vector<std::size_t> parts;
+        /** Events scheduled by this executor during the phase. */
+        std::vector<EventPtr> staged;
+        /** First exception thrown by a handler, if any. */
+        std::exception_ptr error;
+    };
+
+    RunResult runLoop();
+    void executeCohort(std::vector<EventPtr> &cohort);
+    void executeInline(std::vector<EventPtr> &cohort);
+    void executePartitions(ExecSlot &slot);
+    void executeEvent(Event &event);
+    void mergeStaged();
+    void workerLoop(std::size_t id);
+
+    const int numWorkers_;
+
+    EventQueue queue_;
+    std::atomic<VTime> now_{0};
+    std::atomic<std::uint64_t> totalEvents_{0};
+    std::atomic<std::uint64_t> totalScheduled_{0};
+    std::atomic<std::uint64_t> totalSteps_{0};
+
+    bool waitWhenEmpty_ = false;
+    std::atomic<bool> paused_{false};
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> drainedWaiting_{false};
+    mutable std::atomic<int> lockWaiters_{0};
+
+    mutable std::recursive_mutex mu_;
+    mutable std::condition_variable_any cv_;
+
+    // ---- Worker pool (coordinator is executor 0; pool ids 1..N-1) ----
+    std::vector<std::thread> pool_;
+    std::vector<std::unique_ptr<ExecSlot>> slots_;
+    std::mutex poolMu_;
+    std::condition_variable poolCv_;      // Coordinator -> pool: new phase.
+    std::condition_variable poolDoneCv_;  // Pool -> coordinator: done.
+    std::uint64_t phaseGen_ = 0;
+    std::size_t phaseDone_ = 0;
+    bool poolShutdown_ = false;
+
+    // ---- Per-step scratch (coordinator only, reused across steps) ----
+    std::vector<EventPtr> cohort_;
+    std::vector<std::vector<EventPtr>> partitions_;
+    std::unordered_map<EventHandler *, std::size_t> partitionOf_;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_PARALLEL_ENGINE_HH

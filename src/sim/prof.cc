@@ -23,68 +23,97 @@ Profiler::nowNs()
             .count());
 }
 
+Profiler::ThreadState &
+Profiler::threadState()
+{
+    // The shared_ptr keeps the state alive in states_ after the thread
+    // exits, so short-lived worker threads never lose collected data.
+    thread_local std::shared_ptr<ThreadState> tls;
+    if (!tls) {
+        tls = std::make_shared<ThreadState>();
+        std::lock_guard<std::mutex> lk(mu_);
+        states_.push_back(tls);
+    }
+    return *tls;
+}
+
 void
 Profiler::setEnabled(bool on)
 {
     bool was = enabled_.exchange(on);
-    if (on && !was) {
+    if (on && !was)
         reset();
-        std::lock_guard<std::mutex> lk(mu_);
-        enabledSinceNs_ = nowNs();
-    }
 }
 
 void
 Profiler::reset()
 {
     std::lock_guard<std::mutex> lk(mu_);
-    for (auto &a : aggs_)
-        a = Agg{};
-    edgeAggs_.clear();
-    stack_.clear();
+    for (auto &state : states_) {
+        std::lock_guard<std::mutex> slk(state->mu);
+        for (auto &a : state->aggs)
+            a = Agg{};
+        state->edges.clear();
+        state->stack.clear();
+    }
     enabledSinceNs_ = nowNs();
 }
 
 std::uint32_t
-Profiler::internName(const std::string &name)
+Profiler::internName(ThreadState &ts, const std::string &name)
 {
-    auto it = nameIds_.find(name);
-    if (it != nameIds_.end())
-        return it->second;
-    std::uint32_t id = static_cast<std::uint32_t>(names_.size());
-    names_.push_back(name);
-    nameIds_.emplace(name, id);
-    aggs_.push_back(Agg{});
+    // Owner-thread cache: no lock on hit, which is the steady state.
+    auto cached = ts.nameCache.find(name);
+    if (cached != ts.nameCache.end())
+        return cached->second;
+
+    std::uint32_t id;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = nameIds_.find(name);
+        if (it != nameIds_.end()) {
+            id = it->second;
+        } else {
+            id = static_cast<std::uint32_t>(names_.size());
+            names_.push_back(name);
+            nameIds_.emplace(name, id);
+        }
+    }
+    ts.nameCache.emplace(name, id);
     return id;
 }
 
 void
 Profiler::enterScope(const std::string &name)
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    std::uint32_t id = internName(name);
-    stack_.push_back(Frame{id, nowNs(), 0});
+    ThreadState &ts = threadState();
+    std::uint32_t id = internName(ts, name);
+    std::lock_guard<std::mutex> lk(ts.mu);
+    ts.stack.push_back(Frame{id, nowNs(), 0});
 }
 
 void
 Profiler::exitScope()
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stack_.empty())
-        return;
-    Frame f = stack_.back();
-    stack_.pop_back();
+    ThreadState &ts = threadState();
+    std::lock_guard<std::mutex> lk(ts.mu);
+    if (ts.stack.empty())
+        return; // reset() raced a live scope; drop the sample.
+    Frame f = ts.stack.back();
+    ts.stack.pop_back();
     std::uint64_t total = nowNs() - f.startNs;
     std::uint64_t self = total > f.childNs ? total - f.childNs : 0;
 
-    Agg &a = aggs_[f.nameId];
+    if (ts.aggs.size() <= f.nameId)
+        ts.aggs.resize(f.nameId + 1);
+    Agg &a = ts.aggs[f.nameId];
     a.selfNs += self;
     a.totalNs += total;
     a.calls++;
 
-    if (!stack_.empty()) {
-        stack_.back().childNs += total;
-        Agg &e = edgeAggs_[{stack_.back().nameId, f.nameId}];
+    if (!ts.stack.empty()) {
+        ts.stack.back().childNs += total;
+        Agg &e = ts.edges[{ts.stack.back().nameId, f.nameId}];
         e.totalNs += total;
         e.calls++;
     }
@@ -97,30 +126,50 @@ Profiler::snapshot(std::size_t top_n) const
     ProfSnapshot snap;
     snap.wallNs = nowNs() - enabledSinceNs_;
 
+    // Merge every thread's table.
+    std::vector<Agg> aggs(names_.size());
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Agg> edgeAggs;
+    for (const auto &state : states_) {
+        std::lock_guard<std::mutex> slk(state->mu);
+        for (std::uint32_t i = 0; i < state->aggs.size(); i++) {
+            if (i >= aggs.size())
+                break;
+            aggs[i].selfNs += state->aggs[i].selfNs;
+            aggs[i].totalNs += state->aggs[i].totalNs;
+            aggs[i].calls += state->aggs[i].calls;
+        }
+        for (const auto &kv : state->edges) {
+            Agg &e = edgeAggs[kv.first];
+            e.selfNs += kv.second.selfNs;
+            e.totalNs += kv.second.totalNs;
+            e.calls += kv.second.calls;
+        }
+    }
+
     std::vector<std::uint32_t> ids;
-    for (std::uint32_t i = 0; i < aggs_.size(); i++) {
-        if (aggs_[i].calls > 0)
+    for (std::uint32_t i = 0; i < aggs.size(); i++) {
+        if (aggs[i].calls > 0)
             ids.push_back(i);
     }
     std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
-        return aggs_[a].selfNs > aggs_[b].selfNs;
+        return aggs[a].selfNs > aggs[b].selfNs;
     });
     if (ids.size() > top_n)
         ids.resize(top_n);
 
-    std::vector<bool> keep(aggs_.size(), false);
+    std::vector<bool> keep(aggs.size(), false);
     for (std::uint32_t id : ids)
         keep[id] = true;
 
     for (std::uint32_t id : ids) {
         ProfEntry e;
         e.name = names_[id];
-        e.selfNs = aggs_[id].selfNs;
-        e.totalNs = aggs_[id].totalNs;
-        e.calls = aggs_[id].calls;
+        e.selfNs = aggs[id].selfNs;
+        e.totalNs = aggs[id].totalNs;
+        e.calls = aggs[id].calls;
         snap.entries.push_back(std::move(e));
     }
-    for (const auto &kv : edgeAggs_) {
+    for (const auto &kv : edgeAggs) {
         if (!keep[kv.first.first] || !keep[kv.first.second])
             continue;
         ProfEdge edge;

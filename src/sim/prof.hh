@@ -10,6 +10,12 @@
  * automatically (keyed by handler name), and hot paths may add explicit
  * scopes.
  *
+ * Collection is per-thread: each thread aggregates into its own table
+ * (guarded by an uncontended per-thread mutex), and snapshot() merges
+ * the tables. This keeps the hot path contention-free under the
+ * parallel engine, where event handlers profile concurrently from many
+ * workers.
+ *
  * When disabled (the default), entering a scope costs a single relaxed
  * atomic load, so unmonitored simulations pay essentially nothing.
  */
@@ -21,8 +27,10 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace akita
@@ -62,10 +70,9 @@ struct ProfSnapshot
 /**
  * Process-wide instrumentation profiler.
  *
- * The simulation runs on one thread, so scope bookkeeping is unsynchronized
- * on the hot path; the snapshot operation synchronizes with the simulation
- * thread through the engine lock held by the caller (RTM holds it while
- * snapshotting).
+ * Scope bookkeeping is thread-local (scope nesting never crosses
+ * threads); name interning is global but cached per thread, so steady
+ * state takes no global lock on the hot path.
  */
 class Profiler
 {
@@ -82,11 +89,12 @@ class Profiler
         return enabled_.load(std::memory_order_relaxed);
     }
 
-    /** Clears all collected data. */
+    /** Clears all collected data (on every thread's table). */
     void reset();
 
     /**
-     * Produces the top-N entries by self time plus all arcs among them.
+     * Produces the top-N entries by self time plus all arcs among them,
+     * merged across all threads that ever profiled.
      *
      * @param top_n Maximum number of functions returned (pprof's "top").
      */
@@ -106,16 +114,6 @@ class Profiler
         std::uint64_t childNs; // Time spent in nested scopes.
     };
 
-    static std::uint64_t nowNs();
-
-    std::uint32_t internName(const std::string &name);
-
-    std::atomic<bool> enabled_{false};
-
-    mutable std::mutex mu_;
-    std::vector<std::string> names_;
-    std::map<std::string, std::uint32_t> nameIds_;
-
     struct Agg
     {
         std::uint64_t selfNs = 0;
@@ -123,9 +121,31 @@ class Profiler
         std::uint64_t calls = 0;
     };
 
-    std::vector<Agg> aggs_; // Indexed by name id.
-    std::map<std::pair<std::uint32_t, std::uint32_t>, Agg> edgeAggs_;
-    std::vector<Frame> stack_;
+    /** One thread's collection state; outlives the thread in states_. */
+    struct ThreadState
+    {
+        /** Serializes the owner thread against snapshot()/reset(). */
+        std::mutex mu;
+        std::vector<Frame> stack;
+        std::vector<Agg> aggs; // Indexed by name id (sparse tail).
+        std::map<std::pair<std::uint32_t, std::uint32_t>, Agg> edges;
+        /** Owner-thread-only cache of the global name table. */
+        std::unordered_map<std::string, std::uint32_t> nameCache;
+    };
+
+    static std::uint64_t nowNs();
+
+    /** This thread's state, registered on first use. */
+    ThreadState &threadState();
+
+    std::uint32_t internName(ThreadState &ts, const std::string &name);
+
+    std::atomic<bool> enabled_{false};
+
+    mutable std::mutex mu_; // Guards names_, nameIds_, states_.
+    std::vector<std::string> names_;
+    std::map<std::string, std::uint32_t> nameIds_;
+    std::vector<std::shared_ptr<ThreadState>> states_;
     std::uint64_t enabledSinceNs_ = 0;
 };
 

@@ -13,6 +13,7 @@
 #include "sim/event.hh"
 #include "sim/hook.hh"
 #include "sim/msg.hh"
+#include "sim/parallel_engine.hh"
 #include "sim/port.hh"
 #include "sim/prof.hh"
 #include "sim/time.hh"

@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "sim/prof.hh"
 
@@ -143,6 +145,67 @@ TEST_F(ProfilerTest, WallTimeAdvances)
     spin(1000);
     ProfSnapshot snap = Profiler::instance().snapshot();
     EXPECT_GE(snap.wallNs, 500u * 1000u);
+}
+
+TEST_F(ProfilerTest, MergesPerThreadTables)
+{
+    // Parallel-engine workers profile concurrently into thread-local
+    // tables; a snapshot must merge every thread's calls for the same
+    // name into one entry.
+    constexpr int kThreads = 4;
+    constexpr int kCallsPerThread = 25;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([t]() {
+            for (int i = 0; i < kCallsPerThread; i++) {
+                ProfScope shared("shared_work");
+                ProfScope own("thread_fn" + std::to_string(t));
+                spin(20);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    ProfSnapshot snap = Profiler::instance().snapshot(100);
+    const auto *shared = findEntry(snap, "shared_work");
+    ASSERT_NE(shared, nullptr);
+    EXPECT_EQ(shared->calls,
+              static_cast<std::uint64_t>(kThreads * kCallsPerThread));
+    for (int t = 0; t < kThreads; t++) {
+        const auto *own =
+            findEntry(snap, "thread_fn" + std::to_string(t));
+        ASSERT_NE(own, nullptr) << "thread " << t;
+        EXPECT_EQ(own->calls,
+                  static_cast<std::uint64_t>(kCallsPerThread));
+    }
+    // Nesting stayed thread-local: every shared->own edge is intact.
+    std::uint64_t edgeCalls = 0;
+    for (const auto &e : snap.edges) {
+        if (e.caller == "shared_work")
+            edgeCalls += e.calls;
+    }
+    EXPECT_EQ(edgeCalls,
+              static_cast<std::uint64_t>(kThreads * kCallsPerThread));
+}
+
+TEST_F(ProfilerTest, ConcurrentSnapshotsDoNotCorruptCollection)
+{
+    std::atomic<bool> stop{false};
+    std::thread snapper([&]() {
+        while (!stop.load())
+            Profiler::instance().snapshot(10);
+    });
+    for (int i = 0; i < 200; i++) {
+        ProfScope s("hot");
+        spin(5);
+    }
+    stop.store(true);
+    snapper.join();
+    ProfSnapshot snap = Profiler::instance().snapshot();
+    const auto *e = findEntry(snap, "hot");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->calls, 200u);
 }
 
 TEST_F(ProfilerTest, RecursiveScopesDoNotUnderflow)

@@ -51,13 +51,21 @@ struct LiveRig
 
     explicit LiveRig(gpu::PlatformConfig cfg =
                          gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()))
-        : plat(cfg), mon(quietConfig())
+        : plat(withEngineEnv(std::move(cfg))), mon(quietConfig())
     {
         mon.registerEngine(&plat.engine());
         for (auto *c : plat.components())
             mon.registerComponent(c);
         plat.driver().setProgressListener(&mon);
         EXPECT_TRUE(mon.startServer());
+    }
+
+    /** AKITA_ENGINE/AKITA_WORKERS select the engine (CI TSan job). */
+    static gpu::PlatformConfig
+    withEngineEnv(gpu::PlatformConfig cfg)
+    {
+        gpu::applyEngineEnv(cfg);
+        return cfg;
     }
 
     static rtm::MonitorConfig
