@@ -1,0 +1,307 @@
+/**
+ * @file
+ * API-load benchmark for the RTM serving path: M concurrent pollers
+ * (default 16) hammer the hot read endpoints of a monitor attached to a
+ * running simulation, in two serving modes:
+ *
+ *   - legacy emulation: one TCP connection per request with
+ *     "Connection: close" and the response cache bypassed via the
+ *     x-akita-no-cache header — the per-request cost model of the
+ *     removed thread-per-connection server (fresh connection, fresh
+ *     snapshot build, close after one response);
+ *   - fast path: keep-alive connections against the epoll reactor, the
+ *     generation-stamped coalesced response cache, and the streaming
+ *     serializers.
+ *
+ * Records requests/sec, p50/p99 latency, and simulation slowdown
+ * versus a no-monitor baseline (Fig. 7-style) into BENCH_api_load.json
+ * (also dumped to stdout), and verifies after the run quiesces that
+ * both modes serve byte-identical bodies.
+ *
+ * Environment: AKITA_CLIENTS (default 16) pollers, AKITA_SCALE
+ * (default 0.25) workload size, AKITA_FULL=1 for the R9-Nano platform,
+ * --http-workers=N / AKITA_HTTP_WORKERS for the server handler pool.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "json/json.hh"
+#include "web/client.hh"
+
+using namespace akita;
+
+namespace
+{
+
+enum class Mode
+{
+    NoMonitor,
+    LegacyEmulation,
+    FastPath,
+};
+
+/** The poller request mix: the dashboard's hot read endpoints. */
+const char *kTargets[] = {
+    "/api/components",
+    "/api/buffers?sort=percent&top=50",
+    "/metrics",
+    "/api/progress",
+};
+constexpr int kNumTargets = 4;
+
+struct ModeResult
+{
+    double simWall = 0;     ///< Wall seconds of plat.run().
+    double trafficWall = 0; ///< Wall seconds the pollers were active.
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::vector<double> latenciesMs;
+
+    double
+    rps() const
+    {
+        return trafficWall > 0
+                   ? static_cast<double>(requests) / trafficWall
+                   : 0.0;
+    }
+};
+
+double
+percentile(std::vector<double> &v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1));
+    return v[idx];
+}
+
+/**
+ * Compares the two serving modes byte-for-byte on the endpoints whose
+ * content is static once the simulation has completed (/metrics keeps
+ * appending wall-clock samples after the run, so two fetches at
+ * different instants are not comparable; its serializer equivalence is
+ * covered by the unit tests instead).
+ */
+bool
+checkByteIdentity(std::uint16_t port, json::Json &detail)
+{
+    const char *staticTargets[] = {
+        "/api/components",
+        "/api/buffers?sort=percent&top=50",
+        "/api/progress",
+    };
+    bool allIdentical = true;
+    web::PersistentClient client("127.0.0.1", port);
+    for (const char *target : staticTargets) {
+        auto legacy = client.get(
+            target, {{"x-akita-no-cache", "1"}});
+        auto fast = client.get(target);
+        bool ok = legacy && fast && legacy->status == 200 &&
+                  fast->status == 200 && legacy->body == fast->body;
+        json::Json row = json::Json::object();
+        row.set("identical", ok);
+        if (legacy && fast) {
+            row.set("bytes",
+                    static_cast<std::int64_t>(fast->body.size()));
+        }
+        detail.set(target, std::move(row));
+        allIdentical = allIdentical && ok;
+    }
+    return allIdentical;
+}
+
+ModeResult
+runMode(Mode mode, int clients, double scale, bool *bytesIdentical,
+        json::Json *byteDetail)
+{
+    gpu::PlatformConfig cfg = bench::evalPlatform();
+    gpu::Platform plat(cfg);
+
+    std::unique_ptr<rtm::Monitor> mon;
+    if (mode != Mode::NoMonitor) {
+        mon = std::make_unique<rtm::Monitor>(bench::quietMonitor());
+        mon->registerEngine(&plat.engine());
+        for (auto *c : plat.components())
+            mon->registerComponent(c);
+        plat.driver().setProgressListener(mon.get());
+        if (!mon->startServer()) {
+            std::fprintf(stderr, "server failed to start\n");
+            std::exit(1);
+        }
+    }
+
+    workloads::FirParams fir;
+    fir.numSamples = static_cast<std::uint32_t>(
+        static_cast<double>(fir.numSamples) * scale);
+    gpu::KernelDescriptor kernel = workloads::makeFir(fir);
+    plat.launchKernel(&kernel);
+
+    std::atomic<bool> stop{false};
+    std::vector<ModeResult> perClient(
+        static_cast<std::size_t>(clients));
+    std::vector<std::thread> pollers;
+    bench::Stopwatch trafficSw;
+    if (mode != Mode::NoMonitor) {
+        std::uint16_t port = mon->serverPort();
+        for (int c = 0; c < clients; c++) {
+            pollers.emplace_back([&, c, port, mode]() {
+                web::PersistentClient client("127.0.0.1", port);
+                ModeResult &r =
+                    perClient[static_cast<std::size_t>(c)];
+                int tick = c; // Stagger target phase across clients.
+                while (!stop.load(std::memory_order_relaxed)) {
+                    const char *target =
+                        kTargets[tick++ % kNumTargets];
+                    bench::Stopwatch sw;
+                    std::optional<web::ParsedResponse> resp;
+                    if (mode == Mode::LegacyEmulation) {
+                        // Old-server cost model: fresh connection,
+                        // uncached build, close after one response.
+                        resp = client.get(
+                            target, {{"Connection", "close"},
+                                     {"x-akita-no-cache", "1"}});
+                        client.disconnect();
+                    } else {
+                        resp = client.get(target);
+                    }
+                    double ms = sw.seconds() * 1000.0;
+                    if (!resp || resp->status != 200) {
+                        r.errors++;
+                        continue;
+                    }
+                    r.requests++;
+                    r.latenciesMs.push_back(ms);
+                }
+            });
+        }
+    }
+
+    bench::Stopwatch simSw;
+    auto status = plat.run();
+    ModeResult total;
+    total.simWall = simSw.seconds();
+    stop.store(true);
+    for (auto &t : pollers)
+        t.join();
+    total.trafficWall = trafficSw.seconds();
+
+    if (status != gpu::Platform::RunStatus::Completed) {
+        std::fprintf(stderr, "simulation did not complete\n");
+        std::exit(1);
+    }
+
+    for (const auto &r : perClient) {
+        total.requests += r.requests;
+        total.errors += r.errors;
+        total.latenciesMs.insert(total.latenciesMs.end(),
+                                 r.latenciesMs.begin(),
+                                 r.latenciesMs.end());
+    }
+
+    if (mode == Mode::FastPath && bytesIdentical != nullptr) {
+        // The run has quiesced; both paths must now serve the same
+        // bytes (modulo headers) for the same target.
+        *bytesIdentical =
+            checkByteIdentity(mon->serverPort(), *byteDetail);
+    }
+
+    if (mon)
+        mon->stopServer();
+    return total;
+}
+
+json::Json
+modeJson(ModeResult &r, double noMonitorSec)
+{
+    json::Json row = json::Json::object();
+    row.set("requests", static_cast<std::int64_t>(r.requests));
+    row.set("errors", static_cast<std::int64_t>(r.errors));
+    row.set("traffic_wall_sec", r.trafficWall);
+    row.set("requests_per_sec", r.rps());
+    row.set("p50_ms", percentile(r.latenciesMs, 0.50));
+    row.set("p99_ms", percentile(r.latenciesMs, 0.99));
+    row.set("sim_sec", r.simWall);
+    row.set("sim_slowdown_vs_no_monitor",
+            noMonitorSec > 0 ? r.simWall / noMonitorSec : 0.0);
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::parseCli(argc, argv);
+    int clients = bench::envInt("AKITA_CLIENTS", 16);
+    double scale = bench::benchScale(0.25);
+
+    std::fprintf(stderr, "no-monitor baseline...\n");
+    ModeResult base =
+        runMode(Mode::NoMonitor, 0, scale, nullptr, nullptr);
+    std::fprintf(stderr, "legacy emulation (%d pollers)...\n",
+                 clients);
+    ModeResult legacy = runMode(Mode::LegacyEmulation, clients, scale,
+                                nullptr, nullptr);
+    std::fprintf(stderr, "fast path (%d pollers)...\n", clients);
+    bool identical = false;
+    json::Json byteDetail = json::Json::object();
+    ModeResult fast = runMode(Mode::FastPath, clients, scale,
+                              &identical, &byteDetail);
+
+    double speedup =
+        legacy.rps() > 0 ? fast.rps() / legacy.rps() : 0.0;
+
+    json::Json doc = json::Json::object();
+    doc.set("bench", "api_load");
+    doc.set("clients", clients);
+    doc.set("scale", scale);
+    doc.set("host_cores",
+            static_cast<std::int64_t>(
+                std::thread::hardware_concurrency()));
+    doc.set("workload", "fir");
+    doc.set("platform",
+            bench::fullScale() ? "r9nano mcm4" : "medium mcm4");
+    doc.set("baseline_note",
+            "legacy serving emulated as one TCP connection per "
+            "request with Connection: close and the response cache "
+            "bypassed (x-akita-no-cache) — the per-request cost model "
+            "of the removed thread-per-connection server");
+    doc.set("no_monitor_sim_sec", base.simWall);
+    json::Json modes = json::Json::object();
+    modes.set("legacy_emulation", modeJson(legacy, base.simWall));
+    modes.set("fast_path", modeJson(fast, base.simWall));
+    doc.set("modes", std::move(modes));
+    doc.set("speedup_rps", speedup);
+    doc.set("bytes_identical", identical);
+    doc.set("byte_check", std::move(byteDetail));
+
+    bool ok = identical && fast.errors == 0 && speedup >= 5.0;
+    doc.set("target_speedup", 5.0);
+    doc.set("pass", ok);
+
+    std::string rendered = doc.dump(2);
+    std::ofstream out("BENCH_api_load.json");
+    out << rendered << "\n";
+    out.close();
+    std::printf("%s\n", rendered.c_str());
+    std::fprintf(stderr,
+                 "\nlegacy: %.0f req/s (p50 %.2f ms, p99 %.2f ms)\n"
+                 "fast:   %.0f req/s (p50 %.2f ms, p99 %.2f ms)\n"
+                 "speedup %.1fx (target >=5x), bytes identical: %s\n",
+                 legacy.rps(), percentile(legacy.latenciesMs, 0.50),
+                 percentile(legacy.latenciesMs, 0.99), fast.rps(),
+                 percentile(fast.latenciesMs, 0.50),
+                 percentile(fast.latenciesMs, 0.99), speedup,
+                 identical ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

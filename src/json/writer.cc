@@ -1,0 +1,147 @@
+#include "json/writer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "json/json.hh"
+
+namespace akita
+{
+namespace json
+{
+
+void
+Writer::sep()
+{
+    if (needComma_)
+        out_.push_back(',');
+}
+
+Writer &
+Writer::beginObject()
+{
+    sep();
+    out_.push_back('{');
+    needComma_ = false;
+    return *this;
+}
+
+Writer &
+Writer::endObject()
+{
+    out_.push_back('}');
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::beginArray()
+{
+    sep();
+    out_.push_back('[');
+    needComma_ = false;
+    return *this;
+}
+
+Writer &
+Writer::endArray()
+{
+    out_.push_back(']');
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::key(const std::string &k)
+{
+    sep();
+    out_ += escapeString(k);
+    out_.push_back(':');
+    needComma_ = false;
+    return *this;
+}
+
+Writer &
+Writer::value(std::nullptr_t)
+{
+    sep();
+    out_ += "null";
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(bool b)
+{
+    sep();
+    out_ += b ? "true" : "false";
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(int i)
+{
+    return value(static_cast<std::int64_t>(i));
+}
+
+Writer &
+Writer::value(std::int64_t i)
+{
+    sep();
+    out_ += std::to_string(i);
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(std::uint64_t i)
+{
+    // Matches Json(std::uint64_t), which stores int64.
+    return value(static_cast<std::int64_t>(i));
+}
+
+Writer &
+Writer::value(double d)
+{
+    sep();
+    if (std::isnan(d) || std::isinf(d)) {
+        out_ += "null"; // JSON has no NaN/Inf (same policy as dump()).
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out_ += buf;
+    }
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(const char *s)
+{
+    sep();
+    out_ += escapeString(s);
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::value(const std::string &s)
+{
+    sep();
+    out_ += escapeString(s);
+    needComma_ = true;
+    return *this;
+}
+
+Writer &
+Writer::json(const Json &j)
+{
+    sep();
+    out_ += j.dump();
+    needComma_ = true;
+    return *this;
+}
+
+} // namespace json
+} // namespace akita

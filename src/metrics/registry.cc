@@ -135,10 +135,20 @@ MetricRegistry::makeInstr(Desc d)
         }
         in->series = std::make_unique<MultiResSeries>(cfg);
     }
+    return in;
+}
+
+void
+MetricRegistry::publishInstr(const InstrPtr &in)
+{
+    // Publication must come after the caller has attached the payload
+    // (counter/gauge/histogram/fn/pushed): a concurrent samplePass
+    // snapshots instrs_ and would otherwise observe a half-built
+    // instrument with every payload pointer null.
     std::lock_guard<std::mutex> lk(mu_);
     in->id = nextId_++;
     instrs_.push_back(in);
-    return in;
+    regEvents_.fetch_add(1, std::memory_order_release);
 }
 
 Counter *
@@ -149,6 +159,7 @@ MetricRegistry::addCounter(Desc d, std::uint64_t *id_out)
     Counter *raw = c.get();
     auto in = makeInstr(std::move(d));
     in->counter = std::move(c);
+    publishInstr(in);
     if (id_out)
         *id_out = in->id;
     return raw;
@@ -162,6 +173,7 @@ MetricRegistry::addGauge(Desc d, std::uint64_t *id_out)
     Gauge *raw = g.get();
     auto in = makeInstr(std::move(d));
     in->gauge = std::move(g);
+    publishInstr(in);
     if (id_out)
         *id_out = in->id;
     return raw;
@@ -177,6 +189,7 @@ MetricRegistry::addHistogram(Desc d, std::vector<double> bounds,
     Histogram *raw = h.get();
     auto in = makeInstr(std::move(d));
     in->histogram = std::move(h);
+    publishInstr(in);
     if (id_out)
         *id_out = in->id;
     return raw;
@@ -187,6 +200,7 @@ MetricRegistry::addCallback(Desc d, std::function<double()> fn)
 {
     auto in = makeInstr(std::move(d));
     in->fn = std::move(fn);
+    publishInstr(in);
     return in->id;
 }
 
@@ -197,6 +211,7 @@ MetricRegistry::addPushed(Desc d)
         d.series = SeriesMode::Full;
     auto in = makeInstr(std::move(d));
     in->pushed = true;
+    publishInstr(in);
     return in->id;
 }
 
@@ -207,6 +222,7 @@ MetricRegistry::remove(std::uint64_t id)
     for (auto it = instrs_.begin(); it != instrs_.end(); ++it) {
         if ((*it)->id == id) {
             instrs_.erase(it);
+            regEvents_.fetch_add(1, std::memory_order_release);
             return true;
         }
     }
@@ -441,6 +457,14 @@ std::uint64_t
 MetricRegistry::version() const
 {
     return version_.load(std::memory_order_acquire);
+}
+
+std::uint64_t
+MetricRegistry::generation() const
+{
+    // Both terms are monotone, so the sum is a valid generation.
+    return version_.load(std::memory_order_acquire) +
+           regEvents_.load(std::memory_order_acquire);
 }
 
 std::uint64_t

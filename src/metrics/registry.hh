@@ -179,6 +179,14 @@ class MetricRegistry
     std::uint64_t version() const;
 
     /**
+     * Monotonic generation combining sampling passes with instrument
+     * (de)registrations: advances whenever the set of instruments or
+     * any sampled value may have changed. Response caches key their
+     * freshness on this.
+     */
+    std::uint64_t generation() const;
+
+    /**
      * Blocks until version() exceeds @p last_seen or @p timeout_ms
      * elapses. @return The current version.
      */
@@ -212,6 +220,7 @@ class MetricRegistry
     using InstrPtr = std::shared_ptr<Instr>;
 
     InstrPtr makeInstr(Desc d);
+    void publishInstr(const InstrPtr &in);
     InstrPtr findLocked(std::uint64_t id) const;
     std::vector<InstrPtr> snapshotInstrs() const;
     static void renderOne(std::string &out, const Instr &in);
@@ -222,6 +231,8 @@ class MetricRegistry
     SeriesConfig seriesDefaults_;
 
     std::atomic<std::uint64_t> version_{0};
+    /** Registration/removal events; see generation(). */
+    std::atomic<std::uint64_t> regEvents_{0};
     mutable std::mutex waitMu_;
     mutable std::condition_variable waitCv_;
 

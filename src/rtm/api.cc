@@ -17,6 +17,37 @@ jsonResponse(const json::Json &j)
     return web::Response::json(j.dump());
 }
 
+/**
+ * Serves @p req through the monitor's response cache.
+ *
+ * The cache key is the raw request target (path + query), the
+ * freshness stamp is @p gen, and @p build produces the body when the
+ * cached copy is stale. Clients replaying the returned ETag in
+ * If-None-Match get a body-less 304. The x-akita-no-cache request
+ * header bypasses the cache entirely (benchmark baselines).
+ */
+web::Response
+cachedResponse(Monitor *m, const web::Request &req, std::uint64_t gen,
+               const char *contentType,
+               const ResponseCache::Builder &build)
+{
+    if (req.headers.count("x-akita-no-cache"))
+        return web::Response::ok(build(), contentType);
+
+    auto entry =
+        m->responseCache().get(req.target, gen, contentType, build);
+    auto inm = req.headers.find("if-none-match");
+    if (inm != req.headers.end() && inm->second == entry->etag) {
+        web::Response r;
+        r.status = 304;
+        r.headers["ETag"] = entry->etag;
+        return r;
+    }
+    web::Response r = web::Response::ok(entry->body, entry->contentType);
+    r.headers["ETag"] = entry->etag;
+    return r;
+}
+
 } // namespace
 
 void
@@ -36,19 +67,33 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
         return jsonResponse(serializeResources(m->resources()));
     });
 
-    server.route("GET", "/api/components", [m](const web::Request &) {
-        return jsonResponse(m->componentTree());
+    server.route("GET", "/api/components", [m](const web::Request &req) {
+        // Structure-only view: its generation is the registration
+        // count, so after setup every poll is a cache hit / 304.
+        return cachedResponse(
+            m, req, m->componentsGeneration(), "application/json",
+            [m]() {
+                std::string body;
+                json::Writer w(body);
+                writeTree(w, m->registry().buildTree());
+                return body;
+            });
     });
 
     server.route("GET", "/api/component", [m](const web::Request &req) {
         std::string name = req.queryParam("name");
         if (name.empty())
             return web::Response::error(400, "missing ?name=");
-        json::Json snap = m->componentSnapshot(name);
-        if (snap.isNull())
+        sim::Component *c = m->registry().find(name);
+        if (c == nullptr)
             return web::Response::error(404,
                                         "unknown component " + name);
-        return jsonResponse(snap);
+        // Streamed under the engine lock (fine-grained serialization:
+        // one component per lock hold, same as the tree path).
+        std::string body;
+        json::Writer w(body);
+        m->withEngineLock([&]() { writeComponent(w, *c); });
+        return web::Response::json(std::move(body));
     });
 
     server.route("GET", "/api/buffers", [m](const web::Request &req) {
@@ -56,12 +101,24 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
                               ? BufferSort::BySize
                               : BufferSort::ByPercent;
         auto top = static_cast<std::size_t>(req.queryInt("top", 50));
-        return jsonResponse(
-            serializeBuffers(m->bufferLevels(sort, top)));
+        // Generation = engine event count: while the simulation runs,
+        // concurrent identical requests coalesce into one build; when
+        // it is paused or finished, every poll is a hit / 304.
+        return cachedResponse(
+            m, req, m->buffersGeneration(), "application/json",
+            [m, sort, top]() {
+                std::string body;
+                json::Writer w(body);
+                writeBuffers(w, m->bufferLevels(sort, top));
+                return body;
+            });
     });
 
     server.route("GET", "/api/progress", [m](const web::Request &) {
-        return jsonResponse(serializeProgress(m->progressBars()));
+        std::string body;
+        json::Writer w(body);
+        writeProgress(w, m->progressBars());
+        return web::Response::json(std::move(body));
     });
 
     server.route("POST", "/api/pause", [m](const web::Request &) {
@@ -190,10 +247,15 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
 
     // ---- Metrics subsystem ----
 
-    server.route("GET", "/metrics", [m](const web::Request &) {
-        return web::Response::ok(
-            m->metrics().renderPrometheus(),
-            "text/plain; version=0.0.4; charset=utf-8");
+    server.route("GET", "/metrics", [m](const web::Request &req) {
+        // Exposition is cached per metrics generation (sampling pass or
+        // instrument churn): many scrapers cost one render. Live
+        // no-lock callback values are frozen between passes — bounded
+        // staleness of one metricsIntervalMs.
+        return cachedResponse(
+            m, req, m->metricsGeneration(),
+            "text/plain; version=0.0.4; charset=utf-8",
+            [m]() { return m->metrics().renderPrometheus(); });
     });
 
     server.route("GET", "/api/v1/metrics", [m](const web::Request &) {
@@ -237,72 +299,83 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
                          if (!v.empty())
                              filter.emplace_back(key, v);
                      }
-                     auto series =
-                         m->metrics().query(name, filter, from, to, step);
-                     json::Json arr = json::Json::array();
-                     for (const auto &qs : series) {
-                         json::Json sj = json::Json::object();
-                         sj.set("name", qs.desc.name);
-                         json::Json labels = json::Json::object();
-                         for (const auto &kv : qs.desc.labels)
-                             labels.set(kv.first, kv.second);
-                         sj.set("labels", std::move(labels));
-                         json::Json pts = json::Json::array();
-                         for (const auto &b : qs.points) {
-                             json::Json bj = json::Json::object();
-                             bj.set("t_ms", b.startMs);
-                             bj.set("min", b.min);
-                             bj.set("max", b.max);
-                             bj.set("avg", b.avg());
-                             bj.set("last", b.last);
-                             bj.set("count", b.count);
-                             bj.set("sim_ps", b.lastSimPs);
-                             pts.push(std::move(bj));
-                         }
-                         sj.set("points", std::move(pts));
-                         arr.push(std::move(sj));
-                     }
-                     return jsonResponse(arr);
+                     return cachedResponse(
+                         m, req, m->metricsGeneration(),
+                         "application/json",
+                         [m, name, filter, from, to, step]() {
+                             auto series = m->metrics().query(
+                                 name, filter, from, to, step);
+                             std::string body;
+                             json::Writer w(body);
+                             w.beginArray();
+                             for (const auto &qs : series) {
+                                 w.beginObject();
+                                 w.field("name", qs.desc.name);
+                                 w.key("labels").beginObject();
+                                 for (const auto &kv : qs.desc.labels)
+                                     w.field(kv.first, kv.second);
+                                 w.endObject();
+                                 w.key("points").beginArray();
+                                 for (const auto &b : qs.points) {
+                                     w.beginObject();
+                                     w.field("t_ms", b.startMs);
+                                     w.field("min", b.min);
+                                     w.field("max", b.max);
+                                     w.field("avg", b.avg());
+                                     w.field("last", b.last);
+                                     w.field("count", b.count);
+                                     w.field("sim_ps", b.lastSimPs);
+                                     w.endObject();
+                                 }
+                                 w.endArray();
+                                 w.endObject();
+                             }
+                             w.endArray();
+                             return body;
+                         });
                  });
 
     server.routeStream(
         "GET", "/api/v1/metrics/stream",
-        [m](const web::Request &req, web::StreamWriter &w) {
+        [m](const web::Request &req) {
             std::string name = req.queryParam("name");
             int maxEvents =
                 static_cast<int>(req.queryInt("max_events", 0));
-            if (!w.writeHead(200,
-                             {{"Content-Type", "text/event-stream"},
-                              {"Cache-Control", "no-cache"}}))
-                return;
-            std::uint64_t seen = 0;
-            int sent = 0;
-            while (w.alive()) {
-                // Short waits keep shutdown latency bounded even when
-                // the sampler has stopped.
-                std::uint64_t v =
-                    m->metrics().waitForSample(seen, 250);
-                if (v == seen)
-                    continue;
-                seen = v;
-                json::Json arr = json::Json::array();
+            // The session is pumped from the server's event loop (no
+            // dedicated thread), so the pump polls the sample version
+            // non-blockingly; state lives in shared_ptrs because the
+            // pump callable outlives this handler invocation.
+            auto seen = std::make_shared<std::uint64_t>(0);
+            auto sent = std::make_shared<int>(0);
+            web::StreamSession s;
+            s.headers = {{"Content-Type", "text/event-stream"},
+                         {"Cache-Control", "no-cache"}};
+            s.pump = [m, name, maxEvents, seen,
+                      sent](std::string &out) {
+                std::uint64_t v = m->metrics().version();
+                if (v == *seen)
+                    return true; // No new sampling pass yet.
+                *seen = v;
+                std::string body;
+                json::Writer w(body);
+                w.beginArray();
                 for (const auto &sv : m->metrics().latest(name)) {
-                    json::Json sj = json::Json::object();
-                    sj.set("name", sv.desc->name);
-                    json::Json labels = json::Json::object();
+                    w.beginObject();
+                    w.field("name", sv.desc->name);
+                    w.key("labels").beginObject();
                     for (const auto &kv : sv.desc->labels)
-                        labels.set(kv.first, kv.second);
-                    sj.set("labels", std::move(labels));
-                    sj.set("value", sv.value);
-                    sj.set("t_ms", sv.wallMs);
-                    sj.set("sim_ps", sv.simPs);
-                    arr.push(std::move(sj));
+                        w.field(kv.first, kv.second);
+                    w.endObject();
+                    w.field("value", sv.value);
+                    w.field("t_ms", sv.wallMs);
+                    w.field("sim_ps", sv.simPs);
+                    w.endObject();
                 }
-                if (!w.write("data: " + arr.dump() + "\n\n"))
-                    break;
-                if (maxEvents > 0 && ++sent >= maxEvents)
-                    break;
-            }
+                w.endArray();
+                out += "data: " + body + "\n\n";
+                return !(maxEvents > 0 && ++*sent >= maxEvents);
+            };
+            return s;
         });
 }
 

@@ -573,7 +573,11 @@ Monitor::startServer()
 {
     if (server_ != nullptr && server_->running())
         return true;
-    server_ = std::make_unique<web::HttpServer>();
+    web::ServerOptions opts;
+    opts.workers = cfg_.httpWorkers;
+    opts.maxConnections = cfg_.httpMaxConnections;
+    opts.listenBacklog = cfg_.httpBacklog;
+    server_ = std::make_unique<web::HttpServer>(opts);
     installApiRoutes(*server_, *this);
     if (!server_->start(cfg_.port))
         return false;

@@ -36,6 +36,7 @@
 #include "rtm/progressbar.hh"
 #include "rtm/registry.hh"
 #include "rtm/resources.hh"
+#include "rtm/respcache.hh"
 #include "rtm/throughput.hh"
 #include "rtm/valuemonitor.hh"
 #include "sim/engine.hh"
@@ -84,6 +85,16 @@ struct MonitorConfig
      * /api/v1/metrics endpoints.
      */
     bool metricsEnabled = true;
+    /**
+     * HTTP handler worker-pool size. 0 means auto: the
+     * AKITA_HTTP_WORKERS environment variable if set, else
+     * min(4, hardware_concurrency).
+     */
+    int httpWorkers = 0;
+    /** Concurrent HTTP connection cap; excess connects get a 503. */
+    std::size_t httpMaxConnections = 256;
+    /** listen(2) backlog; 0 means SOMAXCONN (always the upper cap). */
+    int httpBacklog = 0;
 };
 
 /**
@@ -275,6 +286,38 @@ class Monitor : public gpu::KernelProgressListener
      */
     void metricsSamplePass();
 
+    // ---- Response cache (serving fast path) ----
+
+    /** The per-monitor HTTP response cache (see rtm/respcache.hh). */
+    ResponseCache &responseCache() { return respCache_; }
+
+    /**
+     * Generation of the component-structure views (/api/components):
+     * advances when components are registered.
+     */
+    std::uint64_t
+    componentsGeneration() const
+    {
+        return registry_.size();
+    }
+
+    /**
+     * Generation of simulation-state views (/api/buffers): the engine
+     * event count, which advances whenever state may have changed.
+     */
+    std::uint64_t
+    buffersGeneration() const
+    {
+        return engine_ ? engine_->eventCount() : 0;
+    }
+
+    /** Generation of metrics views (/metrics, range queries). */
+    std::uint64_t
+    metricsGeneration() const
+    {
+        return metrics_.generation();
+    }
+
     // ---- Web server ----
 
     /** Starts the dashboard server; returns false on bind failure. */
@@ -333,6 +376,7 @@ class Monitor : public gpu::KernelProgressListener
 
     std::unique_ptr<web::HttpServer> server_;
     std::atomic<web::HttpServer *> serverRaw_{nullptr};
+    ResponseCache respCache_;
 
     std::thread sampler_;
     std::atomic<bool> samplerRunning_{false};

@@ -1,0 +1,126 @@
+#include "rtm/respcache.hh"
+
+#include <cstdio>
+
+namespace akita
+{
+namespace rtm
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit body hash, formatted as a quoted strong ETag. */
+std::string
+bodyEtag(const std::string &body)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : body) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"%016llx\"",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
+std::shared_ptr<const ResponseCache::Entry>
+ResponseCache::get(const std::string &key, std::uint64_t gen,
+                   const std::string &contentType, const Builder &build)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end())
+        it = slots_.emplace(key, std::make_shared<Slot>()).first;
+    std::shared_ptr<Slot> slot = it->second;
+    slot->lastUse = ++useClock_;
+
+    while (true) {
+        if (slot->entry && slot->entry->generation >= gen)
+            return slot->entry;
+        if (slot->building) {
+            // Coalesce: share the in-flight build's result even if it
+            // was requested at a slightly older generation — under a
+            // continuously-advancing generation (e.g. engine event
+            // count) re-building per waiter would never converge.
+            slot->cv.wait(lk, [&]() { return !slot->building; });
+            if (slot->entry)
+                return slot->entry;
+            continue; // The builder threw; take over the build.
+        }
+        break;
+    }
+
+    slot->building = true;
+    lk.unlock();
+
+    std::string body;
+    try {
+        builds_.fetch_add(1, std::memory_order_relaxed);
+        body = build();
+    } catch (...) {
+        lk.lock();
+        slot->building = false;
+        slot->cv.notify_all();
+        throw;
+    }
+
+    auto entry = std::make_shared<Entry>();
+    entry->body = std::move(body);
+    entry->contentType = contentType;
+    entry->etag = bodyEtag(entry->body);
+    entry->generation = gen;
+
+    lk.lock();
+    slot->building = false;
+    slot->entry = entry;
+    slot->cv.notify_all();
+    evictLocked();
+    return entry;
+}
+
+void
+ResponseCache::evictLocked()
+{
+    while (slots_.size() > maxEntries_) {
+        auto victim = slots_.end();
+        std::uint64_t oldest = ~0ull;
+        for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+            if (it->second->building)
+                continue;
+            if (it->second->lastUse < oldest) {
+                oldest = it->second->lastUse;
+                victim = it;
+            }
+        }
+        if (victim == slots_.end())
+            return; // Everything is mid-build; nothing evictable.
+        slots_.erase(victim);
+    }
+}
+
+void
+ResponseCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &kv : slots_) {
+        // Keep slots that are mid-build; their waiters hold the
+        // shared_ptr and the result lands in the (detached) slot.
+        if (!kv.second->building)
+            kv.second->entry.reset();
+    }
+    slots_.clear();
+}
+
+std::size_t
+ResponseCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return slots_.size();
+}
+
+} // namespace rtm
+} // namespace akita

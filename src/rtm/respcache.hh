@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Generation-stamped, build-coalescing HTTP response cache.
+ *
+ * N dashboard clients polling the same endpoint used to cost N×
+ * snapshot serialization. The cache amortizes that: responses are
+ * keyed by (endpoint, query) and stamped with the monitor-state
+ * generation they were built from. The first request after the
+ * generation advances builds the serialized bytes once while
+ * concurrent requests for the same key wait on the build and share
+ * the result; requests whose generation is already cached are pure
+ * lookups. Entries carry a body-hash ETag so pollers sending
+ * If-None-Match pay zero bytes when nothing changed (304).
+ */
+
+#ifndef AKITA_RTM_RESPCACHE_HH
+#define AKITA_RTM_RESPCACHE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace akita
+{
+namespace rtm
+{
+
+/**
+ * Thread-safe response cache with per-key build coalescing.
+ *
+ * Generations are supplied by the caller and must be monotone per key
+ * (e.g. the engine event count, the metrics sample version). A cached
+ * entry satisfies any request whose generation is <= the entry's:
+ * under a continuously-advancing generation this means waiters accept
+ * the in-flight build's result instead of immediately re-building,
+ * which is what bounds the cost to one build per generation step
+ * regardless of client count.
+ */
+class ResponseCache
+{
+  public:
+    /** One immutable cached response. */
+    struct Entry
+    {
+        std::string body;
+        std::string contentType;
+        std::string etag; // Strong validator, quoted (body hash).
+        std::uint64_t generation = 0;
+    };
+
+    /** Builds the response body (called outside the cache lock). */
+    using Builder = std::function<std::string()>;
+
+    /** @param maxEntries LRU cap on distinct (endpoint, query) keys. */
+    explicit ResponseCache(std::size_t maxEntries = 128)
+        : maxEntries_(maxEntries)
+    {
+    }
+
+    /**
+     * Returns the response for @p key at generation @p gen, building
+     * it via @p build if the cached copy is older than @p gen (or
+     * absent). Concurrent callers for the same key share one build.
+     *
+     * @throws Whatever @p build throws (waiters then retry the build).
+     */
+    std::shared_ptr<const Entry> get(const std::string &key,
+                                     std::uint64_t gen,
+                                     const std::string &contentType,
+                                     const Builder &build);
+
+    /** Total builder invocations (tests assert coalescing with this). */
+    std::uint64_t
+    buildCount() const
+    {
+        return builds_.load(std::memory_order_relaxed);
+    }
+
+    /** Drops all entries (not the build counter). */
+    void clear();
+
+    /** Current number of cached keys. */
+    std::size_t size() const;
+
+  private:
+    struct Slot
+    {
+        std::shared_ptr<const Entry> entry;
+        bool building = false;
+        std::condition_variable cv;
+        std::uint64_t lastUse = 0;
+    };
+
+    void evictLocked();
+
+    std::size_t maxEntries_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+    std::uint64_t useClock_ = 0;
+    std::atomic<std::uint64_t> builds_{0};
+};
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_RESPCACHE_HH

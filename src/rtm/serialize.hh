@@ -13,6 +13,7 @@
 
 #include "introspect/value.hh"
 #include "json/json.hh"
+#include "json/writer.hh"
 #include "rtm/bufferanalyzer.hh"
 #include "rtm/progressbar.hh"
 #include "rtm/registry.hh"
@@ -51,6 +52,32 @@ json::Json serializeResources(const ResourceUsage &usage);
 
 /** Serializes one tracked time series (Fig. 5 graphs). */
 json::Json serializeSeries(const TrackedSeries &series);
+
+// ---- Streaming fast path ----
+//
+// Writer-based equivalents of the tree builders above, used by the hot
+// read endpoints: same bytes as serializeX(...).dump(), but appended
+// straight into the response buffer with no intermediate Json nodes.
+// Tests assert the byte equivalence.
+
+/** Streams an introspection value (same bytes as toJson().dump()). */
+void writeValue(json::Writer &w, const introspect::Value &value);
+
+/** Streams one component snapshot. Must run under the engine lock. */
+void writeComponent(json::Writer &w, const sim::Component &component);
+
+/** Streams the component tree. */
+void writeTree(json::Writer &w, const TreeNode &root);
+
+/** Streams a buffer-level table. */
+void writeBuffers(json::Writer &w,
+                  const std::vector<BufferLevel> &levels);
+
+/** Streams progress bars. */
+void writeProgress(json::Writer &w, const std::vector<ProgressBar> &bars);
+
+/** Streams one tracked time series. */
+void writeSeries(json::Writer &w, const TrackedSeries &series);
 
 } // namespace rtm
 } // namespace akita

@@ -90,5 +90,100 @@ HttpClient::roundTrip(const std::string &request) const
     return ClientResponse{parsed->status, parsed->body};
 }
 
+void
+PersistentClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+}
+
+bool
+PersistentClient::ensureConnected()
+{
+    if (fd_ >= 0)
+        return true;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    pending_.clear();
+    return true;
+}
+
+bool
+PersistentClient::sendAll(const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::optional<ParsedResponse>
+PersistentClient::readResponse()
+{
+    char buf[8192];
+    while (true) {
+        std::size_t consumed = 0;
+        if (auto parsed = parseResponse(pending_, consumed)) {
+            pending_.erase(0, consumed);
+            return parsed;
+        }
+        ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return std::nullopt;
+        pending_.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+std::optional<ParsedResponse>
+PersistentClient::get(
+    const std::string &target,
+    const std::vector<std::pair<std::string, std::string>> &extraHeaders)
+{
+    std::string req = "GET " + target + " HTTP/1.1\r\n" +
+                      "Host: " + host_ + "\r\n";
+    for (const auto &kv : extraHeaders)
+        req += kv.first + ": " + kv.second + "\r\n";
+    req += "\r\n";
+
+    // One transparent retry: the server may have reaped the idle
+    // connection between polls.
+    for (int attempt = 0; attempt < 2; attempt++) {
+        bool wasConnected = fd_ >= 0;
+        if (!ensureConnected())
+            return std::nullopt;
+        if (sendAll(req)) {
+            if (auto resp = readResponse())
+                return resp;
+        }
+        disconnect();
+        if (!wasConnected)
+            break; // A fresh connection failed outright; don't loop.
+    }
+    return std::nullopt;
+}
+
 } // namespace web
 } // namespace akita

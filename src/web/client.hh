@@ -13,6 +13,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "web/http.hh"
 
@@ -60,6 +62,54 @@ class HttpClient
 
     std::string host_;
     std::uint16_t port_;
+};
+
+/**
+ * A blocking keep-alive HTTP/1.1 client pinned to one host/port.
+ *
+ * Reuses one TCP connection across requests (the dashboard-poller
+ * traffic pattern); reconnects transparently once if the server closed
+ * the idle connection. Not thread-safe — one instance per client
+ * thread.
+ */
+class PersistentClient
+{
+  public:
+    PersistentClient(std::string host, std::uint16_t port)
+        : host_(std::move(host)), port_(port)
+    {
+    }
+
+    ~PersistentClient() { disconnect(); }
+
+    PersistentClient(const PersistentClient &) = delete;
+    PersistentClient &operator=(const PersistentClient &) = delete;
+
+    /**
+     * Issues a GET; nullopt on connection failure.
+     *
+     * @param extraHeaders Extra header lines, e.g. {"If-None-Match", etag}.
+     */
+    std::optional<ParsedResponse>
+    get(const std::string &target,
+        const std::vector<std::pair<std::string, std::string>>
+            &extraHeaders = {});
+
+    /** Whether the underlying connection is currently open. */
+    bool connected() const { return fd_ >= 0; }
+
+    /** Closes the connection (the next request reconnects). */
+    void disconnect();
+
+  private:
+    bool ensureConnected();
+    bool sendAll(const std::string &bytes);
+    std::optional<ParsedResponse> readResponse();
+
+    std::string host_;
+    std::uint16_t port_;
+    int fd_ = -1;
+    std::string pending_; // Bytes past the last parsed response.
 };
 
 } // namespace web

@@ -163,6 +163,8 @@ statusText(int status)
         return "OK";
       case 204:
         return "No Content";
+      case 304:
+        return "Not Modified";
       case 400:
         return "Bad Request";
       case 404:
@@ -203,14 +205,21 @@ urlDecode(const std::string &s)
 ParseResult
 parseRequest(const std::string &data, Request &req, std::size_t &consumed)
 {
-    std::size_t eol = data.find("\r\n");
+    return parseRequest(data, 0, req, consumed);
+}
+
+ParseResult
+parseRequest(const std::string &data, std::size_t start, Request &req,
+             std::size_t &consumed)
+{
+    std::size_t eol = data.find("\r\n", start);
     if (eol == std::string::npos) {
         // Guard against unbounded garbage with no line ending.
-        return data.size() > 16384 ? ParseResult::Invalid
-                                   : ParseResult::Incomplete;
+        return data.size() - start > 16384 ? ParseResult::Invalid
+                                           : ParseResult::Incomplete;
     }
 
-    std::string line = data.substr(0, eol);
+    std::string line = data.substr(start, eol - start);
     std::size_t sp1 = line.find(' ');
     std::size_t sp2 = line.rfind(' ');
     if (sp1 == std::string::npos || sp2 == sp1)
@@ -256,7 +265,7 @@ parseRequest(const std::string &data, Request &req, std::size_t &consumed)
     }
     req.headers = std::move(headers);
     req.body = data.substr(bodyStart, contentLen);
-    consumed = bodyStart + contentLen;
+    consumed = bodyStart + contentLen - start;
     return ParseResult::Ok;
 }
 
@@ -293,6 +302,38 @@ parseResponse(const std::string &data)
     if (data.size() < bodyStart + contentLen)
         return std::nullopt;
     resp.body = data.substr(bodyStart, contentLen);
+    return resp;
+}
+
+std::optional<ParsedResponse>
+parseResponse(const std::string &data, std::size_t &consumed)
+{
+    std::size_t eol = data.find("\r\n");
+    if (eol == std::string::npos)
+        return std::nullopt;
+    std::string line = data.substr(0, eol);
+    if (line.rfind("HTTP/1.", 0) != 0)
+        return std::nullopt;
+    std::size_t sp = line.find(' ');
+    if (sp == std::string::npos)
+        return std::nullopt;
+    ParsedResponse resp;
+    resp.status = std::atoi(line.c_str() + sp + 1);
+
+    bool valid = true;
+    std::size_t bodyStart = parseHeaders(data, eol + 2, resp.headers, valid);
+    if (bodyStart == std::string::npos || !valid)
+        return std::nullopt;
+
+    auto it = resp.headers.find("content-length");
+    if (it == resp.headers.end())
+        return std::nullopt; // Close-framed; needs EOF to delimit.
+    auto contentLen = static_cast<std::size_t>(
+        std::strtoll(it->second.c_str(), nullptr, 10));
+    if (data.size() < bodyStart + contentLen)
+        return std::nullopt;
+    resp.body = data.substr(bodyStart, contentLen);
+    consumed = bodyStart + contentLen;
     return resp;
 }
 

@@ -99,6 +99,14 @@ ParseResult parseRequest(const std::string &data, Request &req,
                          std::size_t &consumed);
 
 /**
+ * Offset-cursor variant: parses one request starting at @p start.
+ * On Ok, @p consumed is the byte count from @p start (so the caller
+ * advances its cursor instead of erasing the buffer front).
+ */
+ParseResult parseRequest(const std::string &data, std::size_t start,
+                         Request &req, std::size_t &consumed);
+
+/**
  * Parses a response (client side).
  *
  * @return The status code and body, or nullopt on malformed input.
@@ -111,6 +119,15 @@ struct ParsedResponse
 };
 
 std::optional<ParsedResponse> parseResponse(const std::string &data);
+
+/**
+ * Keep-alive variant: parses one Content-Length-framed response from
+ * the front of @p data and reports the bytes it occupied, so a client
+ * can leave pipelined follow-up responses in the buffer. Responses
+ * without Content-Length (close-framed) return nullopt here.
+ */
+std::optional<ParsedResponse> parseResponse(const std::string &data,
+                                            std::size_t &consumed);
 
 } // namespace web
 } // namespace akita

@@ -3,9 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace akita
@@ -13,38 +18,45 @@ namespace akita
 namespace web
 {
 
-bool
-StreamWriter::writeHead(
-    int status,
-    const std::vector<std::pair<std::string, std::string>> &headers)
+namespace
 {
-    std::string head = "HTTP/1.1 " + std::to_string(status) +
-                       (status == 200 ? " OK" : " Error") + "\r\n";
-    for (const auto &kv : headers)
-        head += kv.first + ": " + kv.second + "\r\n";
-    head += "Connection: close\r\n\r\n";
-    return write(head);
-}
 
-bool
-StreamWriter::write(const std::string &chunk)
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+
+int
+resolveWorkers(int requested)
 {
-    if (!alive())
-        return false;
-    std::size_t off = 0;
-    while (off < chunk.size()) {
-        ssize_t n = ::send(fd_, chunk.data() + off, chunk.size() - off,
-                           MSG_NOSIGNAL);
-        if (n <= 0) {
-            failed_ = true;
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("AKITA_HTTP_WORKERS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
     }
-    return true;
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    return static_cast<int>(std::min(4u, hw));
 }
 
-HttpServer::HttpServer() = default;
+/** Pre-serialized fast 503 for connections over the cap. */
+const std::string &
+overloadedResponse()
+{
+    static const std::string wire =
+        Response::error(503, "connection limit reached").serialize(false);
+    return wire;
+}
+
+} // namespace
+
+HttpServer::HttpServer() : HttpServer(ServerOptions{}) {}
+
+HttpServer::HttpServer(const ServerOptions &options)
+    : opts_(options), routes_(std::make_shared<RouteTable>())
+{
+}
 
 HttpServer::~HttpServer()
 {
@@ -56,7 +68,6 @@ HttpServer::addRoute(const std::string &method,
                      const std::string &pattern, Handler handler,
                      StreamHandler stream)
 {
-    std::lock_guard<std::mutex> lk(routesMu_);
     Route r;
     r.method = method;
     if (pattern.size() >= 2 && pattern.rfind("/*") == pattern.size() - 2) {
@@ -68,7 +79,19 @@ HttpServer::addRoute(const std::string &method,
     }
     r.handler = std::move(handler);
     r.stream = std::move(stream);
-    routes_.push_back(std::move(r));
+
+    std::lock_guard<std::mutex> lk(routesMu_);
+    auto next = std::make_shared<RouteTable>(*routes_);
+    if (r.prefix) {
+        next->prefixes.push_back(std::move(r));
+        std::stable_sort(next->prefixes.begin(), next->prefixes.end(),
+                         [](const Route &a, const Route &b) {
+                             return a.pattern.size() > b.pattern.size();
+                         });
+    } else {
+        next->exact[r.method][r.pattern] = std::move(r);
+    }
+    routes_ = std::move(next);
 }
 
 void
@@ -86,13 +109,47 @@ HttpServer::routeStream(const std::string &method,
     addRoute(method, pattern, nullptr, std::move(handler));
 }
 
+std::shared_ptr<const HttpServer::RouteTable>
+HttpServer::routeTable() const
+{
+    std::lock_guard<std::mutex> lk(routesMu_);
+    return routes_;
+}
+
+bool
+HttpServer::findRoute(const Request &req, Route &out) const
+{
+    auto tbl = routeTable();
+    // Exact-path probe: the request's method bucket first, then "*".
+    for (const char *method : {req.method.c_str(), "*"}) {
+        auto bucket = tbl->exact.find(method);
+        if (bucket == tbl->exact.end())
+            continue;
+        auto hit = bucket->second.find(req.path);
+        if (hit != bucket->second.end()) {
+            out = hit->second;
+            return true;
+        }
+    }
+    // Prefix list is longest-first; take the first method match.
+    for (const Route &r : tbl->prefixes) {
+        if (r.method != "*" && r.method != req.method)
+            continue;
+        if (req.path.rfind(r.pattern, 0) == 0) {
+            out = r;
+            return true;
+        }
+    }
+    return false;
+}
+
 bool
 HttpServer::start(std::uint16_t port)
 {
     if (running_.load())
         return false;
 
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (listenFd_ < 0)
         return false;
 
@@ -103,9 +160,12 @@ HttpServer::start(std::uint16_t port)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
+    int backlog = opts_.listenBacklog > 0
+                      ? std::min(opts_.listenBacklog, SOMAXCONN)
+                      : SOMAXCONN;
     if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) < 0 ||
-        ::listen(listenFd_, 64) < 0) {
+        ::listen(listenFd_, backlog) < 0) {
         ::close(listenFd_);
         listenFd_ = -1;
         return false;
@@ -115,8 +175,31 @@ HttpServer::start(std::uint16_t port)
     ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
     port_ = ntohs(addr.sin_port);
 
+    epollFd_ = ::epoll_create1(0);
+    wakeFd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (epollFd_ < 0 || wakeFd_ < 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        if (epollFd_ >= 0)
+            ::close(epollFd_);
+        if (wakeFd_ >= 0)
+            ::close(wakeFd_);
+        epollFd_ = wakeFd_ = -1;
+        return false;
+    }
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenId;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+    ev.data.u64 = kWakeId;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev);
+
+    opts_.workers = resolveWorkers(opts_.workers);
     running_.store(true);
-    acceptThread_ = std::thread([this]() { acceptLoop(); });
+    reactorThread_ = std::thread([this]() { reactorLoop(); });
+    for (int i = 0; i < opts_.workers; i++)
+        workers_.emplace_back([this]() { workerLoop(); });
     return true;
 }
 
@@ -124,34 +207,45 @@ void
 HttpServer::stop()
 {
     if (!running_.exchange(false)) {
-        if (acceptThread_.joinable())
-            acceptThread_.join();
+        if (reactorThread_.joinable())
+            reactorThread_.join();
+        for (auto &t : workers_) {
+            if (t.joinable())
+                t.join();
+        }
+        workers_.clear();
         return;
     }
 
-    // Unblock accept() and in-flight reads.
-    if (listenFd_ >= 0)
-        ::shutdown(listenFd_, SHUT_RDWR);
-    {
-        std::lock_guard<std::mutex> lk(workersMu_);
-        for (int fd : activeFds_)
-            ::shutdown(fd, SHUT_RDWR);
+    wakeReactor();
+    jobsCv_.notify_all();
+    if (reactorThread_.joinable())
+        reactorThread_.join();
+    for (auto &t : workers_) {
+        if (t.joinable())
+            t.join();
     }
-    if (acceptThread_.joinable())
-        acceptThread_.join();
+    workers_.clear();
+
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
     }
-
-    std::vector<std::thread> workers;
-    {
-        std::lock_guard<std::mutex> lk(workersMu_);
-        workers.swap(workers_);
+    if (epollFd_ >= 0) {
+        ::close(epollFd_);
+        epollFd_ = -1;
     }
-    for (auto &t : workers) {
-        if (t.joinable())
-            t.join();
+    if (wakeFd_ >= 0) {
+        ::close(wakeFd_);
+        wakeFd_ = -1;
+    }
+    {
+        std::lock_guard<std::mutex> lk(jobsMu_);
+        jobs_.clear();
+    }
+    {
+        std::lock_guard<std::mutex> lk(completionsMu_);
+        completions_.clear();
     }
 }
 
@@ -162,134 +256,427 @@ HttpServer::url() const
 }
 
 void
-HttpServer::acceptLoop()
+HttpServer::wakeReactor()
 {
+    std::uint64_t one = 1;
+    ssize_t n = ::write(wakeFd_, &one, sizeof(one));
+    (void)n; // A full counter already guarantees a wakeup.
+}
+
+// ---------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------
+
+void
+HttpServer::reactorLoop()
+{
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    auto lastSweep = std::chrono::steady_clock::now();
+
     while (running_.load()) {
-        sockaddr_in peer{};
-        socklen_t len = sizeof(peer);
-        int fd = ::accept(listenFd_, reinterpret_cast<sockaddr *>(&peer),
-                          &len);
-        if (fd < 0) {
-            if (!running_.load())
-                break;
-            continue;
+        int timeout = numStreams_ > 0 ? opts_.streamPollMs : 250;
+        int n = ::epoll_wait(epollFd_, events, kMaxEvents, timeout);
+        if (!running_.load())
+            break;
+        for (int i = 0; i < n; i++) {
+            std::uint64_t id = events[i].data.u64;
+            if (id == kListenId) {
+                onAccept();
+                continue;
+            }
+            if (id == kWakeId) {
+                std::uint64_t drained = 0;
+                while (::read(wakeFd_, &drained, sizeof(drained)) > 0) {
+                }
+                continue;
+            }
+            auto it = conns_.find(id);
+            if (it == conns_.end())
+                continue;
+            Conn &conn = *it->second;
+            if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+                closeConn(id);
+                continue;
+            }
+            if (events[i].events & EPOLLOUT) {
+                if (!flush(conn))
+                    continue; // Connection closed.
+                if (!conn.busy && !conn.streaming &&
+                    !processInput(conn))
+                    continue; // Connection closed.
+                updateEvents(conn);
+            }
+            if (events[i].events & EPOLLIN)
+                onReadable(conn);
         }
 
-        timeval tv{};
-        tv.tv_sec = 10;
-        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        applyCompletions();
+        if (numStreams_ > 0)
+            pumpStreams();
+
+        auto now = std::chrono::steady_clock::now();
+        if (now - lastSweep >= std::chrono::milliseconds(250)) {
+            lastSweep = now;
+            sweepIdle();
+        }
+    }
+
+    // Shutdown: close every connection; completions from still-running
+    // workers are dropped (stop() clears the queue after joins).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto &kv : conns_)
+        ids.push_back(kv.first);
+    for (std::uint64_t id : ids)
+        closeConn(id);
+}
+
+void
+HttpServer::onAccept()
+{
+    while (true) {
+        int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_NONBLOCK);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // EAGAIN or a transient error; epoll will re-arm.
+        }
+        if (conns_.size() >= opts_.maxConnections) {
+            // Fast, bounded rejection: one best-effort send, then close.
+            const std::string &wire = overloadedResponse();
+            ssize_t sent =
+                ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+            (void)sent;
+            ::close(fd);
+            continue;
+        }
         int nodelay = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
                      sizeof(nodelay));
 
-        std::lock_guard<std::mutex> lk(workersMu_);
-        if (!running_.load()) {
+        auto conn = std::make_unique<Conn>();
+        conn->id = nextConnId_++;
+        conn->fd = fd;
+        conn->last = std::chrono::steady_clock::now();
+        conn->events = EPOLLIN;
+        epoll_event ev{};
+        ev.events = conn->events;
+        ev.data.u64 = conn->id;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
             ::close(fd);
-            break;
+            continue;
         }
-        activeFds_.insert(fd);
-        workers_.emplace_back([this, fd]() { handleConnection(fd); });
+        conns_.emplace(conn->id, std::move(conn));
     }
 }
 
 void
-HttpServer::handleConnection(int fd)
+HttpServer::onReadable(Conn &conn)
 {
-    std::string pending;
-    char buf[8192];
-
-    while (running_.load()) {
-        Request req;
-        std::size_t consumed = 0;
-        ParseResult pr = parseRequest(pending, req, consumed);
-        if (pr == ParseResult::Invalid) {
-            std::string out =
-                Response::error(400, "malformed request").serialize(false);
-            ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
-            break;
-        }
-        if (pr == ParseResult::Incomplete) {
-            ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-            if (n <= 0)
-                break;
-            pending.append(buf, static_cast<std::size_t>(n));
+    char buf[16384];
+    while (true) {
+        ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.last = std::chrono::steady_clock::now();
+            // Streams are write-only once established; drop client bytes.
+            if (!conn.streaming)
+                conn.in.append(buf, static_cast<std::size_t>(n));
             continue;
         }
-
-        pending.erase(0, consumed);
-        requestCount_.fetch_add(1, std::memory_order_relaxed);
-
-        bool keepAlive = true;
-        auto conn = req.headers.find("connection");
-        if (conn != req.headers.end() && conn->second == "close")
-            keepAlive = false;
-
-        Route r;
-        if (findRoute(req, r) && r.stream) {
-            // Streaming response: the handler writes incrementally;
-            // connection-close is the framing, so never keep-alive.
-            StreamWriter w(fd, &running_);
-            try {
-                r.stream(req, w);
-            } catch (const std::exception &) {
-                // Best effort; the stream just ends.
-            }
-            break;
+        if (n == 0) {
+            closeConn(conn.id);
+            return;
         }
-
-        Response resp = dispatch(req);
-        std::string out = resp.serialize(keepAlive);
-        if (::send(fd, out.data(), out.size(), MSG_NOSIGNAL) < 0)
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
             break;
-        if (!keepAlive)
-            break;
+        if (errno == EINTR)
+            continue;
+        closeConn(conn.id);
+        return;
     }
-
-    ::close(fd);
-    std::lock_guard<std::mutex> lk(workersMu_);
-    activeFds_.erase(fd);
+    if (!conn.busy && !conn.streaming && !processInput(conn))
+        return; // Connection closed.
+    updateEvents(conn);
 }
 
 bool
-HttpServer::findRoute(const Request &req, Route &out)
+HttpServer::processInput(Conn &conn)
 {
-    std::lock_guard<std::mutex> lk(routesMu_);
-    std::size_t bestLen = 0;
-    bool bestExact = false;
-    bool found = false;
-    for (const auto &r : routes_) {
-        if (r.method != "*" && r.method != req.method)
-            continue;
-        if (r.prefix) {
-            if (req.path.rfind(r.pattern, 0) == 0 && !bestExact &&
-                r.pattern.size() >= bestLen) {
-                bestLen = r.pattern.size();
-                out = r;
-                found = true;
-            }
-        } else if (r.pattern == req.path) {
-            out = r;
-            bestExact = true;
-            found = true;
-        }
+    if (conn.closing)
+        return true;
+    Request req;
+    std::size_t consumed = 0;
+    ParseResult pr = parseRequest(conn.in, conn.inOff, req, consumed);
+    if (pr == ParseResult::Incomplete &&
+        conn.in.size() - conn.inOff > opts_.maxRequestBytes)
+        pr = ParseResult::Invalid;
+    if (pr == ParseResult::Invalid) {
+        conn.out.append(
+            Response::error(400, "malformed request").serialize(false));
+        conn.closing = true;
+        // flush may close the connection outright; report it so no
+        // caller touches the (then freed) Conn again.
+        return flush(conn);
     }
-    return found;
+    if (pr == ParseResult::Incomplete)
+        return true;
+
+    // Advance the parse cursor without the per-request erase(0, n) —
+    // compaction is amortized O(1) over the bytes received.
+    conn.inOff += consumed;
+    if (conn.inOff == conn.in.size()) {
+        conn.in.clear();
+        conn.inOff = 0;
+    } else if (conn.inOff > 4096 && conn.inOff >= conn.in.size() / 2) {
+        conn.in.erase(0, conn.inOff);
+        conn.inOff = 0;
+    }
+
+    requestCount_.fetch_add(1, std::memory_order_relaxed);
+
+    bool keepAlive = true;
+    auto connHdr = req.headers.find("connection");
+    if (connHdr != req.headers.end() && connHdr->second == "close")
+        keepAlive = false;
+
+    // One request in flight per connection keeps responses in pipeline
+    // order; the next buffered request is parsed when this completes.
+    conn.busy = true;
+    {
+        std::lock_guard<std::mutex> lk(jobsMu_);
+        jobs_.push_back(Job{conn.id, std::move(req), keepAlive});
+    }
+    jobsCv_.notify_one();
+    return true;
 }
 
-Response
-HttpServer::dispatch(const Request &req)
+bool
+HttpServer::flush(Conn &conn)
 {
-    Route r;
-    if (!findRoute(req, r) || !r.handler)
-        return Response::error(404, "no route for " + req.path);
-
-    try {
-        return r.handler(req);
-    } catch (const std::exception &e) {
-        return Response::error(500, std::string("handler error: ") +
-                                        e.what());
+    while (conn.outOff < conn.out.size()) {
+        ssize_t n = ::send(conn.fd, conn.out.data() + conn.outOff,
+                           conn.out.size() - conn.outOff, MSG_NOSIGNAL);
+        if (n >= 0) {
+            conn.outOff += static_cast<std::size_t>(n);
+            conn.last = std::chrono::steady_clock::now();
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        closeConn(conn.id);
+        return false;
     }
+    if (conn.outOff == conn.out.size()) {
+        conn.out.clear();
+        conn.outOff = 0;
+        if (conn.closing) {
+            closeConn(conn.id);
+            return false;
+        }
+    } else if (conn.outOff > (1u << 16)) {
+        conn.out.erase(0, conn.outOff);
+        conn.outOff = 0;
+    }
+    return true;
+}
+
+void
+HttpServer::applyCompletions()
+{
+    std::deque<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lk(completionsMu_);
+        batch.swap(completions_);
+    }
+    for (auto &c : batch) {
+        auto it = conns_.find(c.connId);
+        if (it == conns_.end())
+            continue; // The connection died while the handler ran.
+        Conn &conn = *it->second;
+        conn.busy = false;
+        conn.out.append(c.bytes);
+        if (c.isStream) {
+            conn.streaming = true;
+            conn.pump = std::move(c.pump);
+            numStreams_++;
+            // Anything the client pipelined after a stream request is
+            // undeliverable on this connection; the stream owns it now.
+            conn.in.clear();
+            conn.inOff = 0;
+        }
+        if (c.close)
+            conn.closing = true;
+        if (!flush(conn))
+            continue;
+        if (!conn.busy && !conn.streaming && !conn.closing)
+            processInput(conn); // Pipelined follow-up, if buffered.
+        auto again = conns_.find(c.connId);
+        if (again != conns_.end())
+            updateEvents(*again->second);
+    }
+}
+
+void
+HttpServer::pumpStreams()
+{
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto &kv : conns_) {
+        if (kv.second->streaming)
+            ids.push_back(kv.first);
+    }
+    for (std::uint64_t id : ids) {
+        auto it = conns_.find(id);
+        if (it == conns_.end())
+            continue;
+        Conn &conn = *it->second;
+        // Backpressure: pump only once the previous chunk has drained.
+        if (conn.closing || conn.outOff < conn.out.size())
+            continue;
+        std::string chunk;
+        bool more = false;
+        try {
+            more = conn.pump ? conn.pump(chunk) : false;
+        } catch (const std::exception &) {
+            more = false; // Best effort; the stream just ends.
+        }
+        if (!chunk.empty())
+            conn.out.append(chunk);
+        if (!more)
+            conn.closing = true;
+        if (!flush(conn))
+            continue;
+        auto again = conns_.find(id);
+        if (again != conns_.end())
+            updateEvents(*again->second);
+    }
+}
+
+void
+HttpServer::sweepIdle()
+{
+    if (opts_.idleTimeoutMs <= 0)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> dead;
+    for (const auto &kv : conns_) {
+        const Conn &conn = *kv.second;
+        if (conn.streaming || conn.busy)
+            continue;
+        if (now - conn.last >
+            std::chrono::milliseconds(opts_.idleTimeoutMs))
+            dead.push_back(kv.first);
+    }
+    for (std::uint64_t id : dead)
+        closeConn(id);
+}
+
+void
+HttpServer::updateEvents(Conn &conn)
+{
+    bool pendingOut = conn.outOff < conn.out.size();
+    // Backpressure: stop reading while the peer lets writes pile up.
+    bool readPaused =
+        conn.out.size() - conn.outOff > opts_.writeHighWater;
+    std::uint32_t want = (readPaused ? 0u : EPOLLIN) |
+                         (pendingOut ? EPOLLOUT : 0u);
+    if (want == conn.events)
+        return;
+    conn.events = want;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void
+HttpServer::closeConn(std::uint64_t id)
+{
+    auto it = conns_.find(id);
+    if (it == conns_.end())
+        return;
+    if (it->second->streaming && numStreams_ > 0)
+        numStreams_--;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+    ::close(it->second->fd);
+    conns_.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// Handler pool
+// ---------------------------------------------------------------------
+
+void
+HttpServer::workerLoop()
+{
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(jobsMu_);
+            jobsCv_.wait(lk, [this]() {
+                return !jobs_.empty() || !running_.load();
+            });
+            if (!running_.load())
+                return;
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+        }
+        Completion c = runJob(job);
+        {
+            std::lock_guard<std::mutex> lk(completionsMu_);
+            completions_.push_back(std::move(c));
+        }
+        wakeReactor();
+    }
+}
+
+HttpServer::Completion
+HttpServer::runJob(const Job &job) const
+{
+    Completion c;
+    c.connId = job.connId;
+
+    Route r;
+    if (!findRoute(job.req, r)) {
+        c.bytes = Response::error(404, "no route for " + job.req.path)
+                      .serialize(job.keepAlive);
+        c.close = !job.keepAlive;
+        return c;
+    }
+
+    if (r.stream) {
+        try {
+            StreamSession s = r.stream(job.req);
+            std::string head = "HTTP/1.1 " + std::to_string(s.status) +
+                               " " + statusText(s.status) + "\r\n";
+            for (const auto &kv : s.headers)
+                head += kv.first + ": " + kv.second + "\r\n";
+            head += "\r\n";
+            c.bytes = std::move(head);
+            c.pump = std::move(s.pump);
+            c.isStream = true;
+        } catch (const std::exception &e) {
+            c.bytes = Response::error(
+                          500, std::string("handler error: ") + e.what())
+                          .serialize(false);
+            c.close = true;
+        }
+        return c;
+    }
+
+    Response resp;
+    try {
+        resp = r.handler(job.req);
+    } catch (const std::exception &e) {
+        resp = Response::error(500,
+                               std::string("handler error: ") + e.what());
+    }
+    c.bytes = resp.serialize(job.keepAlive);
+    c.close = !job.keepAlive;
+    return c;
 }
 
 } // namespace web

@@ -1,22 +1,35 @@
 /**
  * @file
- * Threaded HTTP server.
+ * Event-loop HTTP server.
  *
  * Starting an RTM-monitored simulation "effectively transform[s] any
- * simulation into a web server" (paper §IV-A). This server runs in
+ * simulation into a web server" (paper §IV-A). The server runs on
  * dedicated threads (the paper's design choice 3) so its execution
- * minimally interferes with the simulation thread.
+ * minimally interferes with the simulation thread — but unlike the
+ * original thread-per-connection design, the cost of N dashboard
+ * clients is now bounded: one epoll reactor thread owns every socket
+ * (non-blocking accept/read/write, HTTP/1.1 keep-alive with pipelined
+ * request parsing, per-connection write buffering with backpressure,
+ * idle timeouts, a connection cap) and a fixed-size pool of handler
+ * workers executes route callbacks, which may briefly borrow the
+ * engine lock. Streaming (SSE) responses are long-lived connections
+ * pumped from the same loop; they hold no thread.
  */
 
 #ifndef AKITA_WEB_SERVER_HH
 #define AKITA_WEB_SERVER_HH
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "web/http.hh"
@@ -26,62 +39,64 @@ namespace akita
 namespace web
 {
 
-/** Request handler; runs on a server worker thread. */
+/** Request handler; runs on a pool worker thread. */
 using Handler = std::function<Response(const Request &)>;
 
 /**
- * Incremental writer for streaming responses (Server-Sent Events).
+ * One live streaming (SSE) response.
  *
- * A stream handler writes the head once, then chunks for as long as
- * alive() holds. The connection closes when the handler returns —
- * streaming responses carry no Content-Length, so close is the framing.
+ * A stream route returns a session per accepted request. The server
+ * writes the head once, then calls pump() from the event loop every
+ * streamPollMs once the previous bytes have drained (built-in
+ * backpressure: a slow client is never buffered beyond one chunk).
+ * pump() appends any ready bytes to @p out and returns false to end
+ * the stream — streaming responses carry no Content-Length, so the
+ * connection close is the framing. pump() must not block.
  */
-class StreamWriter
+struct StreamSession
 {
-  public:
-    StreamWriter(int fd, const std::atomic<bool> *server_running)
-        : fd_(fd), serverRunning_(server_running)
-    {
-    }
-
-    /**
-     * Writes the status line and headers. "Connection: close" is added
-     * automatically. @return False when the client is gone.
-     */
-    bool writeHead(
-        int status,
-        const std::vector<std::pair<std::string, std::string>> &headers);
-
-    /** Writes one chunk of body. @return False when the client is gone. */
-    bool write(const std::string &chunk);
-
-    /** True until the client disconnects or the server stops. */
-    bool
-    alive() const
-    {
-        return !failed_ && serverRunning_->load();
-    }
-
-  private:
-    int fd_;
-    const std::atomic<bool> *serverRunning_;
-    bool failed_ = false;
+    int status = 200;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::function<bool(std::string &out)> pump;
 };
 
-/** Streaming handler; runs on a server worker thread. */
-using StreamHandler =
-    std::function<void(const Request &, StreamWriter &)>;
+/** Streaming handler; runs once per request on a pool worker thread. */
+using StreamHandler = std::function<StreamSession(const Request &)>;
+
+/** Serving knobs (all have production-safe defaults). */
+struct ServerOptions
+{
+    /**
+     * Handler pool size; 0 means auto: the AKITA_HTTP_WORKERS
+     * environment variable, else min(4, hardware_concurrency).
+     */
+    int workers = 0;
+    /** listen(2) backlog; 0 means SOMAXCONN. Always capped at SOMAXCONN. */
+    int listenBacklog = 0;
+    /** Concurrent-connection cap; excess connects get a fast 503. */
+    std::size_t maxConnections = 256;
+    /** Keep-alive connections idle longer than this are closed. */
+    int idleTimeoutMs = 30000;
+    /** Cadence at which drained stream sessions are pumped. */
+    int streamPollMs = 25;
+    /** Pause reading from a connection buffering more than this. */
+    std::size_t writeHighWater = 1u << 20;
+    /** Reject requests larger than this (head + body). */
+    std::size_t maxRequestBytes = 1u << 20;
+};
 
 /**
- * A small routing HTTP server bound to 127.0.0.1.
+ * A small routing HTTP/1.1 server bound to 127.0.0.1.
  *
  * Routes are matched most-specific-first: exact paths win over prefix
- * ("/api/component/" + wildcard) routes, and longer prefixes win over shorter.
+ * ("/api/component/" + wildcard) routes, and longer prefixes win over
+ * shorter. Exact-path lookup is a per-method hash probe.
  */
 class HttpServer
 {
   public:
     HttpServer();
+    explicit HttpServer(const ServerOptions &options);
     ~HttpServer();
 
     HttpServer(const HttpServer &) = delete;
@@ -98,7 +113,7 @@ class HttpServer
 
     /**
      * Registers a streaming handler (same pattern rules as route()).
-     * The connection is closed when the handler returns.
+     * The connection is closed when the session's pump returns false.
      */
     void routeStream(const std::string &method,
                      const std::string &pattern, StreamHandler handler);
@@ -129,35 +144,113 @@ class HttpServer
         return requestCount_.load(std::memory_order_relaxed);
     }
 
+    /** The effective options (workers resolved after start). */
+    const ServerOptions &options() const { return opts_; }
+
   private:
     struct Route
     {
         std::string method;
         std::string pattern; // Without the trailing "*".
-        bool prefix;
+        bool prefix = false;
         Handler handler;
         StreamHandler stream; // Set for routeStream registrations.
     };
 
-    void acceptLoop();
-    void handleConnection(int fd);
-    Response dispatch(const Request &req);
-    bool findRoute(const Request &req, Route &out);
+    /**
+     * Immutable routing snapshot: exact paths bucketed by method for
+     * O(1) lookup, prefixes in a small longest-first list. Rebuilt on
+     * registration; workers grab the shared_ptr under a short lock.
+     */
+    struct RouteTable
+    {
+        std::unordered_map<std::string,
+                           std::unordered_map<std::string, Route>>
+            exact;
+        std::vector<Route> prefixes;
+    };
+
+    /** One connection; owned and touched only by the reactor thread. */
+    struct Conn
+    {
+        std::uint64_t id = 0;
+        int fd = -1;
+        std::string in;          // Receive buffer.
+        std::size_t inOff = 0;   // Parse cursor (no per-request erase).
+        std::string out;         // Send buffer.
+        std::size_t outOff = 0;  // Flush cursor.
+        std::uint32_t events = 0; // Current epoll interest mask.
+        bool busy = false;        // A handler job is in flight.
+        bool closing = false;     // Close once the send buffer drains.
+        bool streaming = false;
+        std::function<bool(std::string &)> pump;
+        std::chrono::steady_clock::time_point last;
+    };
+
+    /** Work for the handler pool. */
+    struct Job
+    {
+        std::uint64_t connId = 0;
+        Request req;
+        bool keepAlive = true;
+    };
+
+    /** A worker's finished response, applied by the reactor. */
+    struct Completion
+    {
+        std::uint64_t connId = 0;
+        std::string bytes;
+        bool close = false;
+        bool isStream = false;
+        std::function<bool(std::string &)> pump;
+    };
+
     void addRoute(const std::string &method, const std::string &pattern,
                   Handler handler, StreamHandler stream);
+    std::shared_ptr<const RouteTable> routeTable() const;
+    bool findRoute(const Request &req, Route &out) const;
 
-    std::vector<Route> routes_;
-    std::mutex routesMu_;
+    void reactorLoop();
+    void workerLoop();
+    Completion runJob(const Job &job) const;
+
+    void onAccept();
+    void onReadable(Conn &conn);
+    bool flush(Conn &conn);
+    bool processInput(Conn &conn);
+    void applyCompletions();
+    void pumpStreams();
+    void sweepIdle();
+    void updateEvents(Conn &conn);
+    void closeConn(std::uint64_t id);
+    void wakeReactor();
+
+    ServerOptions opts_;
+
+    mutable std::mutex routesMu_;
+    std::shared_ptr<const RouteTable> routes_;
 
     int listenFd_ = -1;
+    int epollFd_ = -1;
+    int wakeFd_ = -1;
     std::uint16_t port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> requestCount_{0};
 
-    std::thread acceptThread_;
-    std::mutex workersMu_;
+    // Reactor-private state.
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+    std::uint64_t nextConnId_ = 2; // 0 = listen fd, 1 = wake fd.
+    std::size_t numStreams_ = 0;
+
+    std::thread reactorThread_;
     std::vector<std::thread> workers_;
-    std::set<int> activeFds_;
+
+    std::mutex jobsMu_;
+    std::condition_variable jobsCv_;
+    std::deque<Job> jobs_;
+
+    std::mutex completionsMu_;
+    std::deque<Completion> completions_;
 };
 
 } // namespace web

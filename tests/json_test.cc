@@ -237,3 +237,125 @@ TEST(JsonDump, PrettyPrint)
     EXPECT_NE(pretty.find("\n"), std::string::npos);
     EXPECT_NE(pretty.find("  \"a\": 1"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------
+// Streaming writer (the serving fast path)
+// ---------------------------------------------------------------------
+
+#include <limits>
+
+#include "json/writer.hh"
+
+namespace
+{
+
+/** Re-emits a parsed tree through the Writer API. */
+void
+writeFromTree(akita::json::Writer &w, const Json &j)
+{
+    switch (j.type()) {
+      case Json::Type::Null:
+        w.value(nullptr);
+        break;
+      case Json::Type::Bool:
+        w.value(j.boolVal());
+        break;
+      case Json::Type::Int:
+        w.value(j.intVal());
+        break;
+      case Json::Type::Float:
+        w.value(j.numberVal());
+        break;
+      case Json::Type::Str:
+        w.value(j.strVal());
+        break;
+      case Json::Type::Array:
+        w.beginArray();
+        for (const auto &item : j.items())
+            writeFromTree(w, item);
+        w.endArray();
+        break;
+      case Json::Type::Object:
+        w.beginObject();
+        for (const auto &m : j.members()) {
+            w.key(m.first);
+            writeFromTree(w, m.second);
+        }
+        w.endObject();
+        break;
+    }
+}
+
+} // namespace
+
+class WriterEquivalence : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(WriterEquivalence, MatchesDumpByteForByte)
+{
+    Json tree = Json::parse(GetParam());
+    std::string streamed;
+    akita::json::Writer w(streamed);
+    writeFromTree(w, tree);
+    EXPECT_EQ(streamed, tree.dump()) << GetParam();
+}
+
+// Same corpus as JsonRoundTrip: the two serializers must agree on
+// every construct the API emits (the response cache ETags depend on
+// byte-stable output regardless of which path built the body).
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, WriterEquivalence,
+    ::testing::Values(
+        "null", "true", "0", "-1", "3.25", "\"\"", "\"text\"", "[]",
+        "{}", "[null,true,1,\"x\",[],{}]",
+        R"({"a":1,"b":[2,3],"c":{"d":"e"},"f":null})",
+        R"({"deep":[[[[[1]]]]]})",
+        R"(["backslash and quote","\\","\""])",
+        R"({"nums":[0.5,1e10,-3.125,1234567890123456789]})",
+        R"({"esc":"tab\tnl\nquote\"backslash\\u\u0001"})"));
+
+TEST(Writer, FieldAndChaining)
+{
+    std::string out;
+    akita::json::Writer w(out);
+    w.beginObject();
+    w.field("i", 42).field("s", "x").field("b", true);
+    w.key("arr").beginArray();
+    w.value(1).value(2.5).value(nullptr);
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(out, R"({"i":42,"s":"x","b":true,"arr":[1,2.5,null]})");
+}
+
+TEST(Writer, NonFiniteBecomesNull)
+{
+    std::string out;
+    akita::json::Writer w(out);
+    w.beginArray();
+    w.value(std::nan(""));
+    w.value(std::numeric_limits<double>::infinity());
+    w.endArray();
+    EXPECT_EQ(out, "[null,null]");
+}
+
+TEST(Writer, Uint64MatchesJsonCtor)
+{
+    // Json(uint64) stores int64; the writer must agree so mixed
+    // tree/stream paths produce identical cache keys.
+    std::uint64_t big = 0xFFFFFFFFFFFFFFFFull;
+    std::string out;
+    akita::json::Writer w(out);
+    w.value(big);
+    EXPECT_EQ(out, Json(big).dump());
+}
+
+TEST(Writer, AppendsWithoutClearing)
+{
+    std::string out = "data: ";
+    akita::json::Writer w(out);
+    w.beginObject();
+    w.field("v", 1);
+    w.endObject();
+    EXPECT_EQ(out, "data: {\"v\":1}");
+}

@@ -528,3 +528,77 @@ TEST(RtmHttp, MonitoredRunIsDeterministic)
     rig.join();
     EXPECT_EQ(rig.plat.engine().now(), unmonitored);
 }
+
+// ---------------------------------------------------------------------
+// Serving fast path over live HTTP: ETag/304, coalescing
+// ---------------------------------------------------------------------
+
+TEST(RtmHttp, EtagRoundTripYields304)
+{
+    LiveRig rig;
+    web::PersistentClient client("127.0.0.1", rig.mon.serverPort());
+
+    // First GET returns the body and an ETag.
+    auto first = client.get("/api/components");
+    ASSERT_TRUE(first.has_value());
+    ASSERT_EQ(first->status, 200);
+    ASSERT_TRUE(first->headers.count("etag"));
+    std::string etag = first->headers.at("etag");
+    EXPECT_FALSE(first->body.empty());
+
+    // Replaying the ETag gets a body-less 304 on the same connection
+    // (no component was registered in between, so the generation is
+    // unchanged).
+    auto second =
+        client.get("/api/components", {{"If-None-Match", etag}});
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->status, 304);
+    EXPECT_TRUE(second->body.empty());
+    EXPECT_EQ(second->headers.at("etag"), etag);
+
+    // A stale ETag gets the full body again.
+    auto third = client.get("/api/components",
+                            {{"If-None-Match", "\"deadbeef\""}});
+    ASSERT_TRUE(third.has_value());
+    EXPECT_EQ(third->status, 200);
+    EXPECT_EQ(third->body, first->body);
+}
+
+TEST(RtmHttp, ConcurrentIdenticalGetsBuildOnce)
+{
+    LiveRig rig;
+    // The component tree's generation is the registration count, which
+    // is fixed here — so K simultaneous identical GETs must produce
+    // exactly one serialization.
+    constexpr int kClients = 8;
+    std::vector<std::thread> threads;
+    std::vector<std::string> bodies(kClients);
+    for (int i = 0; i < kClients; i++) {
+        threads.emplace_back([&, i]() {
+            web::HttpClient c("127.0.0.1", rig.mon.serverPort());
+            auto r = c.get("/api/components");
+            if (r && r->status == 200)
+                bodies[i] = r->body;
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(rig.mon.responseCache().buildCount(), 1u);
+    for (int i = 0; i < kClients; i++) {
+        EXPECT_FALSE(bodies[i].empty()) << "client " << i;
+        EXPECT_EQ(bodies[i], bodies[0]);
+    }
+}
+
+TEST(RtmHttp, NoCacheHeaderBypassesCache)
+{
+    LiveRig rig;
+    web::PersistentClient client("127.0.0.1", rig.mon.serverPort());
+    auto r = client.get("/api/components", {{"x-akita-no-cache", "1"}});
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, 200);
+    EXPECT_FALSE(r->headers.count("etag"))
+        << "bypassed responses are uncached and carry no validator";
+    EXPECT_EQ(rig.mon.responseCache().buildCount(), 0u);
+}

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the serving fast path: the generation-stamped response
+ * cache (build coalescing, ETags, LRU) and the streaming serializers'
+ * byte equivalence with the Json-tree builders they replace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "json/json.hh"
+#include "json/writer.hh"
+#include "rtm/progressbar.hh"
+#include "rtm/registry.hh"
+#include "rtm/respcache.hh"
+#include "rtm/serialize.hh"
+#include "rtm/valuemonitor.hh"
+
+using namespace akita;
+using rtm::ResponseCache;
+
+TEST(ResponseCache, BuildsOncePerGeneration)
+{
+    ResponseCache cache;
+    auto build = []() { return std::string("body"); };
+    auto a = cache.get("/x", 1, "text/plain", build);
+    auto b = cache.get("/x", 1, "text/plain", build);
+    EXPECT_EQ(cache.buildCount(), 1u);
+    EXPECT_EQ(a->body, "body");
+    EXPECT_EQ(a.get(), b.get()) << "same entry is shared";
+}
+
+TEST(ResponseCache, StaleGenerationRebuilds)
+{
+    ResponseCache cache;
+    int calls = 0;
+    auto build = [&]() { return "v" + std::to_string(++calls); };
+    EXPECT_EQ(cache.get("/x", 1, "t", build)->body, "v1");
+    EXPECT_EQ(cache.get("/x", 2, "t", build)->body, "v2");
+    // Lower/equal generations are served from cache.
+    EXPECT_EQ(cache.get("/x", 1, "t", build)->body, "v2");
+    EXPECT_EQ(cache.get("/x", 2, "t", build)->body, "v2");
+    EXPECT_EQ(cache.buildCount(), 2u);
+}
+
+TEST(ResponseCache, DistinctKeysBuildIndependently)
+{
+    ResponseCache cache;
+    cache.get("/x?a=1", 1, "t", []() { return std::string("a"); });
+    cache.get("/x?a=2", 1, "t", []() { return std::string("b"); });
+    EXPECT_EQ(cache.buildCount(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResponseCache, ConcurrentIdenticalRequestsCoalesce)
+{
+    // The ISSUE acceptance scenario: K simultaneous identical GETs
+    // must trigger exactly one (slow) build, shared by all waiters.
+    constexpr int kClients = 8;
+    ResponseCache cache;
+    std::atomic<int> entered{0};
+    auto slowBuild = [&]() {
+        entered++;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return std::string("shared");
+    };
+
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const ResponseCache::Entry>> results(
+        kClients);
+    for (int i = 0; i < kClients; i++) {
+        threads.emplace_back([&, i]() {
+            results[i] = cache.get("/hot", 7, "t", slowBuild);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(cache.buildCount(), 1u);
+    EXPECT_EQ(entered.load(), 1);
+    for (const auto &r : results) {
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(r->body, "shared");
+        EXPECT_EQ(r.get(), results[0].get());
+    }
+}
+
+TEST(ResponseCache, WaitersAcceptInFlightBuildAtNewerRequestedGen)
+{
+    // Generation sources like the engine event count advance
+    // continuously; a waiter asking for gen G+1 while a build for G is
+    // in flight must share that result instead of building again.
+    ResponseCache cache;
+    std::atomic<bool> inBuild{false};
+    auto slowBuild = [&]() {
+        inBuild = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return std::string("gen10");
+    };
+
+    std::thread first(
+        [&]() { cache.get("/hot", 10, "t", slowBuild); });
+    while (!inBuild.load())
+        std::this_thread::yield();
+    auto late = cache.get("/hot", 11, "t", slowBuild);
+    first.join();
+
+    EXPECT_EQ(late->body, "gen10");
+    EXPECT_EQ(cache.buildCount(), 1u);
+}
+
+TEST(ResponseCache, EtagTracksBodyNotGeneration)
+{
+    ResponseCache cache;
+    auto same = []() { return std::string("constant"); };
+    std::string etag1 = cache.get("/x", 1, "t", same)->etag;
+    std::string etag2 = cache.get("/x", 2, "t", same)->etag;
+    // Generation advanced but the bytes did not: the ETag must be
+    // stable so pollers keep getting 304s.
+    EXPECT_EQ(etag1, etag2);
+    EXPECT_EQ(etag1.front(), '"');
+    EXPECT_EQ(etag1.back(), '"');
+
+    std::string etag3 =
+        cache.get("/x", 3, "t", []() { return std::string("changed"); })
+            ->etag;
+    EXPECT_NE(etag3, etag1);
+}
+
+TEST(ResponseCache, LruEvictsOldestKey)
+{
+    ResponseCache cache(2);
+    auto build = []() { return std::string("b"); };
+    cache.get("/a", 1, "t", build);
+    cache.get("/b", 1, "t", build);
+    cache.get("/a", 1, "t", build); // Touch /a so /b is the LRU.
+    cache.get("/c", 1, "t", build);
+    EXPECT_EQ(cache.size(), 2u);
+    // /a survived; /b was evicted and needs a rebuild.
+    cache.get("/a", 1, "t", build);
+    EXPECT_EQ(cache.buildCount(), 3u);
+    cache.get("/b", 1, "t", build);
+    EXPECT_EQ(cache.buildCount(), 4u);
+}
+
+TEST(ResponseCache, BuilderExceptionPropagatesAndDoesNotPoison)
+{
+    ResponseCache cache;
+    EXPECT_THROW(cache.get("/x", 1, "t",
+                           []() -> std::string {
+                               throw std::runtime_error("boom");
+                           }),
+                 std::runtime_error);
+    // The key is not left in a stuck "building" state.
+    EXPECT_EQ(cache.get("/x", 1, "t",
+                        []() { return std::string("ok"); })
+                  ->body,
+              "ok");
+}
+
+TEST(ResponseCache, ClearDropsEntries)
+{
+    ResponseCache cache;
+    cache.get("/x", 1, "t", []() { return std::string("b"); });
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    cache.get("/x", 1, "t", []() { return std::string("b"); });
+    EXPECT_EQ(cache.buildCount(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Streaming serializers vs Json-tree serializers
+// ---------------------------------------------------------------------
+
+TEST(StreamingSerialize, BuffersMatchTreePath)
+{
+    std::vector<rtm::BufferLevel> levels;
+    for (int i = 0; i < 4; i++) {
+        rtm::BufferLevel l;
+        l.name = "GPU[" + std::to_string(i) + "].L1V.Buf";
+        l.size = static_cast<std::size_t>(i * 3);
+        l.capacity = 16;
+        levels.push_back(l);
+    }
+    std::string streamed;
+    json::Writer w(streamed);
+    rtm::writeBuffers(w, levels);
+    EXPECT_EQ(streamed, rtm::serializeBuffers(levels).dump());
+}
+
+TEST(StreamingSerialize, ProgressMatchesTreePath)
+{
+    std::vector<rtm::ProgressBar> bars(2);
+    bars[0].id = 1;
+    bars[0].label = "kernel \"fir\"";
+    bars[0].total = 100;
+    bars[0].completed = 40;
+    bars[0].inProgress = 8;
+    bars[1].id = 2;
+    bars[1].label = "copy";
+    bars[1].total = 7;
+    std::string streamed;
+    json::Writer w(streamed);
+    rtm::writeProgress(w, bars);
+    EXPECT_EQ(streamed, rtm::serializeProgress(bars).dump());
+}
+
+TEST(StreamingSerialize, SeriesMatchesTreePath)
+{
+    rtm::TrackedSeries s;
+    s.id = 3;
+    s.componentName = "GPU[0].SA[1]";
+    s.fieldName = "occupancy";
+    for (int i = 0; i < 5; i++)
+        s.samples.push_back({static_cast<sim::VTime>(i * 1000),
+                             i * 0.125});
+    std::string streamed;
+    json::Writer w(streamed);
+    rtm::writeSeries(w, s);
+    EXPECT_EQ(streamed, rtm::serializeSeries(s).dump());
+}
+
+TEST(StreamingSerialize, TreeMatchesTreePath)
+{
+    rtm::TreeNode root;
+    root.label = "root";
+    auto gpu = std::make_unique<rtm::TreeNode>();
+    gpu->label = "GPU[0]";
+    auto sa = std::make_unique<rtm::TreeNode>();
+    sa->label = "SA[0]";
+    sa->componentName = "GPU[0].SA[0]";
+    gpu->children.emplace("SA[0]", std::move(sa));
+    root.children.emplace("GPU[0]", std::move(gpu));
+
+    std::string streamed;
+    json::Writer w(streamed);
+    rtm::writeTree(w, root);
+    EXPECT_EQ(streamed, rtm::serializeTree(root).dump());
+}

@@ -308,3 +308,209 @@ TEST(ServerLifecycle, TwoServersCoexist)
     EXPECT_EQ(ca.get("/")->body, "a");
     EXPECT_EQ(cb.get("/")->body, "b");
 }
+
+// ---------------------------------------------------------------------
+// Reactor-specific behavior: keep-alive, pipelining, connection cap
+// ---------------------------------------------------------------------
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace
+{
+
+/** Blocking test socket speaking raw bytes to a server. */
+class RawSocket
+{
+  public:
+    explicit RawSocket(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        timeval tv{};
+        tv.tv_sec = 10;
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~RawSocket()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool ok() const { return fd_ >= 0; }
+
+    bool
+    send(const std::string &bytes)
+    {
+        return fd_ >= 0 &&
+               ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+                   static_cast<ssize_t>(bytes.size());
+    }
+
+    /** Reads until @p n complete Content-Length responses arrive. */
+    std::vector<ParsedResponse>
+    readResponses(std::size_t n)
+    {
+        std::vector<ParsedResponse> out;
+        std::string data;
+        char buf[4096];
+        while (out.size() < n) {
+            std::size_t consumed = 0;
+            if (auto r = parseResponse(data, consumed)) {
+                data.erase(0, consumed);
+                out.push_back(std::move(*r));
+                continue;
+            }
+            ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+            if (got <= 0)
+                break;
+            data.append(buf, static_cast<std::size_t>(got));
+        }
+        return out;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace
+
+TEST_F(ServerTest, KeepAliveServesTwoRequestsOnOneSocket)
+{
+    RawSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.send("GET /hello HTTP/1.1\r\nHost: t\r\n\r\n"));
+    auto first = sock.readResponses(1);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].body, "world");
+    // Same socket, second request: the connection stayed open.
+    ASSERT_TRUE(sock.send(
+        "GET /echo?msg=again HTTP/1.1\r\nHost: t\r\n\r\n"));
+    auto second = sock.readResponses(1);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].body, "again");
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder)
+{
+    RawSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    // Both requests in one write; responses must come back in order.
+    ASSERT_TRUE(sock.send("GET /echo?msg=one HTTP/1.1\r\nHost: t\r\n\r\n"
+                          "GET /echo?msg=two HTTP/1.1\r\nHost: t\r\n"
+                          "Connection: close\r\n\r\n"));
+    auto resp = sock.readResponses(2);
+    ASSERT_EQ(resp.size(), 2u);
+    EXPECT_EQ(resp[0].body, "one");
+    EXPECT_EQ(resp[1].body, "two");
+}
+
+TEST_F(ServerTest, ConnectionCloseIsHonored)
+{
+    RawSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.send("GET /hello HTTP/1.1\r\nHost: t\r\n"
+                          "Connection: close\r\n\r\n"));
+    auto resp = sock.readResponses(1);
+    ASSERT_EQ(resp.size(), 1u);
+    EXPECT_EQ(resp[0].headers.at("connection"), "close");
+    // A follow-up on the same socket gets no response (server closed).
+    sock.send("GET /hello HTTP/1.1\r\nHost: t\r\n\r\n");
+    EXPECT_TRUE(sock.readResponses(1).empty());
+}
+
+TEST_F(ServerTest, PersistentClientReusesConnection)
+{
+    PersistentClient client("127.0.0.1", server.port());
+    for (int i = 0; i < 5; i++) {
+        auto r = client.get("/hello");
+        ASSERT_TRUE(r.has_value()) << "request " << i;
+        EXPECT_EQ(r->status, 200);
+        EXPECT_EQ(r->body, "world");
+    }
+    EXPECT_TRUE(client.connected());
+}
+
+TEST_F(ServerTest, MalformedRequestGets400)
+{
+    RawSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.send("BROKEN\r\n\r\n"));
+    auto resp = sock.readResponses(1);
+    ASSERT_EQ(resp.size(), 1u);
+    EXPECT_EQ(resp[0].status, 400);
+}
+
+TEST(ServerOptionsTest, ConnectionCapRejectsWith503)
+{
+    ServerOptions opts;
+    opts.maxConnections = 2;
+    HttpServer s(opts);
+    s.route("GET", "/", [](const Request &) {
+        return Response::ok("ok");
+    });
+    ASSERT_TRUE(s.start(0));
+
+    // Two keep-alive connections occupy the cap...
+    RawSocket a(s.port()), b(s.port());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(a.send("GET / HTTP/1.1\r\nHost: t\r\n\r\n"));
+    ASSERT_TRUE(b.send("GET / HTTP/1.1\r\nHost: t\r\n\r\n"));
+    ASSERT_EQ(a.readResponses(1).size(), 1u);
+    ASSERT_EQ(b.readResponses(1).size(), 1u);
+
+    // ...so the third connect is rejected with a fast 503.
+    RawSocket c(s.port());
+    ASSERT_TRUE(c.ok());
+    auto resp = c.readResponses(1);
+    ASSERT_EQ(resp.size(), 1u);
+    EXPECT_EQ(resp[0].status, 503);
+    s.stop();
+}
+
+TEST(ServerOptionsTest, WorkerCountResolvedAfterStart)
+{
+    ServerOptions opts;
+    opts.workers = 3;
+    HttpServer s(opts);
+    s.route("GET", "/", [](const Request &) {
+        return Response::ok("ok");
+    });
+    ASSERT_TRUE(s.start(0));
+    EXPECT_EQ(s.options().workers, 3);
+    HttpClient client("127.0.0.1", s.port());
+    EXPECT_EQ(client.get("/")->body, "ok");
+    s.stop();
+}
+
+TEST(ServerOptionsTest, IdleConnectionsAreReaped)
+{
+    ServerOptions opts;
+    opts.idleTimeoutMs = 100;
+    HttpServer s(opts);
+    s.route("GET", "/", [](const Request &) {
+        return Response::ok("ok");
+    });
+    ASSERT_TRUE(s.start(0));
+    RawSocket sock(s.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.send("GET / HTTP/1.1\r\nHost: t\r\n\r\n"));
+    ASSERT_EQ(sock.readResponses(1).size(), 1u);
+    // Idle past the timeout: the server closes the connection, so the
+    // next read returns EOF (no response bytes).
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    EXPECT_TRUE(sock.readResponses(1).empty());
+    s.stop();
+}
