@@ -35,6 +35,7 @@
 #include "common.hh"
 #include "json/json.hh"
 #include "web/client.hh"
+#include "web/encoding.hh"
 
 using namespace akita;
 
@@ -63,6 +64,8 @@ struct ModeResult
     double trafficWall = 0; ///< Wall seconds the pollers were active.
     std::uint64_t requests = 0;
     std::uint64_t errors = 0;
+    std::uint64_t wireBytes = 0; ///< Body bytes as framed on the wire.
+    std::uint64_t bodyBytes = 0; ///< Body bytes after content decoding.
     std::vector<double> latenciesMs;
 
     double
@@ -102,6 +105,10 @@ checkByteIdentity(std::uint16_t port, json::Json &detail)
     };
     bool allIdentical = true;
     web::PersistentClient client("127.0.0.1", port);
+    // Let the cache-TTL floor lapse: entries built during the final
+    // polling wave may otherwise be served slightly stale against the
+    // post-run generation.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
     for (const char *target : staticTargets) {
         auto legacy = client.get(
             target, {{"x-akita-no-cache", "1"}});
@@ -122,7 +129,7 @@ checkByteIdentity(std::uint16_t port, json::Json &detail)
 
 ModeResult
 runMode(Mode mode, int clients, double scale, bool *bytesIdentical,
-        json::Json *byteDetail)
+        json::Json *byteDetail, bool gzip = false)
 {
     gpu::PlatformConfig cfg = bench::evalPlatform();
     gpu::Platform plat(cfg);
@@ -154,7 +161,7 @@ runMode(Mode mode, int clients, double scale, bool *bytesIdentical,
     if (mode != Mode::NoMonitor) {
         std::uint16_t port = mon->serverPort();
         for (int c = 0; c < clients; c++) {
-            pollers.emplace_back([&, c, port, mode]() {
+            pollers.emplace_back([&, c, port, mode, gzip]() {
                 web::PersistentClient client("127.0.0.1", port);
                 ModeResult &r =
                     perClient[static_cast<std::size_t>(c)];
@@ -171,6 +178,11 @@ runMode(Mode mode, int clients, double scale, bool *bytesIdentical,
                             target, {{"Connection", "close"},
                                      {"x-akita-no-cache", "1"}});
                         client.disconnect();
+                    } else if (gzip) {
+                        // The client gunzips transparently;
+                        // wireBodyBytes keeps the on-wire size.
+                        resp = client.get(
+                            target, {{"Accept-Encoding", "gzip"}});
                     } else {
                         resp = client.get(target);
                     }
@@ -180,6 +192,8 @@ runMode(Mode mode, int clients, double scale, bool *bytesIdentical,
                         continue;
                     }
                     r.requests++;
+                    r.wireBytes += resp->wireBodyBytes;
+                    r.bodyBytes += resp->body.size();
                     r.latenciesMs.push_back(ms);
                 }
             });
@@ -203,6 +217,8 @@ runMode(Mode mode, int clients, double scale, bool *bytesIdentical,
     for (const auto &r : perClient) {
         total.requests += r.requests;
         total.errors += r.errors;
+        total.wireBytes += r.wireBytes;
+        total.bodyBytes += r.bodyBytes;
         total.latenciesMs.insert(total.latenciesMs.end(),
                                  r.latenciesMs.begin(),
                                  r.latenciesMs.end());
@@ -233,6 +249,9 @@ modeJson(ModeResult &r, double noMonitorSec)
     row.set("sim_sec", r.simWall);
     row.set("sim_slowdown_vs_no_monitor",
             noMonitorSec > 0 ? r.simWall / noMonitorSec : 0.0);
+    row.set("wire_body_bytes", static_cast<std::int64_t>(r.wireBytes));
+    row.set("decoded_body_bytes",
+            static_cast<std::int64_t>(r.bodyBytes));
     return row;
 }
 
@@ -244,6 +263,15 @@ main(int argc, char **argv)
     bench::parseCli(argc, argv);
     int clients = bench::envInt("AKITA_CLIENTS", 16);
     double scale = bench::benchScale(0.25);
+    bool gzipMode = false;
+    for (int i = 1; i < argc; i++)
+        if (std::string(argv[i]) == "--gzip")
+            gzipMode = true;
+    if (gzipMode && !web::encodingSupported()) {
+        std::fprintf(stderr,
+                     "--gzip requested but built without zlib\n");
+        return 1;
+    }
 
     std::fprintf(stderr, "no-monitor baseline...\n");
     ModeResult base =
@@ -257,6 +285,13 @@ main(int argc, char **argv)
     json::Json byteDetail = json::Json::object();
     ModeResult fast = runMode(Mode::FastPath, clients, scale,
                               &identical, &byteDetail);
+    ModeResult fastGz;
+    if (gzipMode) {
+        std::fprintf(stderr, "fast path + gzip (%d pollers)...\n",
+                     clients);
+        fastGz = runMode(Mode::FastPath, clients, scale, nullptr,
+                         nullptr, /*gzip=*/true);
+    }
 
     double speedup =
         legacy.rps() > 0 ? fast.rps() / legacy.rps() : 0.0;
@@ -280,12 +315,24 @@ main(int argc, char **argv)
     json::Json modes = json::Json::object();
     modes.set("legacy_emulation", modeJson(legacy, base.simWall));
     modes.set("fast_path", modeJson(fast, base.simWall));
+    if (gzipMode) {
+        json::Json gz = modeJson(fastGz, base.simWall);
+        gz.set("compression_ratio",
+               fastGz.wireBytes > 0
+                   ? static_cast<double>(fastGz.bodyBytes) /
+                         static_cast<double>(fastGz.wireBytes)
+                   : 0.0);
+        modes.set("fast_path_gzip", std::move(gz));
+    }
     doc.set("modes", std::move(modes));
     doc.set("speedup_rps", speedup);
     doc.set("bytes_identical", identical);
     doc.set("byte_check", std::move(byteDetail));
 
     bool ok = identical && fast.errors == 0 && speedup >= 5.0;
+    if (gzipMode)
+        ok = ok && fastGz.errors == 0 &&
+             fastGz.wireBytes < fastGz.bodyBytes;
     doc.set("target_speedup", 5.0);
     doc.set("pass", ok);
 
@@ -303,5 +350,18 @@ main(int argc, char **argv)
                  percentile(fast.latenciesMs, 0.50),
                  percentile(fast.latenciesMs, 0.99), speedup,
                  identical ? "yes" : "NO");
+    if (gzipMode) {
+        std::fprintf(
+            stderr,
+            "gzip:   %.0f req/s, %.2f MB wire vs %.2f MB decoded "
+            "(%.1fx smaller)\n",
+            fastGz.rps(),
+            static_cast<double>(fastGz.wireBytes) / 1e6,
+            static_cast<double>(fastGz.bodyBytes) / 1e6,
+            fastGz.wireBytes > 0
+                ? static_cast<double>(fastGz.bodyBytes) /
+                      static_cast<double>(fastGz.wireBytes)
+                : 0.0);
+    }
     return ok ? 0 : 1;
 }

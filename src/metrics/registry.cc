@@ -279,14 +279,14 @@ MetricRegistry::samplePass(std::int64_t wall_ms, std::uint64_t sim_ps,
     // Evaluate locked pull callbacks inside one engine-lock hold; the
     // paper's fine-grained serialization argument (§VII) says hold it
     // briefly and batch, never once per instrument.
-    std::vector<std::pair<Instr *, double>> values;
+    std::vector<std::pair<InstrPtr, double>> values;
     values.reserve(instrs.size());
-    std::vector<Instr *> locked;
+    std::vector<InstrPtr> locked;
     for (const auto &in : instrs) {
         if (in->pushed)
             continue; // Pushed series record on their own schedule.
         if (in->fn && in->desc.needsLock) {
-            locked.push_back(in.get());
+            locked.push_back(in);
             continue;
         }
         if (in->histogram)
@@ -295,11 +295,11 @@ MetricRegistry::samplePass(std::int64_t wall_ms, std::uint64_t sim_ps,
                           : (in->counter ? static_cast<double>(
                                                in->counter->value())
                                          : in->gauge->value());
-        values.emplace_back(in.get(), v);
+        values.emplace_back(in, v);
     }
     if (!locked.empty()) {
         auto evalLocked = [&]() {
-            for (Instr *in : locked)
+            for (const InstrPtr &in : locked)
                 values.emplace_back(in, in->fn());
         };
         if (with_lock)
@@ -310,7 +310,7 @@ MetricRegistry::samplePass(std::int64_t wall_ms, std::uint64_t sim_ps,
 
     // Record outside any lock.
     for (auto &kv : values) {
-        Instr *in = kv.first;
+        Instr *in = kv.first.get();
         in->lastValue.set(kv.second);
         in->lastWallMs.store(wall_ms, std::memory_order_relaxed);
         in->lastSimPs.store(sim_ps, std::memory_order_relaxed);
@@ -323,11 +323,72 @@ MetricRegistry::samplePass(std::int64_t wall_ms, std::uint64_t sim_ps,
     passDuration_->observe(
         std::chrono::duration<double>(t1 - t0).count());
 
+    // Retain the pass for SSE resume before publishing the version, so
+    // a reader that observes the new version also finds its record.
+    {
+        std::lock_guard<std::mutex> lk(replayMu_);
+        if (replayCap_ > 0) {
+            PassRecord rec;
+            rec.version = version_.load(std::memory_order_relaxed) + 1;
+            rec.wallMs = wall_ms;
+            rec.simPs = sim_ps;
+            rec.values = std::move(values);
+            replay_.push_back(std::move(rec));
+            while (replay_.size() > replayCap_)
+                replay_.pop_front();
+        }
+    }
+
     version_.fetch_add(1, std::memory_order_release);
     {
         std::lock_guard<std::mutex> lk(waitMu_);
     }
     waitCv_.notify_all();
+}
+
+void
+MetricRegistry::setReplayCapacity(std::size_t passes)
+{
+    std::lock_guard<std::mutex> lk(replayMu_);
+    replayCap_ = passes;
+    while (replay_.size() > replayCap_)
+        replay_.pop_front();
+}
+
+std::size_t
+MetricRegistry::replayCapacity() const
+{
+    std::lock_guard<std::mutex> lk(replayMu_);
+    return replayCap_;
+}
+
+std::vector<MetricRegistry::ReplayEvent>
+MetricRegistry::replaySince(std::uint64_t after_version,
+                            const std::string &name) const
+{
+    std::vector<ReplayEvent> out;
+    std::lock_guard<std::mutex> lk(replayMu_);
+    for (const PassRecord &rec : replay_) {
+        if (rec.version <= after_version)
+            continue;
+        ReplayEvent ev;
+        ev.version = rec.version;
+        ev.values.reserve(name.empty() ? rec.values.size() : 4);
+        for (const auto &kv : rec.values) {
+            const Desc &d = kv.first->desc;
+            if (!name.empty() && d.name != name)
+                continue;
+            ReplayValue rv;
+            rv.name = d.name;
+            rv.labels = d.labels;
+            rv.value = kv.second;
+            rv.wallMs = rec.wallMs;
+            rv.simPs = rec.simPs;
+            ev.values.push_back(std::move(rv));
+        }
+        out.push_back(std::move(ev));
+    }
+    return out;
 }
 
 void

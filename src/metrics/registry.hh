@@ -20,6 +20,7 @@
 #define AKITA_METRICS_REGISTRY_HH
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -175,6 +176,43 @@ class MetricRegistry
 
     // ---- Streaming support ----
 
+    /** One instrument's value within a replayed sampling pass. */
+    struct ReplayValue
+    {
+        std::string name;
+        Labels labels;
+        double value = 0;
+        std::int64_t wallMs = 0;
+        std::uint64_t simPs = 0;
+    };
+
+    /** One completed sampling pass kept for SSE resume. */
+    struct ReplayEvent
+    {
+        /** The version() value the pass completed at (the SSE id). */
+        std::uint64_t version = 0;
+        std::vector<ReplayValue> values;
+    };
+
+    /**
+     * Enables the bounded replay ring: the most recent @p passes
+     * sampling passes are retained so a reconnecting SSE client can
+     * resume from its Last-Event-ID without losing samples. 0 (the
+     * default) disables retention.
+     */
+    void setReplayCapacity(std::size_t passes);
+
+    /** Current replay-ring capacity in passes (0 = disabled). */
+    std::size_t replayCapacity() const;
+
+    /**
+     * Retained passes with version > @p after_version, oldest first,
+     * optionally restricted to one family @p name (a pass whose values
+     * all filter out is still returned, so event ids stay contiguous).
+     */
+    std::vector<ReplayEvent> replaySince(
+        std::uint64_t after_version, const std::string &name = "") const;
+
     /** Monotonic count of completed sampling passes. */
     std::uint64_t version() const;
 
@@ -219,6 +257,19 @@ class MetricRegistry
 
     using InstrPtr = std::shared_ptr<Instr>;
 
+    /**
+     * One retained sampling pass. Values hold the owning InstrPtr (not
+     * a copied Desc) so retention costs one shared_ptr per sampled
+     * instrument; ReplayValues are materialized on demand.
+     */
+    struct PassRecord
+    {
+        std::uint64_t version = 0;
+        std::int64_t wallMs = 0;
+        std::uint64_t simPs = 0;
+        std::vector<std::pair<InstrPtr, double>> values;
+    };
+
     InstrPtr makeInstr(Desc d);
     void publishInstr(const InstrPtr &in);
     InstrPtr findLocked(std::uint64_t id) const;
@@ -235,6 +286,10 @@ class MetricRegistry
     std::atomic<std::uint64_t> regEvents_{0};
     mutable std::mutex waitMu_;
     mutable std::condition_variable waitCv_;
+
+    mutable std::mutex replayMu_;
+    std::deque<PassRecord> replay_;
+    std::size_t replayCap_ = 0;
 
     Histogram *passDuration_ = nullptr;
 };

@@ -1,7 +1,11 @@
 #include "rtm/api.hh"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "rtm/monitor.hh"
 #include "rtm/serialize.hh"
+#include "web/encoding.hh"
 
 namespace akita
 {
@@ -18,33 +22,81 @@ jsonResponse(const json::Json &j)
 }
 
 /**
+ * Smallest cached body worth compressing: below this the gzip header
+ * overhead beats the savings.
+ */
+constexpr std::size_t kCompressMin = 256;
+
+/**
+ * Representation-specific ETag: the encoded bytes differ from the
+ * identity bytes, so the validator must differ too ("abc" ->
+ * "abc-gzip", suffix inside the quotes).
+ */
+std::string
+variantEtag(const std::string &etag, const char *enc_name)
+{
+    if (etag.size() >= 2 && etag.back() == '"') {
+        return etag.substr(0, etag.size() - 1) + "-" + enc_name + "\"";
+    }
+    return etag + "-" + enc_name;
+}
+
+/**
  * Serves @p req through the monitor's response cache.
  *
  * The cache key is the raw request target (path + query), the
  * freshness stamp is @p gen, and @p build produces the body when the
- * cached copy is stale. Clients replaying the returned ETag in
- * If-None-Match get a body-less 304. The x-akita-no-cache request
- * header bypasses the cache entirely (benchmark baselines).
+ * cached copy is stale (subject to the @p ttl_ms floor — see
+ * ResponseCache::get). Clients advertising gzip/deflate support get
+ * the entry's lazily-compressed variant (built once per entry and
+ * encoding) under a representation-specific ETag; clients replaying
+ * that ETag in If-None-Match get a body-less 304. The
+ * x-akita-no-cache request header bypasses the cache — and with it
+ * the pre-compressed variants — entirely (benchmark baselines); the
+ * web server may still compress such responses per request.
  */
 web::Response
 cachedResponse(Monitor *m, const web::Request &req, std::uint64_t gen,
-               const char *contentType,
+               const char *contentType, std::uint64_t ttl_ms,
                const ResponseCache::Builder &build)
 {
     if (req.headers.count("x-akita-no-cache"))
         return web::Response::ok(build(), contentType);
 
-    auto entry =
-        m->responseCache().get(req.target, gen, contentType, build);
+    auto entry = m->responseCache().get(req.target, gen, contentType,
+                                        build, ttl_ms);
+
+    const std::string *body = &entry->body;
+    std::string etag = entry->etag;
+    const char *encName = nullptr;
+    auto ae = req.headers.find("accept-encoding");
+    if (ae != req.headers.end() && entry->body.size() >= kCompressMin) {
+        web::ContentEncoding enc = web::negotiateEncoding(ae->second);
+        if (enc != web::ContentEncoding::Identity) {
+            const std::string *eb =
+                m->responseCache().encodedBody(entry, enc);
+            if (eb != nullptr && eb->size() < entry->body.size()) {
+                body = eb;
+                encName = web::encodingName(enc);
+                etag = variantEtag(entry->etag, encName);
+            }
+        }
+    }
+
     auto inm = req.headers.find("if-none-match");
-    if (inm != req.headers.end() && inm->second == entry->etag) {
+    if (inm != req.headers.end() && inm->second == etag) {
+        m->responseCache().noteNotModified();
         web::Response r;
         r.status = 304;
-        r.headers["ETag"] = entry->etag;
+        r.headers["ETag"] = etag;
+        r.headers["Vary"] = "Accept-Encoding";
         return r;
     }
-    web::Response r = web::Response::ok(entry->body, entry->contentType);
-    r.headers["ETag"] = entry->etag;
+    web::Response r = web::Response::ok(*body, entry->contentType);
+    r.headers["ETag"] = etag;
+    r.headers["Vary"] = "Accept-Encoding";
+    if (encName != nullptr)
+        r.headers["Content-Encoding"] = encName;
     return r;
 }
 
@@ -72,7 +124,7 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
         // count, so after setup every poll is a cache hit / 304.
         return cachedResponse(
             m, req, m->componentsGeneration(), "application/json",
-            [m]() {
+            /*ttl_ms=*/0, [m]() {
                 std::string body;
                 json::Writer w(body);
                 writeTree(w, m->registry().buildTree());
@@ -104,9 +156,12 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
         // Generation = engine event count: while the simulation runs,
         // concurrent identical requests coalesce into one build; when
         // it is paused or finished, every poll is a hit / 304.
+        // TTL floor: the event count advances with every event, so
+        // without the floor every request of a polling wave would
+        // rebuild; with it the wave shares one build.
         return cachedResponse(
             m, req, m->buffersGeneration(), "application/json",
-            [m, sort, top]() {
+            m->config().cacheTtlFloorMs, [m, sort, top]() {
                 std::string body;
                 json::Writer w(body);
                 writeBuffers(w, m->bufferLevels(sort, top));
@@ -255,6 +310,7 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
         return cachedResponse(
             m, req, m->metricsGeneration(),
             "text/plain; version=0.0.4; charset=utf-8",
+            m->config().cacheTtlFloorMs,
             [m]() { return m->metrics().renderPrometheus(); });
     });
 
@@ -302,6 +358,7 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
                      return cachedResponse(
                          m, req, m->metricsGeneration(),
                          "application/json",
+                         m->config().cacheTtlFloorMs,
                          [m, name, filter, from, to, step]() {
                              auto series = m->metrics().query(
                                  name, filter, from, to, step);
@@ -345,35 +402,96 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
             // dedicated thread), so the pump polls the sample version
             // non-blockingly; state lives in shared_ptrs because the
             // pump callable outlives this handler invocation.
+            //
+            // Resume: a reconnecting EventSource sends Last-Event-ID
+            // (manual clients may use ?last_event_id=); events after
+            // that version are replayed from the registry's bounded
+            // ring, so no sample inside the replay window is lost. A
+            // fresh client starts one pass back, so its first pump
+            // delivers the current state immediately.
             auto seen = std::make_shared<std::uint64_t>(0);
             auto sent = std::make_shared<int>(0);
+            auto first = std::make_shared<bool>(true);
+            std::uint64_t v = m->metrics().version();
+            *seen = v > 0 ? v - 1 : 0;
+            auto lei = req.headers.find("last-event-id");
+            if (lei != req.headers.end()) {
+                errno = 0;
+                char *end = nullptr;
+                unsigned long long id =
+                    std::strtoull(lei->second.c_str(), &end, 10);
+                if (errno == 0 && end != lei->second.c_str())
+                    *seen = id;
+            } else if (req.query.count("last_event_id")) {
+                *seen = static_cast<std::uint64_t>(req.queryInt(
+                    "last_event_id",
+                    static_cast<std::int64_t>(*seen)));
+            }
             web::StreamSession s;
             s.headers = {{"Content-Type", "text/event-stream"},
                          {"Cache-Control", "no-cache"}};
-            s.pump = [m, name, maxEvents, seen,
-                      sent](std::string &out) {
-                std::uint64_t v = m->metrics().version();
-                if (v == *seen)
-                    return true; // No new sampling pass yet.
-                *seen = v;
-                std::string body;
-                json::Writer w(body);
-                w.beginArray();
-                for (const auto &sv : m->metrics().latest(name)) {
-                    w.beginObject();
-                    w.field("name", sv.desc->name);
-                    w.key("labels").beginObject();
-                    for (const auto &kv : sv.desc->labels)
-                        w.field(kv.first, kv.second);
-                    w.endObject();
-                    w.field("value", sv.value);
-                    w.field("t_ms", sv.wallMs);
-                    w.field("sim_ps", sv.simPs);
-                    w.endObject();
+            s.pump = [m, name, maxEvents, seen, sent,
+                      first](std::string &out) {
+                if (*first) {
+                    // Lone retry event: how long an EventSource waits
+                    // before reconnecting (and resuming via
+                    // Last-Event-ID).
+                    out += "retry: 2000\n\n";
+                    *first = false;
                 }
-                w.endArray();
-                out += "data: " + body + "\n\n";
-                return !(maxEvents > 0 && ++*sent >= maxEvents);
+                auto emit = [&](std::uint64_t id,
+                                const std::string &body) {
+                    out += "id: " + std::to_string(id) +
+                           "\ndata: " + body + "\n\n";
+                    *seen = id;
+                    return !(maxEvents > 0 && ++*sent >= maxEvents);
+                };
+                if (m->metrics().replayCapacity() == 0) {
+                    // Replay disabled: stream the latest state per
+                    // version tick (no resume guarantee).
+                    std::uint64_t v = m->metrics().version();
+                    if (v <= *seen)
+                        return true; // No new sampling pass yet.
+                    std::string body;
+                    json::Writer w(body);
+                    w.beginArray();
+                    for (const auto &sv : m->metrics().latest(name)) {
+                        w.beginObject();
+                        w.field("name", sv.desc->name);
+                        w.key("labels").beginObject();
+                        for (const auto &kv : sv.desc->labels)
+                            w.field(kv.first, kv.second);
+                        w.endObject();
+                        w.field("value", sv.value);
+                        w.field("t_ms", sv.wallMs);
+                        w.field("sim_ps", sv.simPs);
+                        w.endObject();
+                    }
+                    w.endArray();
+                    return emit(v, body);
+                }
+                for (const auto &ev :
+                     m->metrics().replaySince(*seen, name)) {
+                    std::string body;
+                    json::Writer w(body);
+                    w.beginArray();
+                    for (const auto &rv : ev.values) {
+                        w.beginObject();
+                        w.field("name", rv.name);
+                        w.key("labels").beginObject();
+                        for (const auto &kv : rv.labels)
+                            w.field(kv.first, kv.second);
+                        w.endObject();
+                        w.field("value", rv.value);
+                        w.field("t_ms", rv.wallMs);
+                        w.field("sim_ps", rv.simPs);
+                        w.endObject();
+                    }
+                    w.endArray();
+                    if (!emit(ev.version, body))
+                        return false;
+                }
+                return true;
             };
             return s;
         });

@@ -38,6 +38,7 @@ Monitor::Monitor(const MonitorConfig &cfg)
     throughput_ = std::make_unique<ThroughputTracker>(&registry_);
     if (cfg_.metricsEnabled) {
         values_.attachStore(&metrics_);
+        metrics_.setReplayCapacity(cfg_.sseReplayPasses);
         metrics::Desc d;
         d.name = "akita_http_requests_total";
         d.help = "Dashboard HTTP requests served.";
@@ -45,6 +46,35 @@ Monitor::Monitor(const MonitorConfig &cfg)
         metrics_.addCallback(std::move(d), [this]() {
             return static_cast<double>(requestsServed());
         });
+
+        // Serving-path cache effectiveness (one family, labeled by
+        // event kind so /metrics shows the full hit/miss/coalesce/304
+        // breakdown the TTL-floor and ETag machinery produces).
+        struct CacheStat
+        {
+            const char *kind;
+            std::function<double()> fn;
+        };
+        const CacheStat stats[] = {
+            {"hit",
+             [this]() { return double(respCache_.hitCount()); }},
+            {"miss",
+             [this]() { return double(respCache_.missCount()); }},
+            {"coalesced",
+             [this]() { return double(respCache_.coalesceCount()); }},
+            {"not_modified",
+             [this]() { return double(respCache_.notModifiedCount()); }},
+            {"encode",
+             [this]() { return double(respCache_.encodeCount()); }},
+        };
+        for (const CacheStat &s : stats) {
+            metrics::Desc cd;
+            cd.name = "akita_rtm_response_cache_events_total";
+            cd.help = "Response-cache serving events by kind.";
+            cd.type = metrics::Type::Counter;
+            cd.labels = {{"kind", s.kind}};
+            metrics_.addCallback(std::move(cd), s.fn);
+        }
     }
 }
 

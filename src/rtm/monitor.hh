@@ -95,6 +95,22 @@ struct MonitorConfig
     std::size_t httpMaxConnections = 256;
     /** listen(2) backlog; 0 means SOMAXCONN (always the upper cap). */
     int httpBacklog = 0;
+    /**
+     * Response-cache TTL floor (ms) for endpoints whose generation
+     * advances continuously (/api/buffers, /metrics, metrics queries):
+     * a cached body younger than this is served even though the
+     * generation moved on, so a polling wave costs one build. Bounds
+     * staleness to this many milliseconds; 0 restores pure
+     * generation-driven freshness.
+     */
+    std::uint64_t cacheTtlFloorMs = 50;
+    /**
+     * Sampling passes retained for SSE resume: a dashboard
+     * reconnecting to /api/v1/metrics/stream with Last-Event-ID within
+     * this window misses no samples. 0 disables the replay ring (a
+     * reconnect then restarts from the latest pass).
+     */
+    std::size_t sseReplayPasses = 32;
 };
 
 /**
@@ -145,6 +161,7 @@ class Monitor : public gpu::KernelProgressListener
 
     sim::Engine *engine() const { return engine_; }
     const ComponentRegistry &registry() const { return registry_; }
+    const MonitorConfig &config() const { return cfg_; }
 
     // ---- Progress bars ----
 

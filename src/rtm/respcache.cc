@@ -29,7 +29,8 @@ bodyEtag(const std::string &body)
 
 std::shared_ptr<const ResponseCache::Entry>
 ResponseCache::get(const std::string &key, std::uint64_t gen,
-                   const std::string &contentType, const Builder &build)
+                   const std::string &contentType, const Builder &build,
+                   std::uint64_t ttl_ms)
 {
     std::unique_lock<std::mutex> lk(mu_);
     auto it = slots_.find(key);
@@ -38,14 +39,29 @@ ResponseCache::get(const std::string &key, std::uint64_t gen,
     std::shared_ptr<Slot> slot = it->second;
     slot->lastUse = ++useClock_;
 
+    auto fresh = [&](const std::shared_ptr<const Entry> &e) {
+        if (!e)
+            return false;
+        if (e->generation >= gen)
+            return true;
+        // TTL floor: a generation-stale entry still coalesces the
+        // polling wave while it is young enough.
+        return ttl_ms != 0 &&
+               std::chrono::steady_clock::now() - e->builtAt <
+                   std::chrono::milliseconds(ttl_ms);
+    };
+
     while (true) {
-        if (slot->entry && slot->entry->generation >= gen)
+        if (fresh(slot->entry)) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
             return slot->entry;
+        }
         if (slot->building) {
             // Coalesce: share the in-flight build's result even if it
             // was requested at a slightly older generation — under a
             // continuously-advancing generation (e.g. engine event
             // count) re-building per waiter would never converge.
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
             slot->cv.wait(lk, [&]() { return !slot->building; });
             if (slot->entry)
                 return slot->entry;
@@ -60,6 +76,7 @@ ResponseCache::get(const std::string &key, std::uint64_t gen,
     std::string body;
     try {
         builds_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
         body = build();
     } catch (...) {
         lk.lock();
@@ -73,6 +90,7 @@ ResponseCache::get(const std::string &key, std::uint64_t gen,
     entry->contentType = contentType;
     entry->etag = bodyEtag(entry->body);
     entry->generation = gen;
+    entry->builtAt = std::chrono::steady_clock::now();
 
     lk.lock();
     slot->building = false;
@@ -80,6 +98,23 @@ ResponseCache::get(const std::string &key, std::uint64_t gen,
     slot->cv.notify_all();
     evictLocked();
     return entry;
+}
+
+const std::string *
+ResponseCache::encodedBody(const std::shared_ptr<const Entry> &entry,
+                           web::ContentEncoding enc)
+{
+    if (!entry || enc == web::ContentEncoding::Identity)
+        return nullptr;
+    std::lock_guard<std::mutex> lk(entry->encMu);
+    auto it = entry->encoded.find(enc);
+    if (it != entry->encoded.end())
+        return &it->second;
+    std::string packed;
+    if (!web::compressBody(enc, entry->body, packed))
+        return nullptr;
+    encodes_.fetch_add(1, std::memory_order_relaxed);
+    return &entry->encoded.emplace(enc, std::move(packed)).first->second;
 }
 
 void

@@ -10,20 +10,29 @@
  * concurrent requests for the same key wait on the build and share
  * the result; requests whose generation is already cached are pure
  * lookups. Entries carry a body-hash ETag so pollers sending
- * If-None-Match pay zero bytes when nothing changed (304).
+ * If-None-Match pay zero bytes when nothing changed (304), and
+ * lazily-built per-encoding compressed variants so gzip/deflate cost
+ * is paid once per (key, generation, encoding) rather than per
+ * request. A per-call TTL floor lets continuously-advancing
+ * generations (engine event count, metrics version) coalesce whole
+ * polling waves into one build.
  */
 
 #ifndef AKITA_RTM_RESPCACHE_HH
 #define AKITA_RTM_RESPCACHE_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "web/encoding.hh"
 
 namespace akita
 {
@@ -44,13 +53,24 @@ namespace rtm
 class ResponseCache
 {
   public:
-    /** One immutable cached response. */
+    /** One immutable cached response (plus lazy encoded variants). */
     struct Entry
     {
         std::string body;
         std::string contentType;
         std::string etag; // Strong validator, quoted (body hash).
         std::uint64_t generation = 0;
+        /** When the builder finished (TTL-floor freshness). */
+        std::chrono::steady_clock::time_point builtAt;
+
+        /**
+         * Compressed representations, built on first demand by
+         * encodedBody() and shared by later requests. std::map keeps
+         * node addresses stable, so returned pointers stay valid for
+         * the entry's lifetime.
+         */
+        mutable std::mutex encMu;
+        mutable std::map<web::ContentEncoding, std::string> encoded;
     };
 
     /** Builds the response body (called outside the cache lock). */
@@ -67,12 +87,30 @@ class ResponseCache
      * it via @p build if the cached copy is older than @p gen (or
      * absent). Concurrent callers for the same key share one build.
      *
+     * @param ttl_ms TTL floor: a cached entry younger than this is
+     *        served even when its generation is behind @p gen. Bounds
+     *        staleness to ttl_ms while coalescing polling waves under
+     *        generations that advance faster than clients poll. 0
+     *        restores pure generation freshness.
      * @throws Whatever @p build throws (waiters then retry the build).
      */
     std::shared_ptr<const Entry> get(const std::string &key,
                                      std::uint64_t gen,
                                      const std::string &contentType,
-                                     const Builder &build);
+                                     const Builder &build,
+                                     std::uint64_t ttl_ms = 0);
+
+    /**
+     * @p entry's body compressed with @p enc, built at most once per
+     * entry and encoding (counted by encodeCount()).
+     *
+     * @return Pointer valid while the caller holds @p entry, or
+     *         nullptr when compression fails/is unavailable or @p enc
+     *         is Identity.
+     */
+    const std::string *encodedBody(
+        const std::shared_ptr<const Entry> &entry,
+        web::ContentEncoding enc);
 
     /** Total builder invocations (tests assert coalescing with this). */
     std::uint64_t
@@ -81,7 +119,51 @@ class ResponseCache
         return builds_.load(std::memory_order_relaxed);
     }
 
-    /** Drops all entries (not the build counter). */
+    // Serving-path statistics, exported via /metrics by the monitor.
+
+    /** Requests satisfied by a cached entry (generation or TTL). */
+    std::uint64_t
+    hitCount() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests that ran the builder. */
+    std::uint64_t
+    missCount() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests that waited on another caller's in-flight build. */
+    std::uint64_t
+    coalesceCount() const
+    {
+        return coalesced_.load(std::memory_order_relaxed);
+    }
+
+    /** Conditional requests answered 304 (counted by the API layer). */
+    std::uint64_t
+    notModifiedCount() const
+    {
+        return notModified_.load(std::memory_order_relaxed);
+    }
+
+    /** Compression runs (once per entry and encoding). */
+    std::uint64_t
+    encodeCount() const
+    {
+        return encodes_.load(std::memory_order_relaxed);
+    }
+
+    /** Records one If-None-Match hit answered with 304. */
+    void
+    noteNotModified()
+    {
+        notModified_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Drops all entries (not the counters). */
     void clear();
 
     /** Current number of cached keys. */
@@ -103,6 +185,11 @@ class ResponseCache
     std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
     std::uint64_t useClock_ = 0;
     std::atomic<std::uint64_t> builds_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> notModified_{0};
+    std::atomic<std::uint64_t> encodes_{0};
 };
 
 } // namespace rtm

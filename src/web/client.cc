@@ -5,12 +5,62 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+
+#include "web/encoding.hh"
 
 namespace akita
 {
 namespace web
 {
+
+namespace
+{
+
+/** Largest body a client will inflate (zip-bomb guard). */
+constexpr std::size_t kMaxInflatedBytes = 1u << 28;
+
+/**
+ * Inflates a gzip/deflate body in place (wireBodyBytes keeps the
+ * compressed size). @return False on corrupt compressed data.
+ */
+bool
+maybeDecompress(ParsedResponse &resp)
+{
+    auto it = resp.headers.find("content-encoding");
+    if (it == resp.headers.end() || it->second == "identity")
+        return true;
+    if (it->second != "gzip" && it->second != "deflate")
+        return false; // Unknown coding; the body is unusable.
+    std::string plain;
+    if (!decompressBody(resp.body, plain, kMaxInflatedBytes))
+        return false;
+    resp.body = std::move(plain);
+    return true;
+}
+
+/** Wraps @p body in chunked transfer coding, @p chunk_size per chunk. */
+std::string
+encodeChunked(const std::string &body, std::size_t chunk_size)
+{
+    if (chunk_size == 0)
+        chunk_size = 1024;
+    std::string out;
+    char hex[32];
+    for (std::size_t pos = 0; pos < body.size(); pos += chunk_size) {
+        std::size_t n = std::min(chunk_size, body.size() - pos);
+        std::snprintf(hex, sizeof(hex), "%zx\r\n", n);
+        out += hex;
+        out.append(body, pos, n);
+        out += "\r\n";
+    }
+    out += "0\r\n\r\n";
+    return out;
+}
+
+} // namespace
 
 std::optional<ClientResponse>
 HttpClient::get(const std::string &target) const
@@ -73,21 +123,26 @@ HttpClient::roundTrip(const std::string &request) const
         if (n <= 0)
             break;
         data.append(buf, static_cast<std::size_t>(n));
-        // Stop as soon as a complete response is parseable. Responses
-        // without Content-Length are close-framed: keep reading to EOF.
-        if (auto parsed = parseResponse(data)) {
-            if (parsed->headers.count("content-length")) {
-                ::close(fd);
-                return ClientResponse{parsed->status, parsed->body};
-            }
+        // Stop as soon as a self-delimited (Content-Length or chunked)
+        // response is complete. Responses without such framing are
+        // close-framed: keep reading to EOF.
+        std::size_t consumed = 0;
+        if (auto parsed = parseResponse(data, consumed)) {
+            ::close(fd);
+            if (!maybeDecompress(*parsed))
+                return std::nullopt;
+            return ClientResponse{parsed->status,
+                                  std::move(parsed->headers),
+                                  std::move(parsed->body)};
         }
     }
     ::close(fd);
 
     auto parsed = parseResponse(data);
-    if (!parsed)
+    if (!parsed || !maybeDecompress(*parsed))
         return std::nullopt;
-    return ClientResponse{parsed->status, parsed->body};
+    return ClientResponse{parsed->status, std::move(parsed->headers),
+                          std::move(parsed->body)};
 }
 
 void
@@ -148,6 +203,8 @@ PersistentClient::readResponse()
         std::size_t consumed = 0;
         if (auto parsed = parseResponse(pending_, consumed)) {
             pending_.erase(0, consumed);
+            if (!maybeDecompress(*parsed))
+                return std::nullopt;
             return parsed;
         }
         ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
@@ -158,16 +215,8 @@ PersistentClient::readResponse()
 }
 
 std::optional<ParsedResponse>
-PersistentClient::get(
-    const std::string &target,
-    const std::vector<std::pair<std::string, std::string>> &extraHeaders)
+PersistentClient::roundTrip(const std::string &req)
 {
-    std::string req = "GET " + target + " HTTP/1.1\r\n" +
-                      "Host: " + host_ + "\r\n";
-    for (const auto &kv : extraHeaders)
-        req += kv.first + ": " + kv.second + "\r\n";
-    req += "\r\n";
-
     // One transparent retry: the server may have reaped the idle
     // connection between polls.
     for (int attempt = 0; attempt < 2; attempt++) {
@@ -183,6 +232,33 @@ PersistentClient::get(
             break; // A fresh connection failed outright; don't loop.
     }
     return std::nullopt;
+}
+
+std::optional<ParsedResponse>
+PersistentClient::get(
+    const std::string &target,
+    const std::vector<std::pair<std::string, std::string>> &extraHeaders)
+{
+    std::string req = "GET " + target + " HTTP/1.1\r\n" +
+                      "Host: " + host_ + "\r\n";
+    for (const auto &kv : extraHeaders)
+        req += kv.first + ": " + kv.second + "\r\n";
+    req += "\r\n";
+    return roundTrip(req);
+}
+
+std::optional<ParsedResponse>
+PersistentClient::postChunked(const std::string &target,
+                              const std::string &body,
+                              std::size_t chunk_size,
+                              const std::string &content_type)
+{
+    std::string req = "POST " + target + " HTTP/1.1\r\n" +
+                      "Host: " + host_ + "\r\n" +
+                      "Content-Type: " + content_type + "\r\n" +
+                      "Transfer-Encoding: chunked\r\n\r\n" +
+                      encodeChunked(body, chunk_size);
+    return roundTrip(req);
 }
 
 } // namespace web

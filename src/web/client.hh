@@ -27,6 +27,8 @@ namespace web
 struct ClientResponse
 {
     int status = 0;
+    /** Header map with lower-cased field names. */
+    std::map<std::string, std::string> headers;
     std::string body;
 };
 
@@ -36,6 +38,9 @@ struct ClientResponse
  * Each request opens a fresh connection (Connection: close); the
  * monitoring request rate is ~1/s, so connection reuse is not worth the
  * state machine.
+ *
+ * Gzip/deflate response bodies are decompressed transparently (the
+ * Content-Encoding header is preserved so callers can tell).
  */
 class HttpClient
 {
@@ -71,6 +76,10 @@ class HttpClient
  * traffic pattern); reconnects transparently once if the server closed
  * the idle connection. Not thread-safe — one instance per client
  * thread.
+ *
+ * Gzip/deflate response bodies are decompressed transparently; the
+ * Content-Encoding header and ParsedResponse::wireBodyBytes still
+ * describe the wire form.
  */
 class PersistentClient
 {
@@ -95,6 +104,15 @@ class PersistentClient
         const std::vector<std::pair<std::string, std::string>>
             &extraHeaders = {});
 
+    /**
+     * Issues a POST with a Transfer-Encoding: chunked body, split into
+     * @p chunk_size-byte chunks (the proxied-browser wire shape).
+     */
+    std::optional<ParsedResponse>
+    postChunked(const std::string &target, const std::string &body,
+                std::size_t chunk_size = 1024,
+                const std::string &content_type = "application/json");
+
     /** Whether the underlying connection is currently open. */
     bool connected() const { return fd_ >= 0; }
 
@@ -105,6 +123,7 @@ class PersistentClient
     bool ensureConnected();
     bool sendAll(const std::string &bytes);
     std::optional<ParsedResponse> readResponse();
+    std::optional<ParsedResponse> roundTrip(const std::string &req);
 
     std::string host_;
     std::uint16_t port_;

@@ -1,0 +1,230 @@
+#include "web/encoding.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+#if defined(AKITA_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace akita
+{
+namespace web
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** One Accept-Encoding list member: coding token plus q-weight. */
+struct Coding
+{
+    std::string token;
+    double q = 1.0;
+};
+
+/** Splits "gzip;q=0.8, deflate" into tokens with weights. */
+std::vector<Coding>
+parseAcceptEncoding(const std::string &value)
+{
+    std::vector<Coding> out;
+    std::size_t pos = 0;
+    while (pos <= value.size()) {
+        std::size_t comma = value.find(',', pos);
+        if (comma == std::string::npos)
+            comma = value.size();
+        std::string item = trim(value.substr(pos, comma - pos));
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        Coding c;
+        std::size_t semi = item.find(';');
+        c.token = toLower(trim(item.substr(0, semi == std::string::npos
+                                                   ? item.size()
+                                                   : semi)));
+        while (semi != std::string::npos) {
+            std::size_t next = item.find(';', semi + 1);
+            std::string param = trim(item.substr(
+                semi + 1,
+                (next == std::string::npos ? item.size() : next) - semi -
+                    1));
+            std::size_t eq = param.find('=');
+            if (eq != std::string::npos &&
+                toLower(trim(param.substr(0, eq))) == "q") {
+                c.q = std::strtod(param.c_str() + eq + 1, nullptr);
+            }
+            semi = next;
+        }
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+#if defined(AKITA_HAVE_ZLIB)
+
+bool
+deflateWith(int window_bits, const std::string &in, std::string &out)
+{
+    z_stream zs{};
+    // Level 6 (zlib default): the cache compresses once per generation,
+    // so ratio matters more than the one-off CPU cost.
+    if (deflateInit2(&zs, Z_DEFAULT_COMPRESSION, Z_DEFLATED, window_bits,
+                     8, Z_DEFAULT_STRATEGY) != Z_OK)
+        return false;
+    std::string buf;
+    buf.resize(deflateBound(&zs, static_cast<uLong>(in.size())));
+    zs.next_in =
+        reinterpret_cast<Bytef *>(const_cast<char *>(in.data()));
+    zs.avail_in = static_cast<uInt>(in.size());
+    zs.next_out = reinterpret_cast<Bytef *>(buf.data());
+    zs.avail_out = static_cast<uInt>(buf.size());
+    int rc = deflate(&zs, Z_FINISH);
+    std::size_t produced = zs.total_out;
+    deflateEnd(&zs);
+    if (rc != Z_STREAM_END)
+        return false;
+    buf.resize(produced);
+    out = std::move(buf);
+    return true;
+}
+
+#endif // AKITA_HAVE_ZLIB
+
+} // namespace
+
+bool
+encodingSupported()
+{
+#if defined(AKITA_HAVE_ZLIB)
+    return true;
+#else
+    return false;
+#endif
+}
+
+const char *
+encodingName(ContentEncoding enc)
+{
+    switch (enc) {
+      case ContentEncoding::Gzip:
+        return "gzip";
+      case ContentEncoding::Deflate:
+        return "deflate";
+      default:
+        return "identity";
+    }
+}
+
+ContentEncoding
+negotiateEncoding(const std::string &accept_encoding)
+{
+    if (!encodingSupported() || accept_encoding.empty())
+        return ContentEncoding::Identity;
+    double gzipQ = -1, deflateQ = -1, wildQ = -1;
+    for (const Coding &c : parseAcceptEncoding(accept_encoding)) {
+        if (c.token == "gzip" || c.token == "x-gzip")
+            gzipQ = std::max(gzipQ, c.q);
+        else if (c.token == "deflate")
+            deflateQ = std::max(deflateQ, c.q);
+        else if (c.token == "*")
+            wildQ = std::max(wildQ, c.q);
+    }
+    if (gzipQ < 0)
+        gzipQ = wildQ;
+    if (deflateQ < 0)
+        deflateQ = wildQ;
+    // Prefer gzip whenever the client weights it at least as high.
+    if (gzipQ > 0 && gzipQ >= deflateQ)
+        return ContentEncoding::Gzip;
+    if (deflateQ > 0)
+        return ContentEncoding::Deflate;
+    return ContentEncoding::Identity;
+}
+
+bool
+compressBody(ContentEncoding enc, const std::string &in, std::string &out)
+{
+#if defined(AKITA_HAVE_ZLIB)
+    switch (enc) {
+      case ContentEncoding::Gzip:
+        return deflateWith(15 + 16, in, out); // +16: gzip wrapper.
+      case ContentEncoding::Deflate:
+        return deflateWith(15, in, out); // zlib wrapper.
+      default:
+        return false;
+    }
+#else
+    (void)enc;
+    (void)in;
+    (void)out;
+    return false;
+#endif
+}
+
+bool
+decompressBody(const std::string &in, std::string &out,
+               std::size_t max_out)
+{
+#if defined(AKITA_HAVE_ZLIB)
+    z_stream zs{};
+    // 15 + 32: auto-detect gzip vs zlib wrapping.
+    if (inflateInit2(&zs, 15 + 32) != Z_OK)
+        return false;
+    std::string buf;
+    zs.next_in =
+        reinterpret_cast<Bytef *>(const_cast<char *>(in.data()));
+    zs.avail_in = static_cast<uInt>(in.size());
+    int rc = Z_OK;
+    char chunk[16384];
+    while (rc != Z_STREAM_END) {
+        zs.next_out = reinterpret_cast<Bytef *>(chunk);
+        zs.avail_out = sizeof(chunk);
+        rc = inflate(&zs, Z_NO_FLUSH);
+        if (rc != Z_OK && rc != Z_STREAM_END) {
+            inflateEnd(&zs);
+            return false;
+        }
+        buf.append(chunk, sizeof(chunk) - zs.avail_out);
+        if (buf.size() > max_out) {
+            inflateEnd(&zs);
+            return false;
+        }
+        if (rc == Z_OK && zs.avail_in == 0 && zs.avail_out != 0) {
+            // Truncated stream: no more input but not at stream end.
+            inflateEnd(&zs);
+            return false;
+        }
+    }
+    inflateEnd(&zs);
+    out = std::move(buf);
+    return true;
+#else
+    (void)in;
+    (void)out;
+    (void)max_out;
+    return false;
+#endif
+}
+
+} // namespace web
+} // namespace akita

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * HTTP content-coding support: gzip/deflate compression and
+ * Accept-Encoding negotiation.
+ *
+ * zlib is optional at build time (AKITA_HAVE_ZLIB). When it is absent,
+ * negotiation always answers Identity and the codec entry points report
+ * failure, so callers degrade to uncompressed serving without any
+ * conditional compilation of their own.
+ */
+
+#ifndef AKITA_WEB_ENCODING_HH
+#define AKITA_WEB_ENCODING_HH
+
+#include <cstddef>
+#include <string>
+
+namespace akita
+{
+namespace web
+{
+
+/** Content codings the serving path understands. */
+enum class ContentEncoding
+{
+    Identity,
+    Gzip,
+    Deflate,
+};
+
+/** True when the build carries a compression backend (zlib). */
+bool encodingSupported();
+
+/** Wire token for @p enc ("gzip", "deflate", "identity"). */
+const char *encodingName(ContentEncoding enc);
+
+/**
+ * Picks the best coding allowed by an Accept-Encoding header value.
+ *
+ * Understands comma-separated tokens with optional ;q= weights and the
+ * "*" wildcard. Preference order is gzip, then deflate; a coding with
+ * q=0 is never chosen. Returns Identity for an empty header or when no
+ * backend is compiled in.
+ */
+ContentEncoding negotiateEncoding(const std::string &accept_encoding);
+
+/**
+ * Compresses @p in with @p enc into @p out.
+ *
+ * @return False when @p enc is Identity, the backend is missing, or
+ *         compression fails; @p out is untouched on failure.
+ */
+bool compressBody(ContentEncoding enc, const std::string &in,
+                  std::string &out);
+
+/**
+ * Decompresses @p in (gzip or zlib/deflate wrapping, auto-detected)
+ * into @p out, refusing to inflate past @p max_out bytes.
+ *
+ * @return False on corrupt input, missing backend, or size overflow.
+ */
+bool decompressBody(const std::string &in, std::string &out,
+                    std::size_t max_out);
+
+} // namespace web
+} // namespace akita
+
+#endif // AKITA_WEB_ENCODING_HH

@@ -47,10 +47,10 @@ parseQuery(const std::string &q)
         std::size_t eq = pair.find('=');
         if (eq == std::string::npos) {
             if (!pair.empty())
-                out[urlDecode(pair)] = "";
+                out[urlDecode(pair, true)] = "";
         } else {
-            out[urlDecode(pair.substr(0, eq))] =
-                urlDecode(pair.substr(eq + 1));
+            out[urlDecode(pair.substr(0, eq), true)] =
+                urlDecode(pair.substr(eq + 1), true);
         }
         pos = amp + 1;
     }
@@ -80,9 +80,115 @@ parseHeaders(const std::string &data, std::size_t start,
             valid = false;
             return eol + 2;
         }
-        headers[toLower(trim(line.substr(0, colon)))] =
-            trim(line.substr(colon + 1));
+        std::string key = toLower(trim(line.substr(0, colon)));
+        std::string value = trim(line.substr(colon + 1));
+        auto it = headers.find(key);
+        if (it == headers.end()) {
+            headers.emplace(std::move(key), std::move(value));
+        } else if (key == "content-length" ||
+                   key == "transfer-encoding") {
+            // Conflicting framing headers enable request smuggling;
+            // reject rather than pick a winner.
+            valid = false;
+            return eol + 2;
+        } else {
+            // List-valued headers (Accept-Encoding, ...) merge per
+            // RFC 9110 §5.3.
+            it->second += ", " + value;
+        }
         pos = eol + 2;
+    }
+}
+
+/** Largest body either side of the wire will buffer (64 MiB). */
+constexpr std::size_t kMaxBodyBytes = 1u << 26;
+
+/**
+ * Validates a Content-Length header value.
+ *
+ * @return False on garbage, negative, or > kMaxBodyBytes values.
+ */
+bool
+parseContentLength(const std::string &value, std::size_t &len)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(value.c_str(), &end, 10);
+    if (errno != 0 || end == value.c_str() || v < 0 ||
+        v > static_cast<long long>(kMaxBodyBytes))
+        return false;
+    len = static_cast<std::size_t>(v);
+    return true;
+}
+
+/** True when the Transfer-Encoding header names chunked framing. */
+bool
+isChunked(const std::map<std::string, std::string> &headers)
+{
+    auto it = headers.find("transfer-encoding");
+    return it != headers.end() && toLower(trim(it->second)) == "chunked";
+}
+
+/**
+ * Decodes a chunked body starting at @p start.
+ *
+ * Accepts chunk extensions (";token") after the hex size and skips any
+ * trailer section. On Ok, @p body holds the de-chunked payload and
+ * @p end points just past the final CRLF.
+ */
+ParseResult
+decodeChunked(const std::string &data, std::size_t start,
+              std::string &body, std::size_t &end)
+{
+    std::string out;
+    std::size_t pos = start;
+    while (true) {
+        std::size_t eol = data.find("\r\n", pos);
+        if (eol == std::string::npos) {
+            // A size line is a few hex digits; anything longer with no
+            // terminator is garbage, not a partial read.
+            return data.size() - pos > 1024 ? ParseResult::Invalid
+                                            : ParseResult::Incomplete;
+        }
+        std::string line = data.substr(pos, eol - pos);
+        std::size_t semi = line.find(';');
+        std::string hex =
+            trim(semi == std::string::npos ? line : line.substr(0, semi));
+        if (hex.empty() ||
+            hex.find_first_not_of("0123456789abcdefABCDEF") !=
+                std::string::npos)
+            return ParseResult::Invalid;
+        errno = 0;
+        unsigned long long size = std::strtoull(hex.c_str(), nullptr, 16);
+        if (errno != 0 || size > kMaxBodyBytes ||
+            out.size() + size > kMaxBodyBytes)
+            return ParseResult::Invalid;
+        pos = eol + 2;
+        if (size == 0) {
+            // Trailer section: zero or more header lines, then CRLF.
+            while (true) {
+                std::size_t teol = data.find("\r\n", pos);
+                if (teol == std::string::npos) {
+                    return data.size() - pos > 16384
+                               ? ParseResult::Invalid
+                               : ParseResult::Incomplete;
+                }
+                if (teol == pos) {
+                    body = std::move(out);
+                    end = teol + 2;
+                    return ParseResult::Ok;
+                }
+                if (data.find(':', pos) > teol)
+                    return ParseResult::Invalid;
+                pos = teol + 2;
+            }
+        }
+        if (data.size() < pos + size + 2)
+            return ParseResult::Incomplete;
+        if (data[pos + size] != '\r' || data[pos + size + 1] != '\n')
+            return ParseResult::Invalid;
+        out.append(data, pos, size);
+        pos += size + 2;
     }
 }
 
@@ -183,12 +289,14 @@ statusText(int status)
 }
 
 std::string
-urlDecode(const std::string &s)
+urlDecode(const std::string &s, bool plus_as_space)
 {
     std::string out;
     out.reserve(s.size());
     for (std::size_t i = 0; i < s.size(); i++) {
-        if (s[i] == '%' && i + 2 < s.size() &&
+        if (plus_as_space && s[i] == '+') {
+            out.push_back(' ');
+        } else if (s[i] == '%' && i + 2 < s.size() &&
             std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
             std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
             char hex[3] = {s[i + 1], s[i + 2], '\0'};
@@ -239,19 +347,28 @@ parseRequest(const std::string &data, std::size_t start, Request &req,
     if (!valid)
         return ParseResult::Invalid;
 
-    std::size_t contentLen = 0;
-    auto it = headers.find("content-length");
-    if (it != headers.end()) {
-        errno = 0;
-        char *end = nullptr;
-        long long v = std::strtoll(it->second.c_str(), &end, 10);
-        if (errno != 0 || end == it->second.c_str() || v < 0 ||
-            v > (1 << 26))
+    std::string body;
+    std::size_t bodyEnd = bodyStart;
+    auto te = headers.find("transfer-encoding");
+    if (te != headers.end()) {
+        // A request with both framings is a smuggling vector; anything
+        // other than a lone "chunked" is unsupported.
+        if (!isChunked(headers) || headers.count("content-length"))
             return ParseResult::Invalid;
-        contentLen = static_cast<std::size_t>(v);
+        ParseResult rc = decodeChunked(data, bodyStart, body, bodyEnd);
+        if (rc != ParseResult::Ok)
+            return rc;
+    } else {
+        std::size_t contentLen = 0;
+        auto it = headers.find("content-length");
+        if (it != headers.end() &&
+            !parseContentLength(it->second, contentLen))
+            return ParseResult::Invalid;
+        if (data.size() < bodyStart + contentLen)
+            return ParseResult::Incomplete;
+        body = data.substr(bodyStart, contentLen);
+        bodyEnd = bodyStart + contentLen;
     }
-    if (data.size() < bodyStart + contentLen)
-        return ParseResult::Incomplete;
 
     req = Request{};
     req.method = method;
@@ -264,13 +381,17 @@ parseRequest(const std::string &data, std::size_t start, Request &req,
         req.query = parseQuery(target.substr(qmark + 1));
     }
     req.headers = std::move(headers);
-    req.body = data.substr(bodyStart, contentLen);
-    consumed = bodyStart + contentLen - start;
+    req.body = std::move(body);
+    consumed = bodyEnd - start;
     return ParseResult::Ok;
 }
 
+namespace
+{
+
+/** Parses the status line and headers shared by both variants. */
 std::optional<ParsedResponse>
-parseResponse(const std::string &data)
+parseResponseHead(const std::string &data, std::size_t &body_start)
 {
     std::size_t eol = data.find("\r\n");
     if (eol == std::string::npos)
@@ -288,51 +409,74 @@ parseResponse(const std::string &data)
     std::size_t bodyStart = parseHeaders(data, eol + 2, resp.headers, valid);
     if (bodyStart == std::string::npos || !valid)
         return std::nullopt;
+    body_start = bodyStart;
+    return resp;
+}
 
-    auto it = resp.headers.find("content-length");
-    if (it == resp.headers.end()) {
+} // namespace
+
+std::optional<ParsedResponse>
+parseResponse(const std::string &data)
+{
+    std::size_t bodyStart = 0;
+    auto resp = parseResponseHead(data, bodyStart);
+    if (!resp)
+        return std::nullopt;
+
+    if (isChunked(resp->headers)) {
+        std::size_t end = 0;
+        if (decodeChunked(data, bodyStart, resp->body, end) !=
+            ParseResult::Ok)
+            return std::nullopt;
+        resp->wireBodyBytes = resp->body.size();
+        return resp;
+    }
+    auto it = resp->headers.find("content-length");
+    if (it == resp->headers.end()) {
         // Connection-close framing (e.g. streamed responses): the body
         // is whatever has arrived so far; the caller decides when the
         // response is complete (EOF).
-        resp.body = data.substr(bodyStart);
+        resp->body = data.substr(bodyStart);
+        resp->wireBodyBytes = resp->body.size();
         return resp;
     }
-    auto contentLen = static_cast<std::size_t>(
-        std::strtoll(it->second.c_str(), nullptr, 10));
+    std::size_t contentLen = 0;
+    if (!parseContentLength(it->second, contentLen))
+        return std::nullopt;
     if (data.size() < bodyStart + contentLen)
         return std::nullopt;
-    resp.body = data.substr(bodyStart, contentLen);
+    resp->body = data.substr(bodyStart, contentLen);
+    resp->wireBodyBytes = contentLen;
     return resp;
 }
 
 std::optional<ParsedResponse>
 parseResponse(const std::string &data, std::size_t &consumed)
 {
-    std::size_t eol = data.find("\r\n");
-    if (eol == std::string::npos)
-        return std::nullopt;
-    std::string line = data.substr(0, eol);
-    if (line.rfind("HTTP/1.", 0) != 0)
-        return std::nullopt;
-    std::size_t sp = line.find(' ');
-    if (sp == std::string::npos)
-        return std::nullopt;
-    ParsedResponse resp;
-    resp.status = std::atoi(line.c_str() + sp + 1);
-
-    bool valid = true;
-    std::size_t bodyStart = parseHeaders(data, eol + 2, resp.headers, valid);
-    if (bodyStart == std::string::npos || !valid)
+    std::size_t bodyStart = 0;
+    auto resp = parseResponseHead(data, bodyStart);
+    if (!resp)
         return std::nullopt;
 
-    auto it = resp.headers.find("content-length");
-    if (it == resp.headers.end())
+    if (isChunked(resp->headers)) {
+        std::size_t end = 0;
+        if (decodeChunked(data, bodyStart, resp->body, end) !=
+            ParseResult::Ok)
+            return std::nullopt; // Incomplete or corrupt; keep reading.
+        resp->wireBodyBytes = resp->body.size();
+        consumed = end;
+        return resp;
+    }
+    auto it = resp->headers.find("content-length");
+    if (it == resp->headers.end())
         return std::nullopt; // Close-framed; needs EOF to delimit.
-    auto contentLen = static_cast<std::size_t>(
-        std::strtoll(it->second.c_str(), nullptr, 10));
+    std::size_t contentLen = 0;
+    if (!parseContentLength(it->second, contentLen))
+        return std::nullopt;
     if (data.size() < bodyStart + contentLen)
         return std::nullopt;
-    resp.body = data.substr(bodyStart, contentLen);
+    resp->body = data.substr(bodyStart, contentLen);
+    resp->wireBodyBytes = contentLen;
     consumed = bodyStart + contentLen;
     return resp;
 }

@@ -73,8 +73,13 @@ struct Response
 /** Reason phrase for a status code. */
 const char *statusText(int status);
 
-/** Percent-decodes a URL component ('+' is not treated as space). */
-std::string urlDecode(const std::string &s);
+/**
+ * Percent-decodes a URL component.
+ *
+ * @param plus_as_space Decode '+' to ' ' (query-string context only;
+ *        '+' is a literal character in paths).
+ */
+std::string urlDecode(const std::string &s, bool plus_as_space = false);
 
 /**
  * Incremental request parser outcomes.
@@ -91,6 +96,11 @@ enum class ParseResult
 
 /**
  * Attempts to parse one request from the front of @p data.
+ *
+ * Bodies may be framed by Content-Length or by
+ * "Transfer-Encoding: chunked" (decoded transparently; req.body holds
+ * the de-chunked payload). A request carrying both framing headers, or
+ * a duplicate Content-Length, is Invalid (request-smuggling hygiene).
  *
  * @param[out] req Filled on Ok.
  * @param[out] consumed Bytes to remove from the front of data on Ok.
@@ -116,15 +126,23 @@ struct ParsedResponse
     int status = 0;
     std::map<std::string, std::string> headers;
     std::string body;
+    /**
+     * Body size as framed on the wire (after transfer decoding, before
+     * any client-side content decoding): for compressed responses this
+     * is the compressed byte count even after the client inflates
+     * body in place.
+     */
+    std::size_t wireBodyBytes = 0;
 };
 
 std::optional<ParsedResponse> parseResponse(const std::string &data);
 
 /**
- * Keep-alive variant: parses one Content-Length-framed response from
- * the front of @p data and reports the bytes it occupied, so a client
- * can leave pipelined follow-up responses in the buffer. Responses
- * without Content-Length (close-framed) return nullopt here.
+ * Keep-alive variant: parses one Content-Length- or chunked-framed
+ * response from the front of @p data and reports the bytes it
+ * occupied, so a client can leave pipelined follow-up responses in the
+ * buffer. Responses without self-delimiting framing (close-framed)
+ * return nullopt here.
  */
 std::optional<ParsedResponse> parseResponse(const std::string &data,
                                             std::size_t &consumed);

@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "web/encoding.hh"
+
 namespace akita
 {
 namespace web
@@ -674,9 +676,36 @@ HttpServer::runJob(const Job &job) const
         resp = Response::error(500,
                                std::string("handler error: ") + e.what());
     }
+    maybeCompress(job.req, resp);
     c.bytes = resp.serialize(job.keepAlive);
     c.close = !job.keepAlive;
     return c;
+}
+
+void
+HttpServer::maybeCompress(const Request &req, Response &resp) const
+{
+    // A handler that set Content-Encoding or an ETag manages its own
+    // representations (the cached endpoints pre-compress per entry);
+    // recompressing here would detach the validator from the bytes.
+    if (opts_.compressMinBytes == 0 || resp.status != 200 ||
+        resp.body.size() < opts_.compressMinBytes ||
+        resp.headers.count("Content-Encoding") ||
+        resp.headers.count("ETag"))
+        return;
+    auto ae = req.headers.find("accept-encoding");
+    if (ae == req.headers.end())
+        return;
+    ContentEncoding enc = negotiateEncoding(ae->second);
+    if (enc == ContentEncoding::Identity)
+        return;
+    std::string packed;
+    if (!compressBody(enc, resp.body, packed) ||
+        packed.size() >= resp.body.size())
+        return;
+    resp.body = std::move(packed);
+    resp.headers["Content-Encoding"] = encodingName(enc);
+    resp.headers["Vary"] = "Accept-Encoding";
 }
 
 } // namespace web

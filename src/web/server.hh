@@ -83,6 +83,14 @@ struct ServerOptions
     std::size_t writeHighWater = 1u << 20;
     /** Reject requests larger than this (head + body). */
     std::size_t maxRequestBytes = 1u << 20;
+    /**
+     * Compress 200 responses at least this large when the client's
+     * Accept-Encoding allows it and the handler did not already set
+     * Content-Encoding. 0 disables server-side compression. Handlers
+     * serving from a response cache pre-compress instead, so this is
+     * the fallback for uncached bodies.
+     */
+    std::size_t compressMinBytes = 1024;
 };
 
 /**
@@ -213,6 +221,7 @@ class HttpServer
     void reactorLoop();
     void workerLoop();
     Completion runJob(const Job &job) const;
+    void maybeCompress(const Request &req, Response &resp) const;
 
     void onAccept();
     void onReadable(Conn &conn);

@@ -50,8 +50,9 @@ struct LiveRig
     std::thread simThread;
 
     explicit LiveRig(gpu::PlatformConfig cfg =
-                         gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()))
-        : plat(withEngineEnv(std::move(cfg))), mon(quietConfig())
+                         gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()),
+                     rtm::MonitorConfig mcfg = quietConfig())
+        : plat(withEngineEnv(std::move(cfg))), mon(mcfg)
     {
         mon.registerEngine(&plat.engine());
         for (auto *c : plat.components())
@@ -601,4 +602,214 @@ TEST(RtmHttp, NoCacheHeaderBypassesCache)
     EXPECT_FALSE(r->headers.count("etag"))
         << "bypassed responses are uncached and carry no validator";
     EXPECT_EQ(rig.mon.responseCache().buildCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Content-coding negotiation and resumable SSE
+// ---------------------------------------------------------------------
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "web/encoding.hh"
+
+namespace
+{
+
+/** Monitor config with metrics passes under manual (test) control. */
+rtm::MonitorConfig
+manualMetricsConfig()
+{
+    rtm::MonitorConfig cfg = LiveRig::quietConfig();
+    cfg.metricsIntervalMs = 3600 * 1000;
+    return cfg;
+}
+
+/** All "id: N" values in an SSE byte stream, in order. */
+std::vector<std::uint64_t>
+sseIds(const std::string &stream)
+{
+    std::vector<std::uint64_t> ids;
+    std::size_t at = 0;
+    while ((at = stream.find("id: ", at)) != std::string::npos) {
+        // Only count line-initial "id:" fields.
+        if (at != 0 && stream[at - 1] != '\n') {
+            at += 4;
+            continue;
+        }
+        ids.push_back(std::strtoull(stream.c_str() + at + 4, nullptr, 10));
+        at += 4;
+    }
+    return ids;
+}
+
+} // namespace
+
+TEST(RtmHttp, GzipRoundTripIsByteIdentical)
+{
+    if (!web::encodingSupported())
+        GTEST_SKIP() << "built without zlib";
+    LiveRig rig(gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()),
+                manualMetricsConfig());
+    rig.mon.metricsSamplePass();
+    web::PersistentClient client("127.0.0.1", rig.mon.serverPort());
+
+    for (const char *target : {"/api/components", "/metrics"}) {
+        auto plain = client.get(target);
+        ASSERT_TRUE(plain.has_value()) << target;
+        ASSERT_EQ(plain->status, 200);
+        EXPECT_EQ(plain->headers.count("content-encoding"), 0u);
+
+        auto gz = client.get(target, {{"Accept-Encoding", "gzip"}});
+        ASSERT_TRUE(gz.has_value()) << target;
+        ASSERT_EQ(gz->status, 200);
+        ASSERT_EQ(gz->headers.at("content-encoding"), "gzip") << target;
+        EXPECT_EQ(gz->headers.at("vary"), "Accept-Encoding");
+        EXPECT_LT(gz->wireBodyBytes, plain->body.size()) << target;
+        EXPECT_EQ(gz->body, plain->body)
+            << target << ": gunzipped bytes differ from identity bytes";
+    }
+
+    // Compression ran once per (endpoint, generation, encoding): a
+    // repeat gzip GET serves the stored variant.
+    std::uint64_t encodes = rig.mon.responseCache().encodeCount();
+    EXPECT_EQ(encodes, 2u) << "one per endpoint";
+    auto again =
+        client.get("/api/components", {{"Accept-Encoding", "gzip"}});
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(rig.mon.responseCache().encodeCount(), encodes);
+}
+
+TEST(RtmHttp, EtagVariesPerEncoding)
+{
+    if (!web::encodingSupported())
+        GTEST_SKIP() << "built without zlib";
+    LiveRig rig;
+    web::PersistentClient client("127.0.0.1", rig.mon.serverPort());
+
+    auto plain = client.get("/api/components");
+    ASSERT_TRUE(plain.has_value());
+    std::string etag = plain->headers.at("etag");
+
+    auto gz =
+        client.get("/api/components", {{"Accept-Encoding", "gzip"}});
+    ASSERT_TRUE(gz.has_value());
+    std::string gzEtag = gz->headers.at("etag");
+    EXPECT_NE(gzEtag, etag) << "representations must not share an ETag";
+    EXPECT_NE(gzEtag.find("-gzip"), std::string::npos);
+
+    // The gzip validator matches only the gzip representation.
+    auto cached = client.get("/api/components",
+                             {{"Accept-Encoding", "gzip"},
+                              {"If-None-Match", gzEtag}});
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_EQ(cached->status, 304);
+    EXPECT_EQ(cached->headers.at("etag"), gzEtag);
+    EXPECT_GE(rig.mon.responseCache().notModifiedCount(), 1u);
+
+    auto mismatched =
+        client.get("/api/components", {{"If-None-Match", gzEtag}});
+    ASSERT_TRUE(mismatched.has_value());
+    EXPECT_EQ(mismatched->status, 200)
+        << "identity request with a gzip validator is a full response";
+    EXPECT_EQ(mismatched->headers.at("etag"), etag);
+}
+
+TEST(RtmHttp, SseResumesFromLastEventId)
+{
+    LiveRig rig(gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()),
+                manualMetricsConfig());
+    auto c = rig.client();
+    rig.mon.metricsSamplePass();
+    rig.mon.metricsSamplePass();
+    rig.mon.metricsSamplePass(); // version == 3
+
+    // A fresh client gets the newest pass, tagged with its id.
+    auto first = c.get(
+        "/api/v1/metrics/stream?name=akita_engine_events_total&"
+        "max_events=1");
+    ASSERT_TRUE(first.has_value());
+    ASSERT_EQ(first->status, 200);
+    EXPECT_NE(first->body.find("retry: 2000"), std::string::npos);
+    auto ids = sseIds(first->body);
+    ASSERT_EQ(ids.size(), 1u) << first->body;
+    EXPECT_EQ(ids[0], 3u);
+
+    // Two passes happen while the client is away; resuming from id 3
+    // replays exactly passes 4 and 5 — nothing lost, nothing repeated.
+    rig.mon.metricsSamplePass();
+    rig.mon.metricsSamplePass();
+    auto resumed = c.get(
+        "/api/v1/metrics/stream?name=akita_engine_events_total&"
+        "max_events=2&last_event_id=3");
+    ASSERT_TRUE(resumed.has_value());
+    ASSERT_EQ(resumed->status, 200);
+    auto ids2 = sseIds(resumed->body);
+    ASSERT_EQ(ids2.size(), 2u) << resumed->body;
+    EXPECT_EQ(ids2[0], 4u);
+    EXPECT_EQ(ids2[1], 5u);
+    // Each replayed event carries a data payload.
+    std::size_t dataLines = 0;
+    for (std::size_t at = 0;
+         (at = resumed->body.find("data: ", at)) != std::string::npos;
+         at += 6)
+        dataLines++;
+    EXPECT_EQ(dataLines, 2u);
+}
+
+TEST(RtmHttp, SseReconnectAfterSocketKillIsGapFree)
+{
+    LiveRig rig(gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny()),
+                manualMetricsConfig());
+    rig.mon.metricsSamplePass();
+    rig.mon.metricsSamplePass(); // version == 2
+
+    // Open a raw streaming connection (no max_events: an unbounded
+    // dashboard stream), read the first event, then kill the socket
+    // mid-stream the way a dropped browser tab would.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(rig.mon.serverPort());
+    ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const char *req =
+        "GET /api/v1/metrics/stream?name=akita_engine_events_total "
+        "HTTP/1.1\r\nHost: t\r\n\r\n";
+    ASSERT_EQ(::send(fd, req, strlen(req), MSG_NOSIGNAL),
+              static_cast<ssize_t>(strlen(req)));
+    std::string got;
+    char buf[2048];
+    while (got.find("\ndata: ") == std::string::npos) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0) << "stream ended before the first event";
+        got.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd); // Abrupt client death.
+    auto ids = sseIds(got);
+    ASSERT_FALSE(ids.empty());
+    std::uint64_t lastSeen = ids.back();
+    EXPECT_EQ(lastSeen, 2u);
+
+    // The samples that arrive while disconnected must all be replayed
+    // on reconnect, in order, exactly once.
+    rig.mon.metricsSamplePass();
+    rig.mon.metricsSamplePass();
+    rig.mon.metricsSamplePass(); // versions 3..5
+    auto c = rig.client();
+    auto resumed = c.get(
+        "/api/v1/metrics/stream?name=akita_engine_events_total&"
+        "max_events=3&last_event_id=" +
+        std::to_string(lastSeen));
+    ASSERT_TRUE(resumed.has_value());
+    ASSERT_EQ(resumed->status, 200);
+    auto ids2 = sseIds(resumed->body);
+    ASSERT_EQ(ids2.size(), 3u) << resumed->body;
+    for (std::size_t i = 0; i < ids2.size(); i++)
+        EXPECT_EQ(ids2[i], lastSeen + 1 + i) << "gap or repeat at " << i;
 }

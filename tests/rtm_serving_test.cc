@@ -241,3 +241,150 @@ TEST(StreamingSerialize, TreeMatchesTreePath)
     rtm::writeTree(w, root);
     EXPECT_EQ(streamed, rtm::serializeTree(root).dump());
 }
+
+// ---------------------------------------------------------------------
+// TTL floors, serving counters, and per-encoding bodies
+// ---------------------------------------------------------------------
+
+#include "rtm/monitor.hh"
+#include "web/client.hh"
+#include "web/encoding.hh"
+
+TEST(ResponseCache, TtlFloorCoalescesAcrossGenerationBump)
+{
+    ResponseCache cache;
+    int calls = 0;
+    auto build = [&]() { return "v" + std::to_string(++calls); };
+    // First polling wave builds at generation 1.
+    EXPECT_EQ(cache.get("/x", 1, "t", build, /*ttl_ms=*/500)->body, "v1");
+    // The generation bumps, but a second wave arrives within the TTL
+    // floor: it must be served the (slightly stale) cached bytes.
+    EXPECT_EQ(cache.get("/x", 2, "t", build, /*ttl_ms=*/500)->body, "v1");
+    EXPECT_EQ(cache.buildCount(), 1u);
+    EXPECT_EQ(cache.hitCount(), 1u);
+    EXPECT_EQ(cache.missCount(), 1u);
+}
+
+TEST(ResponseCache, TtlZeroKeepsStrictGenerationSemantics)
+{
+    ResponseCache cache;
+    int calls = 0;
+    auto build = [&]() { return "v" + std::to_string(++calls); };
+    EXPECT_EQ(cache.get("/x", 1, "t", build, 0)->body, "v1");
+    EXPECT_EQ(cache.get("/x", 2, "t", build, 0)->body, "v2");
+    EXPECT_EQ(cache.buildCount(), 2u);
+}
+
+TEST(ResponseCache, TtlExpiryRebuildsOnStaleGeneration)
+{
+    ResponseCache cache;
+    int calls = 0;
+    auto build = [&]() { return "v" + std::to_string(++calls); };
+    cache.get("/x", 1, "t", build, 20);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    // TTL elapsed and the generation moved on: rebuild.
+    EXPECT_EQ(cache.get("/x", 2, "t", build, 20)->body, "v2");
+    // But a fresh-enough *generation* never needs the TTL.
+    EXPECT_EQ(cache.get("/x", 2, "t", build, 20)->body, "v2");
+    EXPECT_EQ(cache.buildCount(), 2u);
+}
+
+TEST(ResponseCache, CountersClassifyEveryOutcome)
+{
+    ResponseCache cache;
+    auto build = []() { return std::string("body"); };
+    cache.get("/x", 1, "t", build);  // miss
+    cache.get("/x", 1, "t", build);  // hit
+    cache.get("/x", 1, "t", build);  // hit
+    EXPECT_EQ(cache.missCount(), 1u);
+    EXPECT_EQ(cache.hitCount(), 2u);
+    EXPECT_EQ(cache.coalesceCount(), 0u);
+    EXPECT_EQ(cache.notModifiedCount(), 0u);
+    cache.noteNotModified();
+    EXPECT_EQ(cache.notModifiedCount(), 1u);
+
+    // Waiters on an in-flight build count as coalesced, not hits.
+    std::atomic<bool> inBuild{false};
+    auto slowBuild = [&]() {
+        inBuild = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        return std::string("slow");
+    };
+    std::thread first([&]() { cache.get("/slow", 1, "t", slowBuild); });
+    while (!inBuild.load())
+        std::this_thread::yield();
+    cache.get("/slow", 1, "t", slowBuild);
+    first.join();
+    EXPECT_EQ(cache.coalesceCount(), 1u);
+}
+
+TEST(ResponseCache, EncodedBodyCompressesOncePerEntry)
+{
+    if (!web::encodingSupported())
+        GTEST_SKIP() << "built without zlib";
+    ResponseCache cache;
+    std::string big;
+    for (int i = 0; i < 300; i++)
+        big += "repetitive cache payload segment " + std::to_string(i);
+    auto entry =
+        cache.get("/x", 1, "t", [&]() { return big; });
+
+    const std::string *gz =
+        cache.encodedBody(entry, web::ContentEncoding::Gzip);
+    ASSERT_NE(gz, nullptr);
+    EXPECT_LT(gz->size(), big.size());
+    const std::string *again =
+        cache.encodedBody(entry, web::ContentEncoding::Gzip);
+    EXPECT_EQ(gz, again) << "same cached bytes, not a re-compression";
+    EXPECT_EQ(cache.encodeCount(), 1u);
+
+    std::string unpacked;
+    ASSERT_TRUE(web::decompressBody(*gz, unpacked, 1u << 24));
+    EXPECT_EQ(unpacked, entry->body);
+
+    // A second coding is an independent variant of the same entry.
+    const std::string *fl =
+        cache.encodedBody(entry, web::ContentEncoding::Deflate);
+    ASSERT_NE(fl, nullptr);
+    EXPECT_EQ(cache.encodeCount(), 2u);
+
+    // Identity asks for nothing.
+    EXPECT_EQ(cache.encodedBody(entry, web::ContentEncoding::Identity),
+              nullptr);
+
+    // A new generation's entry starts with no encoded variants.
+    auto entry2 = cache.get("/x", 2, "t", [&]() { return big + "!"; });
+    cache.encodedBody(entry2, web::ContentEncoding::Gzip);
+    EXPECT_EQ(cache.encodeCount(), 3u);
+}
+
+TEST(MonitorServing, CacheCountersExportedViaMetrics)
+{
+    rtm::MonitorConfig cfg;
+    cfg.port = 0;
+    cfg.announceUrl = false;
+    cfg.metricsEnabled = true;
+    cfg.metricsIntervalMs = 3600 * 1000; // Manual passes only.
+    rtm::Monitor mon(cfg);
+    ASSERT_TRUE(mon.startServer());
+
+    web::PersistentClient client("127.0.0.1", mon.serverPort());
+    auto a = client.get("/api/components");
+    auto b = client.get("/api/components");
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_GE(mon.responseCache().hitCount() +
+                  mon.responseCache().coalesceCount(),
+              1u);
+
+    auto metrics = client.get("/metrics");
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_NE(metrics->body.find(
+                  "akita_rtm_response_cache_events_total{kind=\"hit\"}"),
+              std::string::npos)
+        << metrics->body.substr(0, 400);
+    EXPECT_NE(metrics->body.find(
+                  "akita_rtm_response_cache_events_total{kind=\"miss\"}"),
+              std::string::npos);
+    mon.stopServer();
+}

@@ -514,3 +514,307 @@ TEST(ServerOptionsTest, IdleConnectionsAreReaped)
     EXPECT_TRUE(sock.readResponses(1).empty());
     s.stop();
 }
+
+// ---------------------------------------------------------------------
+// Chunked transfer coding, header hygiene, and content coding
+// ---------------------------------------------------------------------
+
+#include "web/encoding.hh"
+
+TEST(HttpParse, ChunkedBodyDecoded)
+{
+    Request req;
+    std::size_t consumed = 0;
+    // Chunk extensions and trailers are accepted and discarded.
+    std::string raw = "POST /api/x HTTP/1.1\r\n"
+                      "Transfer-Encoding: chunked\r\n\r\n"
+                      "4;ext=1\r\nWiki\r\n"
+                      "5\r\npedia\r\n"
+                      "0\r\n"
+                      "X-Trailer: t\r\n"
+                      "\r\n";
+    ASSERT_EQ(parseRequest(raw, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.body, "Wikipedia");
+    EXPECT_EQ(consumed, raw.size());
+}
+
+TEST(HttpParse, ChunkedIncrementalAndPipelined)
+{
+    Request req;
+    std::size_t consumed = 0;
+    std::string head = "POST /b HTTP/1.1\r\n"
+                       "Transfer-Encoding: chunked\r\n\r\n";
+    EXPECT_EQ(parseRequest(head, req, consumed), ParseResult::Incomplete);
+    EXPECT_EQ(parseRequest(head + "5\r\nhel", req, consumed),
+              ParseResult::Incomplete)
+        << "mid-chunk data";
+    EXPECT_EQ(parseRequest(head + "5\r\nhello\r\n0\r\n", req, consumed),
+              ParseResult::Incomplete)
+        << "trailer section not terminated";
+    // A complete chunked request followed by a pipelined GET: consumed
+    // must stop exactly at the chunked terminator.
+    std::string full = head + "5\r\nhello\r\n0\r\n\r\n";
+    std::string two = full + "GET /next HTTP/1.1\r\n\r\n";
+    ASSERT_EQ(parseRequest(two, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.body, "hello");
+    EXPECT_EQ(consumed, full.size());
+    two.erase(0, consumed);
+    ASSERT_EQ(parseRequest(two, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.path, "/next");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunkedCorpus, HttpMalformed,
+    ::testing::Values(
+        BadReq{"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+               "ZZ\r\nhi\r\n0\r\n\r\n",
+               "non-hex chunk size"},
+        BadReq{"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+               "5\r\nhelloXX0\r\n\r\n",
+               "missing CRLF after chunk data"},
+        BadReq{"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+               "FFFFFFFF\r\n",
+               "chunk size beyond the body cap"},
+        BadReq{"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+               "Content-Length: 5\r\n\r\n0\r\n\r\n",
+               "both framings present (smuggling)"},
+        BadReq{"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+               "unsupported transfer coding"},
+        BadReq{"POST /x HTTP/1.1\r\nContent-Length: 3\r\n"
+               "Content-Length: 3\r\n\r\nabc",
+               "duplicate Content-Length"},
+        BadReq{"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+               "Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+               "duplicate Transfer-Encoding"}));
+
+TEST(HttpParse, DuplicateListHeadersMerge)
+{
+    Request req;
+    std::size_t consumed = 0;
+    std::string raw = "GET / HTTP/1.1\r\n"
+                      "Accept-Encoding: gzip\r\n"
+                      "Accept-Encoding: deflate;q=0.5\r\n\r\n";
+    ASSERT_EQ(parseRequest(raw, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.headers.at("accept-encoding"),
+              "gzip, deflate;q=0.5");
+}
+
+TEST(HttpParse, PlusDecodedInQueryButNotPath)
+{
+    Request req;
+    std::size_t consumed = 0;
+    std::string raw = "GET /a+b?msg=hi+there&k+1=v+2 HTTP/1.1\r\n\r\n";
+    ASSERT_EQ(parseRequest(raw, req, consumed), ParseResult::Ok);
+    EXPECT_EQ(req.path, "/a+b") << "'+' is literal in paths";
+    EXPECT_EQ(req.queryParam("msg"), "hi there");
+    EXPECT_EQ(req.queryParam("k 1"), "v 2") << "keys decode too";
+}
+
+TEST(UrlDecode, PlusHandling)
+{
+    EXPECT_EQ(urlDecode("a+b"), "a+b");
+    EXPECT_EQ(urlDecode("a+b", true), "a b");
+    EXPECT_EQ(urlDecode("a%2Bb", true), "a+b")
+        << "percent-encoded plus stays a plus";
+}
+
+// Regression: parseResponse used to cast strtoll straight to size_t,
+// so a negative or garbage Content-Length from a peer became a huge
+// allocation / bogus frame. Both overloads must reject it.
+TEST(HttpResponseParse, ContentLengthValidated)
+{
+    const char *bads[] = {
+        "HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\n",
+        "HTTP/1.1 200 OK\r\nContent-Length: abc\r\n\r\n",
+        "HTTP/1.1 200 OK\r\nContent-Length: 999999999999\r\n\r\n",
+        "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n"
+        "Content-Length: 3\r\n\r\nabc",
+    };
+    for (const char *bad : bads) {
+        std::size_t consumed = 0;
+        EXPECT_FALSE(parseResponse(bad).has_value()) << bad;
+        EXPECT_FALSE(parseResponse(bad, consumed).has_value()) << bad;
+    }
+    // Sanity: a valid frame still parses in both overloads.
+    std::string good = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
+    std::size_t consumed = 0;
+    ASSERT_TRUE(parseResponse(good).has_value());
+    auto r = parseResponse(good, consumed);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->body, "hi");
+    EXPECT_EQ(r->wireBodyBytes, 2u);
+    EXPECT_EQ(consumed, good.size());
+}
+
+TEST(HttpResponseParse, ChunkedResponseFraming)
+{
+    std::string raw = "HTTP/1.1 200 OK\r\n"
+                      "Transfer-Encoding: chunked\r\n\r\n"
+                      "3\r\nfoo\r\n3\r\nbar\r\n0\r\n\r\n";
+    std::string tail = "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n";
+    std::size_t consumed = 0;
+    auto r = parseResponse(raw + tail, consumed);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->body, "foobar");
+    EXPECT_EQ(consumed, raw.size())
+        << "pipelined follow-up stays in the buffer";
+    ASSERT_TRUE(parseResponse(raw).has_value());
+    EXPECT_EQ(parseResponse(raw)->body, "foobar");
+    // Incomplete chunked data: need more bytes.
+    std::string part = raw.substr(0, raw.size() - 4);
+    EXPECT_FALSE(parseResponse(part, consumed).has_value());
+}
+
+TEST(Encoding, NegotiationPrefersGzip)
+{
+    if (!encodingSupported())
+        GTEST_SKIP() << "built without zlib";
+    EXPECT_EQ(negotiateEncoding("gzip, deflate"),
+              ContentEncoding::Gzip);
+    EXPECT_EQ(negotiateEncoding("deflate"), ContentEncoding::Deflate);
+    EXPECT_EQ(negotiateEncoding("gzip;q=0, deflate"),
+              ContentEncoding::Deflate)
+        << "q=0 forbids a coding";
+    EXPECT_EQ(negotiateEncoding("br"), ContentEncoding::Identity)
+        << "unknown codings fall back to identity";
+    EXPECT_EQ(negotiateEncoding("*"), ContentEncoding::Gzip)
+        << "wildcard allows gzip";
+    EXPECT_EQ(negotiateEncoding("deflate;q=1.0, gzip;q=0.5"),
+              ContentEncoding::Deflate)
+        << "client weights win";
+    EXPECT_EQ(negotiateEncoding(""), ContentEncoding::Identity);
+}
+
+TEST(Encoding, RoundTripsBothCodings)
+{
+    if (!encodingSupported())
+        GTEST_SKIP() << "built without zlib";
+    std::string plain;
+    for (int i = 0; i < 500; i++)
+        plain += "{\"component\":\"GPU[" + std::to_string(i % 8) +
+                 "].L1V\",\"level\":" + std::to_string(i) + "}";
+    for (ContentEncoding enc :
+         {ContentEncoding::Gzip, ContentEncoding::Deflate}) {
+        std::string packed, unpacked;
+        ASSERT_TRUE(compressBody(enc, plain, packed));
+        EXPECT_LT(packed.size(), plain.size());
+        ASSERT_TRUE(decompressBody(packed, unpacked, 1u << 20));
+        EXPECT_EQ(unpacked, plain) << encodingName(enc);
+    }
+    // Corrupt data and over-limit inflation must fail cleanly.
+    std::string packed, out;
+    ASSERT_TRUE(compressBody(ContentEncoding::Gzip, plain, packed));
+    EXPECT_FALSE(decompressBody(packed, out, 16))
+        << "inflation past max_out is refused";
+    packed[packed.size() / 2] ^= 0x5a;
+    EXPECT_FALSE(decompressBody(packed, out, 1u << 20));
+}
+
+TEST_F(ServerTest, ChunkedPostReachesHandlerAndKeepsPipeline)
+{
+    RawSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.send("POST /body HTTP/1.1\r\nHost: t\r\n"
+                          "Transfer-Encoding: chunked\r\n\r\n"
+                          "6\r\n{\"x\":1\r\n1\r\n}\r\n0\r\n\r\n"));
+    auto resp = sock.readResponses(1);
+    ASSERT_EQ(resp.size(), 1u);
+    EXPECT_EQ(resp[0].body, "{\"x\":1}");
+    // The connection survives and the parser is aligned: a follow-up
+    // request on the same socket answers normally.
+    ASSERT_TRUE(sock.send("GET /hello HTTP/1.1\r\nHost: t\r\n\r\n"));
+    auto next = sock.readResponses(1);
+    ASSERT_EQ(next.size(), 1u);
+    EXPECT_EQ(next[0].body, "world");
+}
+
+TEST_F(ServerTest, PersistentClientChunkedPost)
+{
+    PersistentClient client("127.0.0.1", server.port());
+    std::string body(5000, 'x');
+    body += "end";
+    auto r = client.postChunked("/body", body, 512);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, 200);
+    EXPECT_EQ(r->body, body);
+}
+
+struct BadChunked
+{
+    const char *wire;
+    const char *why;
+};
+
+class MalformedChunkedLive : public ServerTest,
+                             public ::testing::WithParamInterface<BadChunked>
+{
+};
+
+TEST_P(MalformedChunkedLive, Gets400AndClose)
+{
+    RawSocket sock(server.port());
+    ASSERT_TRUE(sock.ok());
+    ASSERT_TRUE(sock.send(GetParam().wire));
+    auto resp = sock.readResponses(1);
+    ASSERT_EQ(resp.size(), 1u) << GetParam().why;
+    EXPECT_EQ(resp[0].status, 400) << GetParam().why;
+    // The server must close rather than desync its parser.
+    EXPECT_TRUE(sock.readResponses(1).empty()) << GetParam().why;
+    // And the listener is unaffected: a fresh connection works.
+    RawSocket again(server.port());
+    ASSERT_TRUE(again.ok());
+    ASSERT_TRUE(again.send("GET /hello HTTP/1.1\r\nHost: t\r\n\r\n"));
+    auto ok = again.readResponses(1);
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_EQ(ok[0].body, "world");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MalformedChunkedLive,
+    ::testing::Values(
+        BadChunked{"POST /body HTTP/1.1\r\nHost: t\r\n"
+                   "Transfer-Encoding: chunked\r\n\r\nZZ\r\nhi\r\n0\r\n\r\n",
+                   "bad hex size"},
+        BadChunked{"POST /body HTTP/1.1\r\nHost: t\r\n"
+                   "Transfer-Encoding: chunked\r\n\r\n"
+                   "5\r\nhelloXX0\r\n\r\n",
+                   "missing CRLF after chunk"},
+        BadChunked{"POST /body HTTP/1.1\r\nHost: t\r\n"
+                   "Transfer-Encoding: chunked\r\n\r\nFFFFFFFF\r\n",
+                   "chunk larger than the body cap"},
+        BadChunked{"POST /body HTTP/1.1\r\nHost: t\r\n"
+                   "Transfer-Encoding: chunked\r\n"
+                   "Content-Length: 4\r\n\r\n0\r\n\r\n",
+                   "both framings present"}));
+
+TEST_F(ServerTest, LargeResponsesAreCompressedWhenAccepted)
+{
+    server.route("GET", "/big", [](const Request &) {
+        std::string body;
+        for (int i = 0; i < 400; i++)
+            body += "line " + std::to_string(i) + " of filler text\n";
+        return Response::ok(body);
+    });
+    PersistentClient client("127.0.0.1", server.port());
+
+    auto identity = client.get("/big");
+    ASSERT_TRUE(identity.has_value());
+    EXPECT_EQ(identity->headers.count("content-encoding"), 0u)
+        << "no Accept-Encoding, no compression";
+
+    if (!encodingSupported())
+        GTEST_SKIP() << "built without zlib";
+    auto gz = client.get("/big", {{"Accept-Encoding", "gzip"}});
+    ASSERT_TRUE(gz.has_value());
+    ASSERT_EQ(gz->headers.at("content-encoding"), "gzip");
+    EXPECT_EQ(gz->headers.at("vary"), "Accept-Encoding");
+    EXPECT_LT(gz->wireBodyBytes, identity->body.size());
+    EXPECT_EQ(gz->body, identity->body)
+        << "client-side gunzip restores the identity bytes";
+
+    // Small responses skip compression (opts_.compressMinBytes).
+    auto small = client.get("/hello", {{"Accept-Encoding", "gzip"}});
+    ASSERT_TRUE(small.has_value());
+    EXPECT_EQ(small->headers.count("content-encoding"), 0u);
+    EXPECT_EQ(small->body, "world");
+}
