@@ -129,14 +129,17 @@ checkByteIdentity(std::uint16_t port, json::Json &detail)
 
 ModeResult
 runMode(Mode mode, int clients, double scale, bool *bytesIdentical,
-        json::Json *byteDetail, bool gzip = false)
+        json::Json *byteDetail, bool gzip = false, int httpWorkers = 0)
 {
     gpu::PlatformConfig cfg = bench::evalPlatform();
     gpu::Platform plat(cfg);
 
     std::unique_ptr<rtm::Monitor> mon;
     if (mode != Mode::NoMonitor) {
-        mon = std::make_unique<rtm::Monitor>(bench::quietMonitor());
+        rtm::MonitorConfig mcfg = bench::quietMonitor();
+        if (httpWorkers > 0)
+            mcfg.httpWorkers = httpWorkers;
+        mon = std::make_unique<rtm::Monitor>(mcfg);
         mon->registerEngine(&plat.engine());
         for (auto *c : plat.components())
             mon->registerComponent(c);
@@ -255,6 +258,69 @@ modeJson(ModeResult &r, double noMonitorSec)
     return row;
 }
 
+/**
+ * Handler-pool scaling sweep (--sweep-workers): re-runs the fast path
+ * with the HTTP worker pool sized 1..16 (powers of two, plus 16) and
+ * records req/s per point, answering "how many handler threads does
+ * the dashboard need" with data instead of a default.
+ */
+int
+runWorkerSweep(int clients, double scale)
+{
+    std::fprintf(stderr, "no-monitor baseline...\n");
+    ModeResult base =
+        runMode(Mode::NoMonitor, 0, scale, nullptr, nullptr);
+
+    const int workerPoints[] = {1, 2, 4, 8, 16};
+    json::Json sweep = json::Json::array();
+    bool ok = true;
+    double bestRps = 0;
+    int bestWorkers = 0;
+    for (int w : workerPoints) {
+        std::fprintf(stderr,
+                     "fast path, %d http workers (%d pollers)...\n", w,
+                     clients);
+        ModeResult r = runMode(Mode::FastPath, clients, scale, nullptr,
+                               nullptr, /*gzip=*/false,
+                               /*httpWorkers=*/w);
+        json::Json row = modeJson(r, base.simWall);
+        row.set("http_workers", w);
+        sweep.push(std::move(row));
+        ok = ok && r.errors == 0 && r.requests > 0;
+        if (r.rps() > bestRps) {
+            bestRps = r.rps();
+            bestWorkers = w;
+        }
+    }
+
+    json::Json doc = json::Json::object();
+    doc.set("bench", "api_load");
+    doc.set("mode", "worker_sweep");
+    doc.set("clients", clients);
+    doc.set("scale", scale);
+    doc.set("host_cores",
+            static_cast<std::int64_t>(
+                std::thread::hardware_concurrency()));
+    doc.set("workload", "fir");
+    doc.set("platform",
+            bench::fullScale() ? "r9nano mcm4" : "medium mcm4");
+    doc.set("no_monitor_sim_sec", base.simWall);
+    doc.set("worker_sweep", std::move(sweep));
+    doc.set("best_http_workers", bestWorkers);
+    doc.set("best_requests_per_sec", bestRps);
+    doc.set("pass", ok);
+
+    std::string rendered = doc.dump(2);
+    std::ofstream out("BENCH_api_load.json");
+    out << rendered << "\n";
+    out.close();
+    std::printf("%s\n", rendered.c_str());
+    std::fprintf(stderr,
+                 "\nbest: %d workers at %.0f req/s (errors: %s)\n",
+                 bestWorkers, bestRps, ok ? "none" : "SOME");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -264,9 +330,15 @@ main(int argc, char **argv)
     int clients = bench::envInt("AKITA_CLIENTS", 16);
     double scale = bench::benchScale(0.25);
     bool gzipMode = false;
-    for (int i = 1; i < argc; i++)
+    bool sweepWorkers = false;
+    for (int i = 1; i < argc; i++) {
         if (std::string(argv[i]) == "--gzip")
             gzipMode = true;
+        if (std::string(argv[i]) == "--sweep-workers")
+            sweepWorkers = true;
+    }
+    if (sweepWorkers)
+        return runWorkerSweep(clients, scale);
     if (gzipMode && !web::encodingSupported()) {
         std::fprintf(stderr,
                      "--gzip requested but built without zlib\n");

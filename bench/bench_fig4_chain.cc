@@ -98,7 +98,7 @@ class Source : public sim::TickingComponent
     {
         if (remaining_ == 0)
             return false;
-        auto m = std::make_shared<sim::Msg>();
+        auto m = sim::makeMsg<sim::Msg>();
         m->dst = target_;
         if (out->send(m) != sim::SendStatus::Ok)
             return false;

@@ -81,7 +81,7 @@ CommandProcessor::dispatch()
              attempt++) {
             sim::Port *cu = cuPorts_[rrIndex_];
             rrIndex_ = (rrIndex_ + 1) % cuPorts_.size();
-            auto map = std::make_shared<MapWgMsg>(p.kernel, p.nextWg);
+            auto map = sim::makeMsg<MapWgMsg>(p.kernel, p.nextWg);
             map->dst = cu;
             if (toCUs_->send(map) == sim::SendStatus::Ok) {
                 sent = true;
@@ -137,7 +137,7 @@ CommandProcessor::reportProgress()
     bool mustFlush = p.nextWg >= p.endWg; // Tail: report promptly.
     if ((startedDelta_ != 0 || completedDelta_ != 0) &&
         (intervalElapsed || mustFlush)) {
-        auto report = std::make_shared<WgProgressMsg>(p.seq, startedDelta_,
+        auto report = sim::makeMsg<WgProgressMsg>(p.seq, startedDelta_,
                                                       completedDelta_);
         report->dst = p.driverPort;
         if (toDriver_->send(report) == sim::SendStatus::Ok) {
@@ -150,7 +150,7 @@ CommandProcessor::reportProgress()
 
     if (!p.doneSent && p.nextWg >= p.endWg && p.outstanding == 0 &&
         startedDelta_ == 0 && completedDelta_ == 0) {
-        auto done = std::make_shared<PartitionDoneMsg>(p.seq);
+        auto done = sim::makeMsg<PartitionDoneMsg>(p.seq);
         done->dst = p.driverPort;
         if (toDriver_->send(done) == sim::SendStatus::Ok) {
             partition_.reset();

@@ -111,7 +111,7 @@ ComputeUnit::execute()
         if (memIssued >= cfg_.memIssuePerCycle)
             continue;
         auto req =
-            std::make_shared<mem::MemReq>(op.addr, op.size, op.isWrite);
+            sim::makeMsg<mem::MemReq>(op.addr, op.size, op.isWrite);
         req->dst = memDownstream_;
         if (memPort_->send(req) != sim::SendStatus::Ok)
             continue; // Backpressure: retry next cycle.
@@ -131,7 +131,7 @@ ComputeUnit::execute()
 
     // Report completed work-groups to the command processor.
     while (!doneWgQueue_.empty() && cpPort_ != nullptr) {
-        auto done = std::make_shared<WgDoneMsg>(doneWgQueue_.back());
+        auto done = sim::makeMsg<WgDoneMsg>(doneWgQueue_.back());
         done->dst = cpPort_;
         if (ctrlPort_->send(done) != sim::SendStatus::Ok)
             break;

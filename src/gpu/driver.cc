@@ -67,9 +67,8 @@ Driver::startNextKernel()
         std::uint32_t count = base + (i < rem ? 1 : 0);
         if (count == 0)
             continue;
-        LaunchKernelMsg launch(kernel, active->seq, start, count);
-        launch.dst = gpuPorts_[i];
-        active->launches.push_back(launch);
+        active->launches.push_back(PendingLaunch{
+            kernel, active->seq, start, count, gpuPorts_[i]});
         active->partitionsPending++;
         start += count;
     }
@@ -101,8 +100,8 @@ Driver::sendLaunches()
         return false;
     bool progress = false;
     while (!active_->launches.empty()) {
-        const LaunchKernelMsg &tmpl = active_->launches.back();
-        auto msg = std::make_shared<LaunchKernelMsg>(
+        const PendingLaunch &tmpl = active_->launches.back();
+        auto msg = sim::makeMsg<LaunchKernelMsg>(
             tmpl.kernel, tmpl.seq, tmpl.wgStart, tmpl.wgCount);
         msg->dst = tmpl.dst;
         if (toGpus_->send(msg) != sim::SendStatus::Ok)

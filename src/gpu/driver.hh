@@ -97,6 +97,16 @@ class Driver : public sim::TickingComponent
     }
 
   private:
+    /** A staged partition; the message is built when it is sent. */
+    struct PendingLaunch
+    {
+        const KernelDescriptor *kernel;
+        std::uint64_t seq;
+        std::uint32_t wgStart;
+        std::uint32_t wgCount;
+        sim::Port *dst;
+    };
+
     struct ActiveKernel
     {
         const KernelDescriptor *kernel;
@@ -105,7 +115,7 @@ class Driver : public sim::TickingComponent
         std::uint64_t completed = 0;
         std::size_t partitionsPending = 0;
         std::size_t partitionsSent = 0;
-        std::vector<LaunchKernelMsg> launches; // Unsent partitions.
+        std::vector<PendingLaunch> launches; // Unsent partitions.
     };
 
     bool startNextKernel();

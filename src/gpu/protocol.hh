@@ -18,9 +18,12 @@ namespace gpu
 class LaunchKernelMsg : public sim::Msg
 {
   public:
+    static constexpr sim::MsgKind kKind = sim::MsgKind::LaunchKernel;
+
     LaunchKernelMsg(const KernelDescriptor *kernel, std::uint64_t seq,
                     std::uint32_t wg_start, std::uint32_t wg_count)
-        : kernel(kernel), seq(seq), wgStart(wg_start), wgCount(wg_count)
+        : sim::Msg(kKind), kernel(kernel), seq(seq), wgStart(wg_start),
+          wgCount(wg_count)
     {
     }
 
@@ -36,7 +39,12 @@ class LaunchKernelMsg : public sim::Msg
 class PartitionDoneMsg : public sim::Msg
 {
   public:
-    explicit PartitionDoneMsg(std::uint64_t seq) : seq(seq) {}
+    static constexpr sim::MsgKind kKind = sim::MsgKind::PartitionDone;
+
+    explicit PartitionDoneMsg(std::uint64_t seq)
+        : sim::Msg(kKind), seq(seq)
+    {
+    }
 
     const char *kind() const override { return "PartitionDone"; }
 
@@ -47,9 +55,12 @@ class PartitionDoneMsg : public sim::Msg
 class WgProgressMsg : public sim::Msg
 {
   public:
+    static constexpr sim::MsgKind kKind = sim::MsgKind::WgProgress;
+
     WgProgressMsg(std::uint64_t seq, std::uint32_t started,
                   std::uint32_t completed)
-        : seq(seq), started(started), completed(completed)
+        : sim::Msg(kKind), seq(seq), started(started),
+          completed(completed)
     {
     }
 
@@ -64,8 +75,10 @@ class WgProgressMsg : public sim::Msg
 class MapWgMsg : public sim::Msg
 {
   public:
+    static constexpr sim::MsgKind kKind = sim::MsgKind::MapWg;
+
     MapWgMsg(const KernelDescriptor *kernel, std::uint32_t wg_id)
-        : kernel(kernel), wgId(wg_id)
+        : sim::Msg(kKind), kernel(kernel), wgId(wg_id)
     {
     }
 
@@ -79,7 +92,11 @@ class MapWgMsg : public sim::Msg
 class WgDoneMsg : public sim::Msg
 {
   public:
-    explicit WgDoneMsg(std::uint32_t wg_id) : wgId(wg_id) {}
+    static constexpr sim::MsgKind kKind = sim::MsgKind::WgDone;
+
+    explicit WgDoneMsg(std::uint32_t wg_id) : sim::Msg(kKind), wgId(wg_id)
+    {
+    }
 
     const char *kind() const override { return "WGDone"; }
 

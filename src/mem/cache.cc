@@ -273,7 +273,7 @@ Cache::issueDownstream()
     for (auto &kv : mshr_) {
         if (kv.second.fetchSent)
             continue;
-        auto fetch = std::make_shared<MemReq>(
+        auto fetch = sim::makeMsg<MemReq>(
             kv.first, static_cast<std::uint32_t>(cfg_.lineSize), false);
         fetch->translated = true;
         fetch->dst = mapper_->find(kv.first);

@@ -124,7 +124,7 @@ L2Cache::storageTick()
             // Local storage wants to evict but the write buffer cannot
             // take the eviction; it holds the transaction and cannot
             // accept fetched data until the eviction is accepted.
-            auto evict = std::make_shared<MemReq>(
+            auto evict = sim::makeMsg<MemReq>(
                 victimAddr, static_cast<std::uint32_t>(cfg_.lineSize),
                 true);
             evict->translated = true;
@@ -144,7 +144,7 @@ L2Cache::storageTick()
         std::uint64_t evictedAddr = 0;
         directory_.install(line, false, evictedDirty, evictedAddr);
         if (evictedDirty) {
-            auto evict = std::make_shared<MemReq>(
+            auto evict = sim::makeMsg<MemReq>(
                 evictedAddr, static_cast<std::uint32_t>(cfg_.lineSize),
                 true);
             evict->translated = true;
@@ -195,7 +195,7 @@ L2Cache::writeBufferTick()
     for (auto &kv : mshr_) {
         if (kv.second.fetchSent)
             continue;
-        auto fetch = std::make_shared<MemReq>(
+        auto fetch = sim::makeMsg<MemReq>(
             kv.first, static_cast<std::uint32_t>(cfg_.lineSize), false);
         fetch->translated = true;
         fetch->dst = downstream_;

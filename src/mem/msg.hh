@@ -24,8 +24,10 @@ namespace mem
 class MemReq : public sim::Msg
 {
   public:
+    static constexpr sim::MsgKind kKind = sim::MsgKind::MemReq;
+
     MemReq(std::uint64_t addr, std::uint32_t size, bool is_write)
-        : addr(addr), size(size), isWrite(is_write)
+        : sim::Msg(kKind), addr(addr), size(size), isWrite(is_write)
     {
         trafficBytes = is_write ? size + 16 : 16;
     }
@@ -40,7 +42,7 @@ class MemReq : public sim::Msg
     bool translated = false;
 };
 
-using MemReqPtr = std::shared_ptr<MemReq>;
+using MemReqPtr = sim::IntrusivePtr<MemReq>;
 
 /**
  * Response to a MemReq; reqId links it to the originating request.
@@ -48,9 +50,11 @@ using MemReqPtr = std::shared_ptr<MemReq>;
 class MemRsp : public sim::Msg
 {
   public:
+    static constexpr sim::MsgKind kKind = sim::MsgKind::MemRsp;
+
     explicit MemRsp(std::uint64_t req_id, bool is_write,
                     std::uint32_t size)
-        : reqId(req_id), isWrite(is_write)
+        : sim::Msg(kKind), reqId(req_id), isWrite(is_write)
     {
         trafficBytes = is_write ? 16 : size + 16;
     }
@@ -64,13 +68,13 @@ class MemRsp : public sim::Msg
     bool isWrite;
 };
 
-using MemRspPtr = std::shared_ptr<MemRsp>;
+using MemRspPtr = sim::IntrusivePtr<MemRsp>;
 
 /** Creates a response matched to @p req. */
 inline MemRspPtr
 makeRsp(const MemReq &req)
 {
-    return std::make_shared<MemRsp>(req.id(), req.isWrite, req.size);
+    return sim::makeMsg<MemRsp>(req.id(), req.isWrite, req.size);
 }
 
 } // namespace mem

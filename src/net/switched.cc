@@ -12,7 +12,8 @@ namespace net
 
 SwitchedNetwork::SwitchedNetwork(sim::Engine *engine, std::string name,
                                  const Config &cfg)
-    : engine_(engine), name_(std::move(name)), cfg_(cfg),
+    : engine_(engine), name_(std::move(name)),
+      deliverName_(name_ + "::deliver"), cfg_(cfg),
       psPerByte_(static_cast<double>(sim::kSecond) / cfg.bytesPerSecond)
 {
     declareField("in_flight", [this]() {
@@ -76,12 +77,16 @@ SwitchedNetwork::send(sim::MsgPtr msg)
     }
     msg->sendTime = now;
 
-    sim::MsgPtr owned = std::move(msg);
-    engine_->scheduleAt(done + cfg_.latency, name_ + "::deliver",
-                        [this, owned]() mutable {
-                            deliver(std::move(owned));
-                        });
+    engine_->schedule(std::make_unique<sim::DeliverEvent>(
+        done + cfg_.latency, this, std::move(msg)));
     return sim::SendStatus::Ok;
+}
+
+void
+SwitchedNetwork::handle(sim::Event &event)
+{
+    auto &de = static_cast<sim::DeliverEvent &>(event);
+    deliver(std::move(de.msg));
 }
 
 void

@@ -36,6 +36,7 @@ namespace net
  * sends and deliveries from parallel-engine workers stay consistent.
  */
 class SwitchedNetwork : public sim::Connection,
+                        public sim::EventHandler,
                         public introspect::Inspectable
 {
   public:
@@ -63,6 +64,13 @@ class SwitchedNetwork : public sim::Connection,
     sim::SendStatus send(sim::MsgPtr msg) override;
     void notifyAvailable(sim::Port *dst) override;
 
+    /** Delivery: the engine hands back the DeliverEvents send() queued. */
+    void handle(sim::Event &event) override;
+
+    sim::NameRef profName() const override { return deliverName_; }
+
+    std::string handlerName() const override { return deliverName_.str(); }
+
     /** Messages in flight across the network. */
     std::size_t
     inFlight() const
@@ -84,6 +92,8 @@ class SwitchedNetwork : public sim::Connection,
 
     sim::Engine *engine_;
     std::string name_;
+    /** Interned "<name>::deliver" profiler label. */
+    sim::NameRef deliverName_;
     Config cfg_;
     /** Picoseconds to serialize one byte onto a link. */
     double psPerByte_;

@@ -14,12 +14,17 @@ BufferAnalyzer::snapshot(BufferSort sort, std::size_t top_n,
     std::vector<BufferLevel> out;
     for (sim::Component *c : registry_->all()) {
         for (sim::Buffer *b : c->buffers()) {
-            if (!include_empty && b->empty())
+            // One locked copy per buffer: the row's size and head kind
+            // are mutually consistent even under the parallel engine.
+            std::vector<sim::MsgPtr> msgs = b->snapshot();
+            if (!include_empty && msgs.empty())
                 continue;
             BufferLevel level;
             level.name = b->name();
-            level.size = b->size();
+            level.size = msgs.size();
             level.capacity = b->capacity();
+            if (!msgs.empty())
+                level.headKind = msgs.front()->kind();
             out.push_back(std::move(level));
         }
     }

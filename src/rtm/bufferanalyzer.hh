@@ -22,6 +22,8 @@ struct BufferLevel
     std::string name; // e.g. "GPU[1].SA[15].L1VROB[0].TopPort.Buf".
     std::size_t size = 0;
     std::size_t capacity = 0;
+    /** Kind of the oldest queued message; empty when the buffer is. */
+    std::string headKind;
 
     double
     percent() const

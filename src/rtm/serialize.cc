@@ -74,10 +74,17 @@ serializeComponent(const sim::Component &component)
 
     json::Json buffers = json::Json::array();
     for (const sim::Buffer *b : component.buffers()) {
+        // One consistent copy under the buffer lock: size and the
+        // head-of-queue kind come from the same instant even while
+        // delivery events mutate the buffer concurrently.
+        std::vector<sim::MsgPtr> msgs = b->snapshot();
         json::Json bj = json::Json::object();
         bj.set("name", b->name());
-        bj.set("size", static_cast<std::int64_t>(b->size()));
+        bj.set("size", static_cast<std::int64_t>(msgs.size()));
         bj.set("capacity", static_cast<std::int64_t>(b->capacity()));
+        bj.set("head_kind",
+               msgs.empty() ? std::string()
+                            : std::string(msgs.front()->kind()));
         buffers.push(std::move(bj));
     }
     obj.set("buffers", std::move(buffers));
@@ -110,6 +117,7 @@ serializeBuffers(const std::vector<BufferLevel> &levels)
         row.set("size", static_cast<std::int64_t>(l.size));
         row.set("cap", static_cast<std::int64_t>(l.capacity));
         row.set("percent", l.percent());
+        row.set("head_kind", l.headKind);
         arr.push(std::move(row));
     }
     return arr;
@@ -265,10 +273,14 @@ writeComponent(json::Writer &w, const sim::Component &component)
 
     w.key("buffers").beginArray();
     for (const sim::Buffer *b : component.buffers()) {
+        std::vector<sim::MsgPtr> msgs = b->snapshot();
         w.beginObject();
         w.field("name", b->name());
-        w.field("size", static_cast<std::int64_t>(b->size()));
+        w.field("size", static_cast<std::int64_t>(msgs.size()));
         w.field("capacity", static_cast<std::int64_t>(b->capacity()));
+        w.field("head_kind",
+                msgs.empty() ? std::string()
+                             : std::string(msgs.front()->kind()));
         w.endObject();
     }
     w.endArray();
@@ -301,6 +313,7 @@ writeBuffers(json::Writer &w, const std::vector<BufferLevel> &levels)
         w.field("size", static_cast<std::int64_t>(l.size));
         w.field("cap", static_cast<std::int64_t>(l.capacity));
         w.field("percent", l.percent());
+        w.field("head_kind", l.headKind);
         w.endObject();
     }
     w.endArray();

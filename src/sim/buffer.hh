@@ -15,6 +15,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "introspect/field.hh"
 #include "metrics/instrument.hh"
@@ -145,13 +146,20 @@ class Buffer : public introspect::Inspectable
     }
 
     /**
-     * Iteration support for components that scan their queues.
+     * A consistent copy of the queued messages, oldest first.
      *
-     * Not internally synchronized: only safe from the owning handler
-     * when nothing else can touch the buffer (i.e. nothing delivers to
-     * it mid-cohort), or under an external lock.
+     * Copies under the buffer lock (refcount bumps only, no message
+     * copies), so monitor-side consumers (buffer serializer, bottleneck
+     * analyzer) can inspect contents while delivery events and the
+     * owning component race on the buffer. Replaces the old contents()
+     * accessor, which handed out the raw deque with no lock.
      */
-    const std::deque<MsgPtr> &contents() const { return q_; }
+    std::vector<MsgPtr>
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return std::vector<MsgPtr>(q_.begin(), q_.end());
+    }
 
   private:
     std::string name_;

@@ -41,7 +41,8 @@ Component::buffers() const
 
 TickingComponent::TickingComponent(Engine *engine, std::string name,
                                    Freq freq)
-    : Component(engine, std::move(name)), freq_(freq)
+    : Component(engine, std::move(name)), freq_(freq),
+      tickName_(this->name() + "::tick")
 {
     declareField("asleep", [this]() {
         return introspect::Value::ofBool(asleep());

@@ -129,7 +129,10 @@ class TickingComponent : public Component, public EventHandler
 
     void handle(Event &event) override;
 
-    std::string handlerName() const override { return name() + "::tick"; }
+    /** Interned once at construction; the profiler copies a 32-bit id. */
+    NameRef profName() const override { return tickName_; }
+
+    std::string handlerName() const override { return tickName_.str(); }
 
     /** True when no tick is scheduled (the component sleeps). */
     bool asleep() const
@@ -151,6 +154,8 @@ class TickingComponent : public Component, public EventHandler
 
   private:
     Freq freq_;
+    /** Interned "<name>::tick" profiler label. */
+    NameRef tickName_;
     /**
      * Guards tickAt_/tickScheduled_ transitions: under the parallel
      * engine, wake() arrives from other components' handlers (and from

@@ -13,7 +13,8 @@ namespace sim
 
 DirectConnection::DirectConnection(Engine *engine, std::string name,
                                    VTime latency)
-    : engine_(engine), name_(std::move(name)), latency_(latency)
+    : engine_(engine), name_(std::move(name)), latency_(latency),
+      deliverName_(name_ + "::deliver")
 {
 }
 
@@ -56,13 +57,19 @@ DirectConnection::send(MsgPtr msg)
     // The reservation is booked; scheduling can happen outside the lock.
     msg->sendTime = engine_->now();
 
-    // Capture by value: the lambda owns the message until delivery.
-    MsgPtr owned = std::move(msg);
-    engine_->scheduleAt(engine_->now() + latency_, name_ + "::deliver",
-                        [this, owned]() mutable {
-                            deliver(std::move(owned));
-                        });
+    // A typed pooled event owns the message until delivery: no lambda,
+    // no std::function allocation, no per-message name build.
+    engine_->schedule(std::make_unique<DeliverEvent>(
+        engine_->now() + latency_, this, std::move(msg)));
     return SendStatus::Ok;
+}
+
+void
+DirectConnection::handle(Event &event)
+{
+    // Only DeliverEvents are ever scheduled with this handler.
+    auto &de = static_cast<DeliverEvent &>(event);
+    deliver(std::move(de.msg));
 }
 
 void

@@ -22,6 +22,26 @@ namespace sim
 
 class Component;
 
+/**
+ * A pooled event carrying one in-flight message to its destination.
+ *
+ * Connections used to schedule a FuncEvent whose lambda owned the
+ * message — a per-message std::function heap allocation plus a
+ * per-message name-string build. A typed event carries the message
+ * directly: the pool serves the event, the intrusive pointer moves, and
+ * the connection (an EventHandler with a pre-interned name) delivers.
+ */
+class DeliverEvent : public Event
+{
+  public:
+    DeliverEvent(VTime time, EventHandler *handler, MsgPtr msg)
+        : Event(time, handler), msg(std::move(msg))
+    {
+    }
+
+    MsgPtr msg;
+};
+
 /** Transport between ports. */
 class Connection
 {
@@ -67,7 +87,7 @@ class Connection
  * invariant size+reserved <= capacity can never be violated by a send
  * that sneaks between the reservation release and the buffer push.
  */
-class DirectConnection : public Connection
+class DirectConnection : public Connection, public EventHandler
 {
   public:
     /**
@@ -89,6 +109,13 @@ class DirectConnection : public Connection
     SendStatus send(MsgPtr msg) override;
     void notifyAvailable(Port *dst) override;
 
+    /** Delivery: the engine hands back the DeliverEvents send() queued. */
+    void handle(Event &event) override;
+
+    NameRef profName() const override { return deliverName_; }
+
+    std::string handlerName() const override { return deliverName_.str(); }
+
     /** Messages currently in flight on this connection. */
     std::size_t
     inFlight() const
@@ -103,6 +130,8 @@ class DirectConnection : public Connection
     Engine *engine_;
     std::string name_;
     VTime latency_;
+    /** Interned "<name>::deliver" profiler label. */
+    NameRef deliverName_;
     std::vector<Port *> ports_;
     /**
      * Guards pending_, blockedSenders_, inFlightTotal_. Lock order:

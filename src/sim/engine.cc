@@ -124,15 +124,21 @@ SerialEngine::executeEvent(Event &event)
 {
     invokeHook(hookPosBeforeEvent, &event);
     if (Profiler::instance().enabled()) {
-        // handlerName() typically builds a string; only pay for it when
-        // the profiler is actually collecting.
-        ProfScope scope(event.handler()->handlerName());
+        // profName() is a pre-interned id: no string build, no lookup.
+        ProfScope scope(event.handler()->profName());
         event.handler()->handle(event);
     } else {
         event.handler()->handle(event);
     }
     invokeHook(hookPosAfterEvent, &event);
-    totalEvents_.fetch_add(1, std::memory_order_relaxed);
+    // Single-writer counter (only the sim thread executes events in
+    // the serial engine): a load+store pair compiles to plain MOVs,
+    // unlike fetch_add's lock-prefixed RMW, and stays readable from
+    // monitor threads. The parallel engine keeps the real RMW because
+    // its workers share the counter.
+    totalEvents_.store(
+        totalEvents_.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
 }
 
 RunResult

@@ -47,12 +47,22 @@ class Engine : public Hookable, public introspect::Inspectable
     /** Schedules an event; its time must not precede now(). */
     virtual void schedule(EventPtr event) = 0;
 
-    /** Convenience: schedules a callable at an absolute time. */
+    /**
+     * Convenience: schedules a callable at an absolute time, with a
+     * pre-interned profiler label (the hot-path overload).
+     */
     void
-    scheduleAt(VTime time, std::string name, std::function<void()> fn)
+    scheduleAt(VTime time, NameRef name, std::function<void()> fn)
     {
-        schedule(std::make_unique<FuncEvent>(time, std::move(name),
-                                             std::move(fn)));
+        schedule(std::make_unique<FuncEvent>(time, name, std::move(fn)));
+    }
+
+    /** Convenience overload that interns @p name per call. */
+    void
+    scheduleAt(VTime time, const std::string &name,
+               std::function<void()> fn)
+    {
+        scheduleAt(time, NameRef(name), std::move(fn));
     }
 
     /** Current virtual time. Safe to call from any thread. */

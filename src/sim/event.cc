@@ -11,7 +11,20 @@ void
 EventQueue::push(EventPtr event)
 {
     VTime t = event->time();
-    Bucket &b = buckets_[t];
+    auto it = buckets_.find(t);
+    if (it == buckets_.end()) {
+        if (!spareNodes_.empty()) {
+            // Reuse a drained node: the rehash-free insert keeps the
+            // bucket's vector capacity from its previous life.
+            auto nh = std::move(spareNodes_.back());
+            spareNodes_.pop_back();
+            nh.key() = t;
+            it = buckets_.insert(std::move(nh)).position;
+        } else {
+            it = buckets_.try_emplace(t).first;
+        }
+    }
+    Bucket &b = it->second;
     bool wasLive = b.live();
     if (event->isSecondary())
         b.secondary.push_back(std::move(event));
@@ -39,8 +52,17 @@ EventQueue::frontBucket() const
         std::pop_heap(timesHeap_.begin(), timesHeap_.end(),
                       std::greater<VTime>());
         timesHeap_.pop_back();
-        if (it != buckets_.end() && !it->second.live())
-            buckets_.erase(it);
+        if (it != buckets_.end() && !it->second.live()) {
+            auto nh = buckets_.extract(it);
+            if (spareNodes_.size() < kMaxSpareNodes) {
+                Bucket &b = nh.mapped();
+                b.primary.clear();
+                b.secondary.clear();
+                b.primaryHead = 0;
+                b.secondaryHead = 0;
+                spareNodes_.push_back(std::move(nh));
+            }
+        }
     }
     return nullptr;
 }

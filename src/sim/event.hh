@@ -6,6 +6,7 @@
 #ifndef AKITA_SIM_EVENT_HH
 #define AKITA_SIM_EVENT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -14,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/name.hh"
+#include "sim/pool.hh"
 #include "sim/time.hh"
 
 namespace akita
@@ -33,10 +36,18 @@ class EventHandler
     virtual void handle(Event &event) = 0;
 
     /**
-     * Name used by the built-in profiler to attribute event-handling
-     * time. Defaults are provided by implementers (component names).
+     * Interned name used by the built-in profiler to attribute
+     * event-handling time. Implementers intern once at construction;
+     * the per-event cost is copying a 32-bit id. The default refers to
+     * the generic "EventHandler" entry.
      */
-    virtual std::string handlerName() const { return "EventHandler"; }
+    virtual NameRef profName() const { return NameRef(); }
+
+    /**
+     * Display name. Kept for logs and tests; the engines never call it
+     * on the hot path (they key the profiler on profName()).
+     */
+    virtual std::string handlerName() const { return profName().str(); }
 };
 
 /**
@@ -44,6 +55,11 @@ class EventHandler
  *
  * Secondary events run after all primary events of the same time; the
  * engine otherwise preserves scheduling (FIFO) order among equal times.
+ *
+ * Events are allocated from the per-thread slab pool (class-scope
+ * operator new/delete below): the engine allocates and frees at least
+ * one event per simulated cycle, and the pool turns that from a malloc
+ * round-trip into a freelist push/pop.
  */
 class Event
 {
@@ -59,6 +75,9 @@ class Event
     }
 
     virtual ~Event() = default;
+
+    static void *operator new(std::size_t n) { return poolAlloc(n); }
+    static void operator delete(void *p) noexcept { poolFree(p); }
 
     VTime time() const { return time_; }
     EventHandler *handler() const { return handler_; }
@@ -82,21 +101,30 @@ class FuncEvent : public Event, public EventHandler
 {
   public:
     /**
-     * @param name Profiler attribution label.
+     * @param name Pre-interned profiler attribution label. Callers on
+     *        the hot path intern once and reuse the ref.
      */
-    FuncEvent(VTime time, std::string name, std::function<void()> fn,
+    FuncEvent(VTime time, NameRef name, std::function<void()> fn,
               bool secondary = false)
-        : Event(time, this, secondary), name_(std::move(name)),
-          fn_(std::move(fn))
+        : Event(time, this, secondary), name_(name), fn_(std::move(fn))
+    {
+    }
+
+    /** Convenience: interns @p name per call (setup/test paths). */
+    FuncEvent(VTime time, const std::string &name,
+              std::function<void()> fn, bool secondary = false)
+        : FuncEvent(time, NameRef(name), std::move(fn), secondary)
     {
     }
 
     void handle(Event &) override { fn_(); }
 
-    std::string handlerName() const override { return name_; }
+    NameRef profName() const override { return name_; }
+
+    std::string handlerName() const override { return name_.str(); }
 
   private:
-    std::string name_;
+    NameRef name_;
     std::function<void()> fn_;
 };
 
@@ -111,6 +139,11 @@ class FuncEvent : public Event, public EventHandler
  * pay a per-event heap sift — and the whole co-timed cohort can be
  * popped at once, which is what the parallel engine executes between
  * step barriers.
+ *
+ * Drained buckets are recycled: the map node and the vectors' capacity
+ * survive in a small spare list instead of being freed, so a
+ * steady-state simulation (e.g. an event chain marching one timestamp
+ * at a time) allocates nothing per timestamp.
  *
  * Not internally synchronized: engines serialize access (the serial
  * engine with its run lock, the parallel engine by mutating the queue
@@ -168,16 +201,23 @@ class EventQueue
         bool live() const { return livePrimary() || liveSecondary(); }
     };
 
+    using BucketMap = std::unordered_map<VTime, Bucket>;
+
     /**
      * Bucket of the earliest live time, pruning drained heap entries;
      * nullptr when the queue is empty.
      */
     Bucket *frontBucket() const;
 
+    /** Caps the spare-node list (and the vector capacity it pins). */
+    static constexpr std::size_t kMaxSpareNodes = 64;
+
     // Mutable: peekTime() lazily prunes drained timestamps.
-    mutable std::unordered_map<VTime, Bucket> buckets_;
+    mutable BucketMap buckets_;
     /** Min-heap (std::greater) of live timestamps; may hold stale dups. */
     mutable std::vector<VTime> timesHeap_;
+    /** Drained map nodes kept for reuse (capacity preserved). */
+    mutable std::vector<BucketMap::node_type> spareNodes_;
     std::size_t size_ = 0;
 };
 

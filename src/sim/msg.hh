@@ -1,16 +1,26 @@
 /**
  * @file
  * Messages exchanged between component ports.
+ *
+ * Hot-path memory model (DESIGN.md §10): messages are pooled,
+ * intrusively refcounted, and tagged. Every `new` of a Msg subclass is
+ * served by the per-thread slab pool; `MsgPtr` is an intrusive pointer
+ * whose copy is a relaxed increment (no shared_ptr control block, no
+ * separate allocation); and downcasts go through a `MsgKind` tag compare
+ * instead of RTTI `dynamic_pointer_cast`.
  */
 
 #ifndef AKITA_SIM_MSG_HH
 #define AKITA_SIM_MSG_HH
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 
+#include "sim/pool.hh"
 #include "sim/time.hh"
 
 namespace akita
@@ -19,6 +29,32 @@ namespace sim
 {
 
 class Port;
+
+/**
+ * Registry of concrete message types, used by msgCast to downcast
+ * without RTTI. Every Msg subclass that participates in cross-kind
+ * dispatch declares `static constexpr MsgKind kKind = MsgKind::X;` and
+ * passes it to the Msg constructor. One tag per concrete type: tags are
+ * compared for exact equality, so kinds form a flat namespace, not a
+ * hierarchy.
+ */
+enum class MsgKind : std::uint8_t
+{
+    /** Untagged base messages (and test messages without a tag). */
+    Generic = 0,
+    // Memory hierarchy (src/mem).
+    MemReq,
+    MemRsp,
+    // GPU control plane (src/gpu).
+    LaunchKernel,
+    PartitionDone,
+    WgProgress,
+    MapWg,
+    WgDone,
+    // Reserved for tests and benchmarks.
+    TestA,
+    TestB,
+};
 
 /**
  * Base class for all messages.
@@ -33,13 +69,49 @@ class Msg
   public:
     Msg() : id_(nextId_.fetch_add(1, std::memory_order_relaxed)) {}
 
+    explicit Msg(MsgKind kind)
+        : id_(nextId_.fetch_add(1, std::memory_order_relaxed)),
+          kindTag_(kind)
+    {
+    }
+
     virtual ~Msg() = default;
+
+    /** Tag matched by msgCast when no subclass overrides it. */
+    static constexpr MsgKind kKind = MsgKind::Generic;
+
+    // All message allocations go through the per-thread slab pool.
+    // Class-scope operators cover every subclass (makeMsg below ends in
+    // a plain `new T`), and deletion through a base pointer resolves to
+    // these via the virtual destructor.
+    static void *operator new(std::size_t n) { return poolAlloc(n); }
+    static void operator delete(void *p) noexcept { poolFree(p); }
 
     /** Process-unique message id. */
     std::uint64_t id() const { return id_; }
 
+    /** Concrete-type tag; set once at construction. */
+    MsgKind kindTag() const { return kindTag_; }
+
     /** Short type label shown by the monitor. */
     virtual const char *kind() const { return "Msg"; }
+
+    // Intrusive refcount, managed by IntrusivePtr. Public methods so
+    // the pointer template needs no friendship into every subclass.
+    void
+    retain() const
+    {
+        refs_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    release() const
+    {
+        // acq_rel: the last release must observe every other thread's
+        // final writes to the message before the destructor runs.
+        if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            delete this;
+    }
 
     /** Sender port; set by Port::send. */
     Port *src = nullptr;
@@ -64,17 +136,169 @@ class Msg
 
   private:
     static std::atomic<std::uint64_t> nextId_;
+    mutable std::atomic<std::uint32_t> refs_{0};
     std::uint64_t id_;
+    MsgKind kindTag_ = MsgKind::Generic;
 };
 
-using MsgPtr = std::shared_ptr<Msg>;
-
-/** Downcast helper with null propagation. */
+/**
+ * Intrusive refcounted pointer to a Msg subclass.
+ *
+ * Copying costs one relaxed atomic increment against the count embedded
+ * in the message itself — no control block, no second allocation, no
+ * weak-count bookkeeping (the simulation never needs weak references).
+ * The last destruction (acq_rel decrement) deletes the message back to
+ * the pool.
+ */
 template <typename T>
-std::shared_ptr<T>
+class IntrusivePtr
+{
+  public:
+    using element_type = T;
+
+    constexpr IntrusivePtr() noexcept = default;
+    constexpr IntrusivePtr(std::nullptr_t) noexcept {}
+
+    explicit IntrusivePtr(T *p) noexcept : p_(p)
+    {
+        if (p_ != nullptr)
+            p_->retain();
+    }
+
+    IntrusivePtr(const IntrusivePtr &o) noexcept : p_(o.p_)
+    {
+        if (p_ != nullptr)
+            p_->retain();
+    }
+
+    IntrusivePtr(IntrusivePtr &&o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+    /** Derived-to-base conversion (MemReqPtr -> MsgPtr). */
+    template <typename U,
+              typename = std::enable_if_t<std::is_convertible_v<U *, T *>>>
+    IntrusivePtr(const IntrusivePtr<U> &o) noexcept : p_(o.get())
+    {
+        if (p_ != nullptr)
+            p_->retain();
+    }
+
+    template <typename U,
+              typename = std::enable_if_t<std::is_convertible_v<U *, T *>>>
+    IntrusivePtr(IntrusivePtr<U> &&o) noexcept : p_(o.detach())
+    {
+    }
+
+    ~IntrusivePtr()
+    {
+        if (p_ != nullptr)
+            p_->release();
+    }
+
+    IntrusivePtr &
+    operator=(const IntrusivePtr &o) noexcept
+    {
+        IntrusivePtr(o).swap(*this);
+        return *this;
+    }
+
+    IntrusivePtr &
+    operator=(IntrusivePtr &&o) noexcept
+    {
+        IntrusivePtr(std::move(o)).swap(*this);
+        return *this;
+    }
+
+    IntrusivePtr &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (p_ != nullptr) {
+            p_->release();
+            p_ = nullptr;
+        }
+    }
+
+    void
+    swap(IntrusivePtr &o) noexcept
+    {
+        T *t = p_;
+        p_ = o.p_;
+        o.p_ = t;
+    }
+
+    /** Releases ownership without touching the refcount. */
+    T *
+    detach() noexcept
+    {
+        T *t = p_;
+        p_ = nullptr;
+        return t;
+    }
+
+    /** Takes ownership of an already-retained pointer. */
+    static IntrusivePtr
+    adopt(T *p) noexcept
+    {
+        IntrusivePtr r;
+        r.p_ = p;
+        return r;
+    }
+
+    T *get() const noexcept { return p_; }
+    T &operator*() const noexcept { return *p_; }
+    T *operator->() const noexcept { return p_; }
+    explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  private:
+    T *p_ = nullptr;
+};
+
+template <typename T, typename U>
+bool
+operator==(const IntrusivePtr<T> &a, const IntrusivePtr<U> &b) noexcept
+{
+    return a.get() == b.get();
+}
+
+template <typename T>
+bool
+operator==(const IntrusivePtr<T> &a, std::nullptr_t) noexcept
+{
+    return a.get() == nullptr;
+}
+
+using MsgPtr = IntrusivePtr<Msg>;
+
+/** Allocates a message from the pool; the replacement for make_shared. */
+template <typename T, typename... Args>
+IntrusivePtr<T>
+makeMsg(Args &&...args)
+{
+    T *p = new T(std::forward<Args>(args)...);
+    p->retain();
+    return IntrusivePtr<T>::adopt(p);
+}
+
+/**
+ * Downcast helper with null propagation.
+ *
+ * RTTI-free: compares the message's kind tag against T::kKind. A cast
+ * to the wrong kind returns null, exactly like the old
+ * dynamic_pointer_cast.
+ */
+template <typename T>
+IntrusivePtr<T>
 msgCast(const MsgPtr &msg)
 {
-    return std::dynamic_pointer_cast<T>(msg);
+    if (msg == nullptr || msg->kindTag() != T::kKind)
+        return nullptr;
+    return IntrusivePtr<T>(static_cast<T *>(msg.get()));
 }
 
 } // namespace sim

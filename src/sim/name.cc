@@ -1,0 +1,89 @@
+#include "sim/name.hh"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+
+namespace akita
+{
+namespace sim
+{
+
+namespace
+{
+
+struct NameTable
+{
+    std::shared_mutex mu;
+    /** Deque: growth never moves existing strings. */
+    std::deque<std::string> names;
+    /** Views point into `names`, so keys stay valid as it grows. */
+    std::unordered_map<std::string_view, std::uint32_t> ids;
+
+    NameTable()
+    {
+        names.emplace_back("EventHandler");
+        ids.emplace(names.back(), 0);
+    }
+
+    std::uint32_t
+    intern(std::string_view s)
+    {
+        {
+            std::shared_lock<std::shared_mutex> lk(mu);
+            auto it = ids.find(s);
+            if (it != ids.end())
+                return it->second;
+        }
+        std::unique_lock<std::shared_mutex> lk(mu);
+        auto it = ids.find(s);
+        if (it != ids.end())
+            return it->second;
+        auto id = static_cast<std::uint32_t>(names.size());
+        names.emplace_back(s);
+        ids.emplace(names.back(), id);
+        return id;
+    }
+};
+
+NameTable &
+table()
+{
+    // Leaked: NameRefs held by static-storage objects must resolve
+    // during program teardown.
+    static NameTable *t = new NameTable;
+    return *t;
+}
+
+} // namespace
+
+NameRef::NameRef(const std::string &s) : id_(table().intern(s)) {}
+
+NameRef::NameRef(const char *s) : id_(table().intern(s)) {}
+
+const std::string &
+NameRef::str() const
+{
+    return internedName(id_);
+}
+
+const std::string &
+internedName(std::uint32_t id)
+{
+    NameTable &t = table();
+    std::shared_lock<std::shared_mutex> lk(t.mu);
+    return t.names[id];
+}
+
+std::uint32_t
+internedNameCount()
+{
+    NameTable &t = table();
+    std::shared_lock<std::shared_mutex> lk(t.mu);
+    return static_cast<std::uint32_t>(t.names.size());
+}
+
+} // namespace sim
+} // namespace akita

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Interned handler/profiler names.
+ *
+ * The profiler attributes event-handling time by handler name. Building
+ * that name per event (the old `name() + "::tick"` in handlerName())
+ * cost a heap allocation on every profiled event; interning turns the
+ * per-event cost into copying a 32-bit id. Components and FuncEvents
+ * intern their name once at construction and hand the id to the
+ * profiler on every dispatch.
+ *
+ * The table only ever grows (names are never removed), is guarded by a
+ * shared_mutex (lookups and str() take the shared side), and stores
+ * strings in a deque so references handed out by str() stay valid
+ * forever.
+ */
+
+#ifndef AKITA_SIM_NAME_HH
+#define AKITA_SIM_NAME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace akita
+{
+namespace sim
+{
+
+/**
+ * A handle to an interned name.
+ *
+ * Copying is free; equality is an integer compare. The
+ * default-constructed ref (id 0) names the generic "EventHandler".
+ */
+class NameRef
+{
+  public:
+    /** Refers to the generic "EventHandler" entry. */
+    constexpr NameRef() noexcept = default;
+
+    /** Interns @p s (explicit: interning takes a lock on first sight). */
+    explicit NameRef(const std::string &s);
+    explicit NameRef(const char *s);
+
+    std::uint32_t id() const { return id_; }
+
+    /** The interned string; the reference stays valid forever. */
+    const std::string &str() const;
+
+    bool operator==(const NameRef &) const = default;
+
+    /** Wraps an id previously obtained from id(). */
+    static NameRef
+    fromId(std::uint32_t id)
+    {
+        NameRef r;
+        r.id_ = id;
+        return r;
+    }
+
+  private:
+    std::uint32_t id_ = 0;
+};
+
+/** The interned string for @p id; valid forever. */
+const std::string &internedName(std::uint32_t id);
+
+/** Number of names interned so far (ids are 0..count-1). */
+std::uint32_t internedNameCount();
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_NAME_HH

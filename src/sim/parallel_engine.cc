@@ -169,7 +169,7 @@ ParallelEngine::executeEvent(Event &event)
 {
     invokeHook(hookPosBeforeEvent, &event);
     if (Profiler::instance().enabled()) {
-        ProfScope scope(event.handler()->handlerName());
+        ProfScope scope(event.handler()->profName());
         event.handler()->handle(event);
     } else {
         event.handler()->handle(event);

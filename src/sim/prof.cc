@@ -59,37 +59,12 @@ Profiler::reset()
     enabledSinceNs_ = nowNs();
 }
 
-std::uint32_t
-Profiler::internName(ThreadState &ts, const std::string &name)
-{
-    // Owner-thread cache: no lock on hit, which is the steady state.
-    auto cached = ts.nameCache.find(name);
-    if (cached != ts.nameCache.end())
-        return cached->second;
-
-    std::uint32_t id;
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        auto it = nameIds_.find(name);
-        if (it != nameIds_.end()) {
-            id = it->second;
-        } else {
-            id = static_cast<std::uint32_t>(names_.size());
-            names_.push_back(name);
-            nameIds_.emplace(name, id);
-        }
-    }
-    ts.nameCache.emplace(name, id);
-    return id;
-}
-
 void
-Profiler::enterScope(const std::string &name)
+Profiler::enterScope(NameRef name)
 {
     ThreadState &ts = threadState();
-    std::uint32_t id = internName(ts, name);
     std::lock_guard<std::mutex> lk(ts.mu);
-    ts.stack.push_back(Frame{id, nowNs(), 0});
+    ts.stack.push_back(Frame{name.id(), nowNs(), 0});
 }
 
 void
@@ -126,8 +101,9 @@ Profiler::snapshot(std::size_t top_n) const
     ProfSnapshot snap;
     snap.wallNs = nowNs() - enabledSinceNs_;
 
-    // Merge every thread's table.
-    std::vector<Agg> aggs(names_.size());
+    // Merge every thread's table. Ids index the global interned-name
+    // table; it only grows, so sizing to the current count is safe.
+    std::vector<Agg> aggs(internedNameCount());
     std::map<std::pair<std::uint32_t, std::uint32_t>, Agg> edgeAggs;
     for (const auto &state : states_) {
         std::lock_guard<std::mutex> slk(state->mu);
@@ -163,7 +139,7 @@ Profiler::snapshot(std::size_t top_n) const
 
     for (std::uint32_t id : ids) {
         ProfEntry e;
-        e.name = names_[id];
+        e.name = internedName(id);
         e.selfNs = aggs[id].selfNs;
         e.totalNs = aggs[id].totalNs;
         e.calls = aggs[id].calls;
@@ -173,8 +149,8 @@ Profiler::snapshot(std::size_t top_n) const
         if (!keep[kv.first.first] || !keep[kv.first.second])
             continue;
         ProfEdge edge;
-        edge.caller = names_[kv.first.first];
-        edge.callee = names_[kv.first.second];
+        edge.caller = internedName(kv.first.first);
+        edge.callee = internedName(kv.first.second);
         edge.totalNs = kv.second.totalNs;
         edge.calls = kv.second.calls;
         snap.edges.push_back(std::move(edge));

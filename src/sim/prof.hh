@@ -7,8 +7,12 @@
  * sampling profiler to embed, so we provide an instrumentation profiler
  * with the same output schema: per-function self time, total time, and
  * weighted call edges. The engine instruments event dispatch
- * automatically (keyed by handler name), and hot paths may add explicit
- * scopes.
+ * automatically (keyed by the handler's interned profName()), and hot
+ * paths may add explicit scopes.
+ *
+ * Names are the process-wide interned table (sim/name.hh): entering a
+ * scope with a NameRef costs no lookup at all, and the string overload
+ * (explicit scopes, tests) interns on entry.
  *
  * Collection is per-thread: each thread aggregates into its own table
  * (guarded by an uncontended per-thread mutex), and snapshot() merges
@@ -30,8 +34,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
+
+#include "sim/name.hh"
 
 namespace akita
 {
@@ -71,8 +76,8 @@ struct ProfSnapshot
  * Process-wide instrumentation profiler.
  *
  * Scope bookkeeping is thread-local (scope nesting never crosses
- * threads); name interning is global but cached per thread, so steady
- * state takes no global lock on the hot path.
+ * threads); names live in the global interned table, so the hot path
+ * takes no global lock and does no hashing.
  */
 class Profiler
 {
@@ -101,7 +106,16 @@ class Profiler
     ProfSnapshot snapshot(std::size_t top_n = 30) const;
 
     // Scope bookkeeping; use ProfScope rather than calling directly.
-    void enterScope(const std::string &name);
+    /** Fast path: the name is already interned. */
+    void enterScope(NameRef name);
+
+    /** Interns @p name, then enters (explicit scopes, tests). */
+    void
+    enterScope(const std::string &name)
+    {
+        enterScope(NameRef(name));
+    }
+
     void exitScope();
 
   private:
@@ -127,10 +141,8 @@ class Profiler
         /** Serializes the owner thread against snapshot()/reset(). */
         std::mutex mu;
         std::vector<Frame> stack;
-        std::vector<Agg> aggs; // Indexed by name id (sparse tail).
+        std::vector<Agg> aggs; // Indexed by interned name id.
         std::map<std::pair<std::uint32_t, std::uint32_t>, Agg> edges;
-        /** Owner-thread-only cache of the global name table. */
-        std::unordered_map<std::string, std::uint32_t> nameCache;
     };
 
     static std::uint64_t nowNs();
@@ -138,13 +150,9 @@ class Profiler
     /** This thread's state, registered on first use. */
     ThreadState &threadState();
 
-    std::uint32_t internName(ThreadState &ts, const std::string &name);
-
     std::atomic<bool> enabled_{false};
 
-    mutable std::mutex mu_; // Guards names_, nameIds_, states_.
-    std::vector<std::string> names_;
-    std::map<std::string, std::uint32_t> nameIds_;
+    mutable std::mutex mu_; // Guards states_.
     std::vector<std::shared_ptr<ThreadState>> states_;
     std::uint64_t enabledSinceNs_ = 0;
 };
@@ -157,6 +165,14 @@ class Profiler
 class ProfScope
 {
   public:
+    /** Hot path: pre-interned name, no lookup. */
+    explicit ProfScope(NameRef name)
+        : active_(Profiler::instance().enabled())
+    {
+        if (active_)
+            Profiler::instance().enterScope(name);
+    }
+
     explicit ProfScope(const std::string &name)
         : active_(Profiler::instance().enabled())
     {

@@ -13,7 +13,9 @@
 #include "sim/event.hh"
 #include "sim/hook.hh"
 #include "sim/msg.hh"
+#include "sim/name.hh"
 #include "sim/parallel_engine.hh"
+#include "sim/pool.hh"
 #include "sim/port.hh"
 #include "sim/prof.hh"
 #include "sim/time.hh"

@@ -36,7 +36,7 @@ class Requester : public sim::TickingComponent
     enqueue(std::uint64_t addr, bool is_write, sim::Port *dst,
             std::uint32_t size = 4)
     {
-        auto req = std::make_shared<mem::MemReq>(addr, size, is_write);
+        auto req = sim::makeMsg<mem::MemReq>(addr, size, is_write);
         req->dst = dst;
         pending_.push_back(req);
         return req->id();

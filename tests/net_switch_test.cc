@@ -33,7 +33,7 @@ class FabricRequester : public sim::TickingComponent
     enqueue(std::uint64_t addr, sim::Port *final_dst,
             sim::Port *first_hop)
     {
-        auto req = std::make_shared<mem::MemReq>(addr, 4, false);
+        auto req = sim::makeMsg<mem::MemReq>(addr, 4, false);
         req->finalDst = final_dst;
         req->dst = first_hop;
         pending_.push_back(req);

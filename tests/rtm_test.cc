@@ -154,11 +154,11 @@ TEST(BufferAnalyzerTest, RanksBySizeAndPercent)
     reg.add(&small);
     BufferAnalyzer analyzer(&reg);
 
-    auto msg = std::make_shared<sim::Msg>();
+    auto msg = sim::makeMsg<sim::Msg>();
     for (int i = 0; i < 4; i++)
-        big.port->buf().push(std::make_shared<sim::Msg>());
-    small.port->buf().push(std::make_shared<sim::Msg>());
-    small.port->buf().push(std::make_shared<sim::Msg>());
+        big.port->buf().push(sim::makeMsg<sim::Msg>());
+    small.port->buf().push(sim::makeMsg<sim::Msg>());
+    small.port->buf().push(sim::makeMsg<sim::Msg>());
 
     auto bySize = analyzer.snapshot(BufferSort::BySize);
     ASSERT_EQ(bySize.size(), 2u);
@@ -181,7 +181,7 @@ TEST(BufferAnalyzerTest, NonEmptyFiltersIdleBuffers)
     reg.add(&idle);
     reg.add(&busy);
     BufferAnalyzer analyzer(&reg);
-    busy.port->buf().push(std::make_shared<sim::Msg>());
+    busy.port->buf().push(sim::makeMsg<sim::Msg>());
 
     auto rows = analyzer.nonEmpty();
     ASSERT_EQ(rows.size(), 1u);
@@ -422,7 +422,7 @@ TEST(MonitorFacade, TrackValueByFieldAndBufferMetric)
     EXPECT_EQ(mon.trackValue("NoSuchComponent", "level"), 0u);
 
     d.level = 5;
-    d.port->buf().push(std::make_shared<sim::Msg>());
+    d.port->buf().push(sim::makeMsg<sim::Msg>());
     mon.sampleNow();
     auto series = mon.allValueSeries();
     ASSERT_EQ(series.size(), 2u);

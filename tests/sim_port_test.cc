@@ -18,7 +18,9 @@ namespace
 class TestMsg : public Msg
 {
   public:
-    explicit TestMsg(int v) : value(v) {}
+    static constexpr MsgKind kKind = MsgKind::TestA;
+
+    explicit TestMsg(int v) : Msg(kKind), value(v) {}
 
     const char *kind() const override { return "TestMsg"; }
 
@@ -28,7 +30,7 @@ class TestMsg : public Msg
 MsgPtr
 mkMsg(int v)
 {
-    return std::make_shared<TestMsg>(v);
+    return makeMsg<TestMsg>(v);
 }
 
 } // namespace
