@@ -46,6 +46,8 @@ main(int argc, char **argv)
 
     rtm::MonitorConfig mcfg;
     mcfg.hangThresholdSec = 2.0; // "last for a few seconds".
+    mcfg.recordPath = cfg.recordPath;
+    mcfg.recordSegmentBytes = cfg.recordSegmentBytes;
     rtm::Monitor monitor(mcfg);
     monitor.registerEngine(&platform.engine());
     monitor.registerComponents(platform.components());
@@ -88,6 +90,17 @@ main(int argc, char **argv)
                     row.capacity);
         shown++;
     }
+
+    // Run the analyzer while the hang signature still holds: kicking
+    // components below advances virtual time and resets the watchdog.
+    std::printf("\nautomated root cause (/api/v1/hang):\n");
+    rtm::HangReport report = monitor.hangReport();
+    std::printf("  verdict: %s\n  %s\n", report.verdict.c_str(),
+                report.summary.c_str());
+    for (const auto &e : report.cycleEdges)
+        std::printf("    %s waits on %s (via %s, %.0f%% full)\n",
+                    e.from.c_str(), e.to.c_str(), e.via.c_str(),
+                    e.fullness * 100.0);
 
     std::printf("\nkicking every component with the Tick control...\n");
     sim::VTime before = platform.engine().now();

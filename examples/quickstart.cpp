@@ -38,6 +38,8 @@ main(int argc, char **argv)
     rtm::MonitorConfig mcfg;
     const char *port = std::getenv("AKITA_PORT");
     mcfg.port = port ? static_cast<std::uint16_t>(std::atoi(port)) : 8080;
+    mcfg.recordPath = cfg.recordPath; // --record= / AKITA_RECORD
+    mcfg.recordSegmentBytes = cfg.recordSegmentBytes;
     rtm::Monitor monitor(mcfg);
     monitor.registerEngine(&platform.engine());
     monitor.registerComponents(platform.components());

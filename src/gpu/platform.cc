@@ -379,6 +379,13 @@ applyEngineEnv(PlatformConfig &cfg)
         applyEngineChoice(cfg, e);
     if (const char *w = std::getenv("AKITA_WORKERS"))
         cfg.workers = std::atoi(w);
+    if (const char *r = std::getenv("AKITA_RECORD"))
+        cfg.recordPath = r;
+    if (const char *b = std::getenv("AKITA_RECORD_BYTES")) {
+        long long v = std::atoll(b);
+        if (v > 0)
+            cfg.recordSegmentBytes = static_cast<std::size_t>(v);
+    }
 }
 
 void
@@ -391,6 +398,13 @@ applyEngineArgs(PlatformConfig &cfg, int argc, char **argv)
             applyEngineChoice(cfg, arg.substr(9));
         else if (arg.rfind("--workers=", 0) == 0)
             cfg.workers = std::atoi(arg.c_str() + 10);
+        else if (arg.rfind("--record=", 0) == 0)
+            cfg.recordPath = arg.substr(9);
+        else if (arg.rfind("--record-bytes=", 0) == 0) {
+            long long v = std::atoll(arg.c_str() + 15);
+            if (v > 0)
+                cfg.recordSegmentBytes = static_cast<std::size_t>(v);
+        }
     }
 }
 

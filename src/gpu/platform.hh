@@ -96,6 +96,15 @@ struct PlatformConfig
     /** Re-introduce the L2 write-buffer deadlock (case study 2). */
     bool legacyL2Deadlock = false;
 
+    /**
+     * Flight-recorder segment path (--record= / AKITA_RECORD); copied
+     * into MonitorConfig::recordPath by the example/bench harnesses.
+     * Empty disables recording.
+     */
+    std::string recordPath;
+    /** Segment size (--record-bytes= / AKITA_RECORD_BYTES). */
+    std::size_t recordSegmentBytes = 8 * 1024 * 1024;
+
     /** The paper's 4-chiplet MCM-GPU (each chiplet an R9 Nano). */
     static PlatformConfig mcm4(const GpuConfig &chip = GpuConfig::tiny());
 };
@@ -195,9 +204,13 @@ class Platform
  * Recognized argv flags (consumed semantically, not removed):
  *   --engine=serial|parallel
  *   --workers=N
+ *   --record=PATH          flight-recorder segment file
+ *   --record-bytes=N       segment size in bytes
  * Environment (lower precedence than flags):
  *   AKITA_ENGINE=serial|parallel
  *   AKITA_WORKERS=N
+ *   AKITA_RECORD=PATH
+ *   AKITA_RECORD_BYTES=N
  *
  * Lets every bench/example binary opt into the parallel engine with the
  * same switches.

@@ -310,5 +310,40 @@ L2Cache::admit()
     return progress;
 }
 
+std::vector<sim::StallInfo>
+L2Cache::stallInfo() const
+{
+    std::vector<sim::StallInfo> out;
+    const std::string &n = name();
+
+    // Storage holds an eviction it cannot hand to the write buffer.
+    if (pendingEvict_ != nullptr && !wbInBuf_.canPush()) {
+        out.push_back(sim::StallInfo{n + ".storage", n + ".writeBuffer",
+                                     wbInBuf_.name(),
+                                     wbInBuf_.fullness()});
+    }
+
+    // Legacy head-of-line blocking: a stuck fetched-data delivery also
+    // stops the write buffer's other stages — the reverse edge of the
+    // case-study-2 cycle. The fixed design keeps draining evictions
+    // when installBuf_ is full, so no wait edge exists there.
+    if (cfg_.legacyWriteBufferDeadlock && !wbFetchedBuf_.empty() &&
+        !installBuf_.canPush()) {
+        out.push_back(sim::StallInfo{n + ".writeBuffer", n + ".storage",
+                                     installBuf_.name(),
+                                     installBuf_.fullness()});
+    }
+
+    // Evictions queued but all DRAM write credits are in flight.
+    if (!wbInBuf_.empty() &&
+        dramWriteInflight_.size() >= cfg_.dramWriteInflightMax &&
+        downstream_ != nullptr) {
+        out.push_back(sim::StallInfo{n + ".writeBuffer",
+                                     downstream_->owner()->name(),
+                                     n + ".dramWriteInflight", 1.0});
+    }
+    return out;
+}
+
 } // namespace mem
 } // namespace akita

@@ -90,6 +90,14 @@ class L2Cache : public sim::TickingComponent
     /** True when local storage is stalled holding an eviction. */
     bool evictionStalled() const { return pendingEvict_ != nullptr; }
 
+    /**
+     * Reports the internal wait-for edges between the storage and
+     * write-buffer stages plus the DRAM write-credit wait, so the hang
+     * analyzer can resolve the case-study-2 loop to its actual
+     * buffers. Runs under the engine lock.
+     */
+    std::vector<sim::StallInfo> stallInfo() const override;
+
   private:
     struct PendingReq
     {

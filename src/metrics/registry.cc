@@ -271,7 +271,8 @@ MetricRegistry::recordPushed(std::uint64_t id, std::int64_t wall_ms,
 
 void
 MetricRegistry::samplePass(std::int64_t wall_ms, std::uint64_t sim_ps,
-                           const LockFn &with_lock)
+                           const LockFn &with_lock,
+                           std::vector<SampledValue> *sampled_out)
 {
     auto t0 = std::chrono::steady_clock::now();
     std::vector<InstrPtr> instrs = snapshotInstrs();
@@ -317,6 +318,21 @@ MetricRegistry::samplePass(std::int64_t wall_ms, std::uint64_t sim_ps,
         in->everSampled.store(true, std::memory_order_relaxed);
         if (in->series)
             in->series->record(wall_ms, sim_ps, kv.second);
+    }
+
+    // Tee the pass to the flight recorder before `values` is moved
+    // into the replay ring below.
+    if (sampled_out != nullptr) {
+        sampled_out->clear();
+        sampled_out->reserve(values.size());
+        for (const auto &kv : values) {
+            SampledValue sv;
+            sv.desc = &kv.first->desc;
+            sv.value = kv.second;
+            sv.wallMs = wall_ms;
+            sv.simPs = sim_ps;
+            sampled_out->push_back(sv);
+        }
     }
 
     auto t1 = std::chrono::steady_clock::now();
@@ -484,6 +500,43 @@ MetricRegistry::rawSeries(std::uint64_t id) const
     if (!in || !in->series)
         return {};
     return in->series->rawSnapshot();
+}
+
+std::int64_t
+MetricRegistry::oldestRawMs(const std::string &name,
+                            const Labels &filter) const
+{
+    std::int64_t oldest = INT64_MAX;
+    bool any = false;
+    for (const auto &in : snapshotInstrs()) {
+        if (in->desc.name != name || !in->series)
+            continue;
+        bool match = true;
+        for (const auto &want : filter) {
+            bool found = false;
+            for (const auto &have : in->desc.labels) {
+                if (have == want) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                match = false;
+                break;
+            }
+        }
+        if (!match)
+            continue;
+        std::vector<RawSample> raw = in->series->rawSnapshot();
+        if (raw.empty())
+            return INT64_MAX; // A matching series with no history yet.
+        any = true;
+        // The *latest* oldest across series: below it at least one
+        // matching series has already aged the range out of memory.
+        if (raw.front().wallMs > oldest || oldest == INT64_MAX)
+            oldest = raw.front().wallMs;
+    }
+    return any ? oldest : INT64_MAX;
 }
 
 std::vector<Desc>

@@ -137,9 +137,14 @@ class MetricRegistry
      * inside a single @p with_lock section), reads owned instruments,
      * and appends to each instrument's series. Called by the sampler
      * thread; never by the simulation thread.
+     *
+     * When @p sampled_out is non-null it receives every value sampled
+     * by this pass (the flight-recorder tee). The Desc pointers stay
+     * valid until the corresponding instrument is remove()d.
      */
     void samplePass(std::int64_t wall_ms, std::uint64_t sim_ps,
-                    const LockFn &with_lock = {});
+                    const LockFn &with_lock = {},
+                    std::vector<SampledValue> *sampled_out = nullptr);
 
     // ---- Serving ----
 
@@ -164,6 +169,16 @@ class MetricRegistry
 
     /** Raw ring of one instrument (empty when it keeps no series). */
     std::vector<RawSample> rawSeries(std::uint64_t id) const;
+
+    /**
+     * Oldest raw sample still held in memory across every instrument
+     * matching @p name/@p filter — the most conservative bound: a
+     * range query starting at or after this timestamp can be served
+     * entirely from memory. INT64_MAX when no matching series has raw
+     * history (the caller must fall through to the recorder segment).
+     */
+    std::int64_t oldestRawMs(const std::string &name,
+                             const Labels &filter) const;
 
     /** Every instrument's descriptor. */
     std::vector<Desc> list() const;

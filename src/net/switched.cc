@@ -119,5 +119,17 @@ SwitchedNetwork::notifyAvailable(sim::Port *dst)
         c->wake();
 }
 
+std::vector<sim::Connection::BlockedSender>
+SwitchedNetwork::blockedSnapshot() const
+{
+    std::vector<BlockedSender> out;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &kv : blockedSenders_) {
+        for (sim::Component *c : kv.second)
+            out.push_back(BlockedSender{kv.first, c});
+    }
+    return out;
+}
+
 } // namespace net
 } // namespace akita

@@ -63,6 +63,7 @@ class SwitchedNetwork : public sim::Connection,
     void plugIn(sim::Port *port) override;
     sim::SendStatus send(sim::MsgPtr msg) override;
     void notifyAvailable(sim::Port *dst) override;
+    std::vector<BlockedSender> blockedSnapshot() const override;
 
     /** Delivery: the engine hands back the DeliverEvents send() queued. */
     void handle(sim::Event &event) override;

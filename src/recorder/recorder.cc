@@ -1,0 +1,306 @@
+#include "recorder/recorder.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "json/writer.hh"
+
+namespace akita
+{
+namespace recorder
+{
+
+namespace
+{
+
+/** Max (id, value) pairs per MetricsPass chunk (~47 KB payload). */
+constexpr std::size_t kPassChunk = 4000;
+
+template <typename T>
+void
+appendLE(std::string &out, T v)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    out.append(buf, sizeof(T));
+}
+
+template <typename T>
+bool
+readLE(const std::uint8_t *&p, const std::uint8_t *end, T *out)
+{
+    if (static_cast<std::size_t>(end - p) < sizeof(T))
+        return false;
+    std::memcpy(out, p, sizeof(T));
+    p += sizeof(T);
+    return true;
+}
+
+bool
+labelsMatch(const metrics::Labels &labels, const metrics::Labels &filter)
+{
+    for (const auto &want : filter) {
+        bool found = false;
+        for (const auto &have : labels) {
+            if (have.first == want.first &&
+                have.second == want.second) {
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+decodeMetricsPass(const std::uint8_t *payload, std::size_t len,
+                  DecodedPass *out)
+{
+    const std::uint8_t *p = payload;
+    const std::uint8_t *end = payload + len;
+    std::uint32_t count = 0;
+    if (!readLE(p, end, &out->wallMs) || !readLE(p, end, &out->simPs) ||
+        !readLE(p, end, &count))
+        return false;
+    if (static_cast<std::size_t>(end - p) != count * 12u)
+        return false;
+    out->values.resize(count);
+    for (std::uint32_t i = 0; i < count; i++) {
+        if (!readLE(p, end, &out->values[i].id) ||
+            !readLE(p, end, &out->values[i].value))
+            return false;
+    }
+    return true;
+}
+
+std::unique_ptr<FlightRecorder>
+FlightRecorder::create(const Options &opts, std::string *err)
+{
+    auto writer = SegmentWriter::create(opts.path, opts.segmentBytes, err);
+    if (writer == nullptr)
+        return nullptr;
+
+    auto r = std::unique_ptr<FlightRecorder>(new FlightRecorder());
+    r->writer_ = std::move(writer);
+    r->scratch_.reserve(4096);
+    r->passScratch_.reserve(64 * 1024);
+
+    r->scratch_.clear();
+    {
+        json::Writer w(r->scratch_);
+        w.beginObject();
+        w.field("pid", static_cast<std::int64_t>(::getpid()));
+        w.field("segment_bytes",
+                static_cast<std::uint64_t>(r->writer_->segmentBytes()));
+        w.endObject();
+    }
+    r->writer_->append(RecordType::Meta, r->scratch_.data(),
+                       r->scratch_.size(), 0);
+    return r;
+}
+
+void
+FlightRecorder::appendDictLocked(std::uint32_t id,
+                                 const std::string &name,
+                                 const metrics::Labels &labels,
+                                 std::int64_t wall_ms)
+{
+    scratch_.clear();
+    json::Writer w(scratch_);
+    w.beginObject();
+    w.field("id", static_cast<std::uint64_t>(id));
+    w.field("name", name);
+    w.key("labels");
+    w.beginObject();
+    for (const auto &kv : labels)
+        w.field(kv.first, kv.second);
+    w.endObject();
+    w.endObject();
+    if (!writer_->append(RecordType::Dict, scratch_.data(),
+                         scratch_.size(), wall_ms))
+        droppedAppends_++;
+}
+
+std::uint32_t
+FlightRecorder::internLocked(const metrics::Desc *desc,
+                             std::int64_t wall_ms)
+{
+    auto it = ids_.find(desc);
+    if (it != ids_.end())
+        return it->second;
+    std::uint32_t id = nextId_++;
+    ids_.emplace(desc, id);
+    dict_.push_back(DictEntry{desc->name, desc->labels});
+    appendDictLocked(id, desc->name, desc->labels, wall_ms);
+    return id;
+}
+
+void
+FlightRecorder::reemitDictLocked(std::int64_t wall_ms)
+{
+    for (std::uint32_t id = 0; id < dict_.size(); id++)
+        appendDictLocked(id, dict_[id].name, dict_[id].labels, wall_ms);
+    lastDictCursor_ = writer_->cursor();
+}
+
+void
+FlightRecorder::recordMetricsPass(
+    std::int64_t wall_ms, std::uint64_t sim_ps,
+    const std::vector<metrics::SampledValue> &v)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+
+    // The ring overwrites old data: once the cursor has moved half a
+    // ring past the last dictionary emission, re-emit so every
+    // recoverable window can resolve the ids it contains.
+    if (writer_->cursor() - lastDictCursor_ >= writer_->dataBytes() / 2)
+        reemitDictLocked(wall_ms);
+
+    std::size_t i = 0;
+    while (i < v.size() || (i == 0 && v.empty())) {
+        std::size_t n = std::min(kPassChunk, v.size() - i);
+        passScratch_.clear();
+        appendLE(passScratch_, wall_ms);
+        appendLE(passScratch_, sim_ps);
+        appendLE(passScratch_, static_cast<std::uint32_t>(n));
+        for (std::size_t k = 0; k < n; k++) {
+            const metrics::SampledValue &sv = v[i + k];
+            appendLE(passScratch_, internLocked(sv.desc, wall_ms));
+            appendLE(passScratch_, sv.value);
+        }
+        if (!writer_->append(RecordType::MetricsPass,
+                             passScratch_.data(), passScratch_.size(),
+                             wall_ms))
+            droppedAppends_++;
+        i += n;
+        if (v.empty())
+            break;
+    }
+}
+
+void
+FlightRecorder::recordEvent(const char *kind, std::int64_t wall_ms,
+                            std::uint64_t sim_ps)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    scratch_.clear();
+    json::Writer w(scratch_);
+    w.beginObject();
+    w.field("kind", kind);
+    w.field("wall_ms", wall_ms);
+    w.field("sim_ps", sim_ps);
+    w.endObject();
+    if (!writer_->append(RecordType::EngineEvent, scratch_.data(),
+                         scratch_.size(), wall_ms))
+        droppedAppends_++;
+}
+
+void
+FlightRecorder::recordHangReport(const std::string &report_json,
+                                 std::int64_t wall_ms,
+                                 std::uint64_t sim_ps)
+{
+    (void)sim_ps; // The report body carries its own sim time.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!writer_->append(RecordType::HangReport, report_json.data(),
+                         report_json.size(), wall_ms))
+        droppedAppends_++;
+    // A hang report is the record most worth surviving a machine
+    // crash; make it durable immediately.
+    writer_->sync(/*durable=*/true);
+}
+
+void
+FlightRecorder::sync(bool durable)
+{
+    writer_->sync(durable);
+}
+
+std::vector<FlightRecorder::Series>
+FlightRecorder::query(const std::string &name,
+                      const metrics::Labels &filter,
+                      std::int64_t from_ms, std::int64_t to_ms) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+
+    // Which interned ids match the query? The in-memory dictionary is
+    // a superset of any dictionary state recoverable from the ring.
+    std::vector<std::int32_t> idToSeries(dict_.size(), -1);
+    std::vector<Series> out;
+    for (std::uint32_t id = 0; id < dict_.size(); id++) {
+        const DictEntry &e = dict_[id];
+        if (e.name != name || !labelsMatch(e.labels, filter))
+            continue;
+        idToSeries[id] = static_cast<std::int32_t>(out.size());
+        Series s;
+        s.name = e.name;
+        s.labels = e.labels;
+        out.push_back(std::move(s));
+    }
+    if (out.empty())
+        return out;
+
+    writer_->scan([&](const std::vector<RecordView> &window,
+                      const ScanStats &) {
+        DecodedPass pass;
+        for (const RecordView &rec : window) {
+            if (rec.type != RecordType::MetricsPass)
+                continue;
+            if (rec.wallMs < from_ms || rec.wallMs > to_ms)
+                continue;
+            if (!decodeMetricsPass(rec.payload, rec.payloadLen, &pass))
+                continue;
+            for (const PassValue &pv : pass.values) {
+                if (pv.id >= idToSeries.size() ||
+                    idToSeries[pv.id] < 0)
+                    continue;
+                Point p;
+                p.wallMs = pass.wallMs;
+                p.simPs = pass.simPs;
+                p.value = pv.value;
+                out[idToSeries[pv.id]].points.push_back(p);
+            }
+        }
+    });
+    return out;
+}
+
+FlightRecorder::Info
+FlightRecorder::info() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Info inf;
+    inf.path = writer_->path();
+    inf.segmentBytes = writer_->segmentBytes();
+    inf.dataBytes = writer_->dataBytes();
+    inf.cursor = writer_->cursor();
+    inf.nextSeq = writer_->nextSeq();
+    inf.dictEntries = dict_.size();
+    inf.droppedAppends = droppedAppends_;
+    writer_->scan([&](const std::vector<RecordView> &window,
+                      const ScanStats &) {
+        inf.windowRecords = window.size();
+        if (!window.empty()) {
+            inf.firstSeq = window.front().seq;
+            inf.lastSeq = window.back().seq;
+            inf.firstWallMs = window.front().wallMs;
+            inf.lastWallMs = window.back().wallMs;
+        }
+    });
+    return inf;
+}
+
+std::uint64_t
+FlightRecorder::generation() const
+{
+    return writer_->nextSeq();
+}
+
+} // namespace recorder
+} // namespace akita

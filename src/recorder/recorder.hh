@@ -1,0 +1,185 @@
+/**
+ * @file
+ * FlightRecorder: tees the live monitoring streams into a segment
+ * file.
+ *
+ * The recorder sits between the RTM monitor and a SegmentWriter. It
+ * owns the encoding of each record type:
+ *
+ *  - Dict: every metric series (name + labels) is interned to a small
+ *    integer id the first time it is sampled; the mapping is written
+ *    as a JSON Dict record. Because the ring overwrites old data, the
+ *    full dictionary is re-emitted every time the write cursor
+ *    advances half a ring past the previous emission — any recoverable
+ *    window therefore contains the ids it references.
+ *  - MetricsPass: one sampling pass, packed binary —
+ *    [i64 wallMs][u64 simPs][u32 count] then count × [u32 id][f64
+ *    value] (little-endian). Large passes are chunked.
+ *  - EngineEvent / HangReport: small JSON documents.
+ *
+ * Appends run only on the sampler and HTTP threads and are
+ * allocation-free in steady state (reused scratch buffers), matching
+ * the hot-path rules: the simulation thread never enters this code.
+ */
+
+#ifndef AKITA_RECORDER_RECORDER_HH
+#define AKITA_RECORDER_RECORDER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.hh"
+#include "recorder/segment.hh"
+
+namespace akita
+{
+namespace recorder
+{
+
+/** One decoded (id, value) pair of a MetricsPass record. */
+struct PassValue
+{
+    std::uint32_t id = 0;
+    double value = 0;
+};
+
+/** A decoded MetricsPass payload. */
+struct DecodedPass
+{
+    std::int64_t wallMs = 0;
+    std::uint64_t simPs = 0;
+    std::vector<PassValue> values;
+};
+
+/**
+ * Decodes a MetricsPass payload. @return False when the payload is
+ * malformed (wrong length for its declared count).
+ */
+bool decodeMetricsPass(const std::uint8_t *payload, std::size_t len,
+                       DecodedPass *out);
+
+/** Tees metrics passes, engine events, and hang reports to disk. */
+class FlightRecorder
+{
+  public:
+    struct Options
+    {
+        std::string path;
+        std::size_t segmentBytes = 8 * 1024 * 1024;
+    };
+
+    /** Creates the segment file. Returns nullptr + @p err on failure. */
+    static std::unique_ptr<FlightRecorder> create(const Options &opts,
+                                                  std::string *err);
+
+    /**
+     * Records one metrics sampling pass. Interns any series not yet in
+     * the dictionary (emitting Dict records first) and appends the
+     * packed pass, chunking when necessary.
+     */
+    void recordMetricsPass(std::int64_t wall_ms, std::uint64_t sim_ps,
+                           const std::vector<metrics::SampledValue> &v);
+
+    /** Records an engine/monitor lifecycle event (pause, resume, ...). */
+    void recordEvent(const char *kind, std::int64_t wall_ms,
+                     std::uint64_t sim_ps);
+
+    /** Records a serialized hang root-cause report (JSON body). */
+    void recordHangReport(const std::string &report_json,
+                          std::int64_t wall_ms, std::uint64_t sim_ps);
+
+    /** Flushes the mapping (durable = MS_SYNC). */
+    void sync(bool durable);
+
+    struct Point
+    {
+        std::int64_t wallMs = 0;
+        std::uint64_t simPs = 0;
+        double value = 0;
+    };
+
+    struct Series
+    {
+        std::string name;
+        metrics::Labels labels;
+        std::vector<Point> points;
+    };
+
+    /**
+     * Scans the live segment for series named @p name whose labels
+     * contain every pair in @p filter, restricted to [from_ms, to_ms].
+     * Runs under the append mutex; intended for the HTTP threads.
+     */
+    std::vector<Series> query(const std::string &name,
+                              const metrics::Labels &filter,
+                              std::int64_t from_ms,
+                              std::int64_t to_ms) const;
+
+    struct Info
+    {
+        std::string path;
+        std::uint64_t segmentBytes = 0;
+        std::uint64_t dataBytes = 0;
+        std::uint64_t cursor = 0;
+        std::uint64_t nextSeq = 0;
+        std::size_t windowRecords = 0;
+        std::uint64_t firstSeq = 0;
+        std::uint64_t lastSeq = 0;
+        std::int64_t firstWallMs = 0;
+        std::int64_t lastWallMs = 0;
+        std::size_t dictEntries = 0;
+        std::uint64_t droppedAppends = 0;
+    };
+
+    /** Current segment geometry + recoverable-window summary. */
+    Info info() const;
+
+    /**
+     * Monotonic generation for response caching: advances with every
+     * appended record.
+     */
+    std::uint64_t generation() const;
+
+    const std::string &path() const { return writer_->path(); }
+
+  private:
+    FlightRecorder() = default;
+
+    /** Interns @p desc, emitting a Dict record when new. mu_ held. */
+    std::uint32_t internLocked(const metrics::Desc *desc,
+                               std::int64_t wall_ms);
+
+    /** Re-emits the whole dictionary (ring aging). mu_ held. */
+    void reemitDictLocked(std::int64_t wall_ms);
+
+    /** Encodes one dictionary entry into scratch_ and appends it. */
+    void appendDictLocked(std::uint32_t id, const std::string &name,
+                          const metrics::Labels &labels,
+                          std::int64_t wall_ms);
+
+    std::unique_ptr<SegmentWriter> writer_;
+
+    mutable std::mutex mu_;
+    /** Sampled Desc pointers are stable until instrument removal. */
+    std::map<const metrics::Desc *, std::uint32_t> ids_;
+    struct DictEntry
+    {
+        std::string name;
+        metrics::Labels labels;
+    };
+    std::vector<DictEntry> dict_; ///< Indexed by id.
+    std::uint32_t nextId_ = 0;
+    std::uint64_t lastDictCursor_ = 0;
+    std::uint64_t droppedAppends_ = 0;
+    std::string scratch_;    ///< Reused JSON/binary encode buffer.
+    std::string passScratch_;///< Reused pass-chunk buffer.
+};
+
+} // namespace recorder
+} // namespace akita
+
+#endif // AKITA_RECORDER_RECORDER_HH

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The flight-recorder segment file: a bounded, mmap'd, crash-readable
+ * on-disk ring.
+ *
+ * RTM is live-only without this: kill the process and the black box
+ * goes dark. A segment is a fixed-size file the recorder appends
+ * framed records into, wrapping around when full. Every record carries
+ * its own CRCs and a monotonic sequence number, so a reader that opens
+ * the file after a SIGKILL — or while the writer is still running —
+ * can recover the valid window without trusting any in-memory state:
+ * it scans for record frames, drops anything whose CRC fails (the
+ * partially overwritten region around the write cursor), and keeps the
+ * maximal run of consecutive sequence numbers ending at the newest
+ * record.
+ *
+ * Layout (all integers little-endian, natural alignment):
+ *
+ *   [SegmentHeader, 64 bytes used, padded to 4096]
+ *   [data region: framed records, 8-byte aligned, wrapping ring]
+ *
+ * Record frame:
+ *
+ *   [RecordHeader, 40 bytes][payload, payloadLen bytes][pad to 8]
+ *
+ * The header CRC covers the frame header, the payload CRC the payload;
+ * a record is valid only when both match. Records never wrap across
+ * the data-region end: the writer emits a Pad record (which consumes a
+ * sequence number, keeping the window contiguous) to fill the tail,
+ * or zero-fills when fewer than 40 bytes remain.
+ *
+ * The header's write cursor (total bytes ever appended) is maintained
+ * for observability and fast "how much was written" answers, but the
+ * reader treats it as a hint only — recovery never depends on it
+ * because a crash can land between the record write and the cursor
+ * update.
+ */
+
+#ifndef AKITA_RECORDER_SEGMENT_HH
+#define AKITA_RECORDER_SEGMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace akita
+{
+namespace recorder
+{
+
+/** Record types (the `type` field of a record frame). */
+enum class RecordType : std::uint16_t
+{
+    /** Tail filler before a wrap; no payload semantics. */
+    Pad = 0,
+    /** Segment-level metadata, JSON payload (pid, creation time). */
+    Meta = 1,
+    /** Metric-series dictionary entry, JSON {id, name, labels}. */
+    Dict = 2,
+    /** One metrics sampling pass (or a chunk of one), binary. */
+    MetricsPass = 3,
+    /** Engine/monitor lifecycle event, JSON {kind, wall_ms, sim_ps}. */
+    EngineEvent = 4,
+    /** Hang root-cause report, JSON (serialized HangReport). */
+    HangReport = 5,
+};
+
+/** On-disk segment header. CRC covers bytes [0, 40). */
+struct SegmentHeader
+{
+    std::uint32_t magic = 0;       ///< 'AKTR'.
+    std::uint32_t version = 0;     ///< Format version (currently 1).
+    std::uint64_t segmentBytes = 0;///< Total file size.
+    std::uint64_t dataOffset = 0;  ///< Start of the record ring.
+    std::uint64_t dataBytes = 0;   ///< Ring size in bytes.
+    std::int64_t createdWallMs = 0;///< Wall clock at creation.
+    std::uint32_t headerCrc = 0;   ///< CRC32 of bytes [0, 40).
+    std::uint32_t pad0 = 0;
+    std::uint64_t writeCursor = 0; ///< Bytes ever appended (hint).
+    std::uint64_t reserved = 0;
+};
+static_assert(sizeof(SegmentHeader) == 64, "segment header layout");
+
+/** On-disk record frame header. CRC covers bytes [0, 32). */
+struct RecordHeader
+{
+    std::uint32_t magic = 0;      ///< Frame sync marker.
+    std::uint16_t type = 0;       ///< RecordType.
+    std::uint16_t flags = 0;      ///< Reserved (0).
+    std::uint32_t payloadLen = 0; ///< Payload bytes following.
+    std::uint32_t payloadCrc = 0; ///< CRC32 of the payload.
+    std::uint64_t seq = 0;        ///< Monotonic record sequence.
+    std::int64_t wallMs = 0;      ///< Wall clock at append.
+    std::uint32_t headerCrc = 0;  ///< CRC32 of bytes [0, 32).
+};
+static_assert(sizeof(RecordHeader) == 40, "record header layout");
+
+constexpr std::uint32_t kSegmentMagic = 0x52544B41; // "AKTR".
+constexpr std::uint32_t kSegmentVersion = 1;
+constexpr std::uint64_t kSegmentDataOffset = 4096;
+constexpr std::uint32_t kRecordMagic = 0xA17AFEED;
+
+/** CRC-32 (IEEE 802.3, the zlib polynomial), dependency-free. */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/** One recovered record, viewing memory owned by the scanner's map. */
+struct RecordView
+{
+    RecordType type = RecordType::Pad;
+    std::uint64_t seq = 0;
+    std::int64_t wallMs = 0;
+    const std::uint8_t *payload = nullptr;
+    std::uint32_t payloadLen = 0;
+    /** Byte offset of the frame inside the data region. */
+    std::uint64_t offset = 0;
+};
+
+/** Scan statistics (recovery diagnostics). */
+struct ScanStats
+{
+    /** CRC-valid frames found anywhere in the region. */
+    std::size_t framesFound = 0;
+    /** Valid frames outside the contiguous window (stale epoch). */
+    std::size_t staleDropped = 0;
+    /** Bytes skipped while hunting for a frame marker. */
+    std::uint64_t bytesSkipped = 0;
+};
+
+/**
+ * Scans @p len bytes of a segment data region and returns the
+ * recoverable window: every CRC-valid record within the maximal run of
+ * consecutive sequence numbers ending at the newest record, in
+ * sequence order. Pad records are used for continuity but are not
+ * returned.
+ */
+std::vector<RecordView> scanRegion(const std::uint8_t *data,
+                                   std::size_t len,
+                                   ScanStats *stats = nullptr);
+
+/**
+ * Appends framed records into a freshly created segment file.
+ *
+ * The append path is lock-light and allocation-free: one short mutex
+ * hold around two memcpys into the mapping plus the cursor update. All
+ * recorder producers (metrics sampler, HTTP control handlers) go
+ * through it; the simulation hot path never touches the writer.
+ */
+class SegmentWriter
+{
+  public:
+    /**
+     * Creates (truncating) @p path as a segment of @p segment_bytes
+     * and maps it. Returns nullptr and sets @p err on failure. The
+     * header is written and synced before any record, so a reader can
+     * always validate the geometry.
+     */
+    static std::unique_ptr<SegmentWriter> create(
+        const std::string &path, std::size_t segment_bytes,
+        std::string *err);
+
+    ~SegmentWriter();
+
+    SegmentWriter(const SegmentWriter &) = delete;
+    SegmentWriter &operator=(const SegmentWriter &) = delete;
+
+    /**
+     * Appends one record. @return False when the payload can never fit
+     * (larger than half the data region) — the record is dropped, the
+     * ring stays consistent.
+     */
+    bool append(RecordType type, const void *payload, std::size_t len,
+                std::int64_t wall_ms);
+
+    /**
+     * Flushes the mapping to disk. @p durable uses MS_SYNC (the
+     * "last fsync'd cursor" guarantee); otherwise MS_ASYNC. Note the
+     * crash-readability story does not depend on this: a SIGKILL keeps
+     * dirty mmap pages alive in the page cache, so only a machine
+     * crash can lose unsynced records.
+     */
+    void sync(bool durable);
+
+    /** Total bytes ever appended (monotonic; ring position = % dataBytes). */
+    std::uint64_t cursor() const;
+
+    /** Sequence number the next record will get (= records appended). */
+    std::uint64_t nextSeq() const;
+
+    const std::string &path() const { return path_; }
+    std::uint64_t dataBytes() const { return dataBytes_; }
+    std::uint64_t segmentBytes() const { return segmentBytes_; }
+
+    /**
+     * Runs @p fn over the current recoverable window under the append
+     * mutex (live range queries). The RecordViews are only valid
+     * inside @p fn.
+     */
+    void scan(const std::function<void(const std::vector<RecordView> &,
+                                       const ScanStats &)> &fn) const;
+
+  private:
+    SegmentWriter() = default;
+
+    void writeHeaderCursor();
+
+    std::string path_;
+    int fd_ = -1;
+    std::uint8_t *map_ = nullptr;
+    std::uint64_t segmentBytes_ = 0;
+    std::uint64_t dataBytes_ = 0;
+
+    mutable std::mutex mu_;
+    std::uint64_t cursor_ = 0; ///< Bytes ever appended.
+    std::uint64_t seq_ = 0;    ///< Next record sequence number.
+};
+
+/**
+ * Opens a segment file post-mortem (read-only mmap) and recovers the
+ * valid record window. Tolerates a file truncated or garbled mid-record
+ * by a crash: recovery keeps every record up to the last valid CRC.
+ */
+class SegmentReader
+{
+  public:
+    /** Returns nullptr and sets @p err on open/validation failure. */
+    static std::unique_ptr<SegmentReader> open(const std::string &path,
+                                               std::string *err);
+
+    ~SegmentReader();
+
+    SegmentReader(const SegmentReader &) = delete;
+    SegmentReader &operator=(const SegmentReader &) = delete;
+
+    const SegmentHeader &header() const { return header_; }
+
+    /** Recovered records, sequence order. Valid while the reader lives. */
+    const std::vector<RecordView> &records() const { return records_; }
+
+    const ScanStats &stats() const { return stats_; }
+
+    /** First/last wall-clock ms in the window (0 when empty). */
+    std::int64_t firstWallMs() const;
+    std::int64_t lastWallMs() const;
+
+  private:
+    SegmentReader() = default;
+
+    SegmentHeader header_;
+    std::uint8_t *map_ = nullptr;
+    std::size_t mapLen_ = 0;
+    std::vector<RecordView> records_;
+    ScanStats stats_;
+};
+
+} // namespace recorder
+} // namespace akita
+
+#endif // AKITA_RECORDER_SEGMENT_HH

@@ -1,7 +1,10 @@
 #include "rtm/api.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <limits>
 
 #include "rtm/monitor.hh"
 #include "rtm/serialize.hh"
@@ -19,6 +22,14 @@ web::Response
 jsonResponse(const json::Json &j)
 {
     return web::Response::json(j.dump());
+}
+
+std::int64_t
+wallNowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
 }
 
 /**
@@ -494,6 +505,154 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
                 return true;
             };
             return s;
+        });
+
+    server.route("GET", "/api/v1/hang", [m](const web::Request &req) {
+        // Staleness here is a correctness issue, not a performance
+        // knob: during a deadlock the engine event count freezes, so a
+        // generation keyed on it alone would pin a pre-hang "not
+        // hanging" body in the cache forever. Folding wall time in at
+        // the TTL-floor cadence forces a rebuild at least that often
+        // while frozen; x-akita-no-cache (handled by cachedResponse)
+        // bypasses even that window.
+        std::uint64_t ttl =
+            std::max<std::uint64_t>(1, m->config().hangTtlFloorMs);
+        std::uint64_t gen =
+            m->buffersGeneration() +
+            static_cast<std::uint64_t>(wallNowMs()) / ttl;
+        return cachedResponse(
+            m, req, gen, "application/json", ttl, [m]() {
+                std::string body;
+                writeHangReport(body, m->hangReport());
+                return body;
+            });
+    });
+
+    server.route(
+        "GET", "/api/v1/recorder/info", [m](const web::Request &req) {
+            if (m->recorder() == nullptr)
+                return web::Response::error(
+                    404, "flight recorder disabled (set --record=)");
+            return cachedResponse(
+                m, req, m->recorderGeneration(), "application/json",
+                m->config().recorderTtlFloorMs, [m]() {
+                    recorder::FlightRecorder::Info inf =
+                        m->recorder()->info();
+                    std::string body;
+                    json::Writer w(body);
+                    w.beginObject();
+                    w.field("path", inf.path);
+                    w.field("segment_bytes", inf.segmentBytes);
+                    w.field("data_bytes", inf.dataBytes);
+                    w.field("cursor", inf.cursor);
+                    w.field("next_seq", inf.nextSeq);
+                    w.field("window_records",
+                            static_cast<std::uint64_t>(
+                                inf.windowRecords));
+                    w.field("first_seq", inf.firstSeq);
+                    w.field("last_seq", inf.lastSeq);
+                    w.field("first_wall_ms", inf.firstWallMs);
+                    w.field("last_wall_ms", inf.lastWallMs);
+                    w.field("dict_entries",
+                            static_cast<std::uint64_t>(
+                                inf.dictEntries));
+                    w.field("dropped_appends", inf.droppedAppends);
+                    w.endObject();
+                    return body;
+                });
+        });
+
+    server.route(
+        "GET", "/api/v1/recorder/range", [m](const web::Request &req) {
+            if (m->recorder() == nullptr)
+                return web::Response::error(
+                    404, "flight recorder disabled (set --record=)");
+            std::string name = req.queryParam("name");
+            if (name.empty())
+                return web::Response::error(400, "missing ?name=");
+            std::int64_t from = req.queryInt("from", 0);
+            std::int64_t to = req.queryInt(
+                "to", std::numeric_limits<std::int64_t>::max());
+            std::int64_t step = req.queryInt("step", 0);
+            metrics::Labels filter;
+            for (const char *key :
+                 {"component", "port", "buffer", "field"}) {
+                std::string v = req.queryParam(key);
+                if (!v.empty())
+                    filter.emplace_back(key, v);
+            }
+            // Either store may refresh the answer, so fold both
+            // generations into the cache stamp.
+            std::uint64_t gen =
+                m->metricsGeneration() + m->recorderGeneration();
+            return cachedResponse(
+                m, req, gen, "application/json",
+                m->config().recorderTtlFloorMs,
+                [m, name, filter, from, to, step]() {
+                    std::string body;
+                    json::Writer w(body);
+                    // Memory first: the in-process raw rings are
+                    // cheaper and fresher than a segment scan. Only
+                    // when the range starts before everything memory
+                    // still holds does the query fall through to disk.
+                    std::int64_t oldest =
+                        m->metrics().oldestRawMs(name, filter);
+                    if (from >= oldest) {
+                        auto series = m->metrics().query(
+                            name, filter, from, to,
+                            step > 0 ? step : 1);
+                        w.beginObject();
+                        w.field("source", "memory");
+                        w.key("series").beginArray();
+                        for (const auto &qs : series) {
+                            w.beginObject();
+                            w.field("name", qs.desc.name);
+                            w.key("labels").beginObject();
+                            for (const auto &kv : qs.desc.labels)
+                                w.field(kv.first, kv.second);
+                            w.endObject();
+                            w.key("points").beginArray();
+                            for (const auto &b : qs.points) {
+                                w.beginObject();
+                                w.field("t_ms", b.startMs);
+                                w.field("sim_ps", b.lastSimPs);
+                                w.field("value", b.last);
+                                w.endObject();
+                            }
+                            w.endArray();
+                            w.endObject();
+                        }
+                        w.endArray();
+                        w.endObject();
+                        return body;
+                    }
+                    auto series = m->recorder()->query(name, filter,
+                                                       from, to);
+                    w.beginObject();
+                    w.field("source", "segment");
+                    w.key("series").beginArray();
+                    for (const auto &s : series) {
+                        w.beginObject();
+                        w.field("name", s.name);
+                        w.key("labels").beginObject();
+                        for (const auto &kv : s.labels)
+                            w.field(kv.first, kv.second);
+                        w.endObject();
+                        w.key("points").beginArray();
+                        for (const auto &p : s.points) {
+                            w.beginObject();
+                            w.field("t_ms", p.wallMs);
+                            w.field("sim_ps", p.simPs);
+                            w.field("value", p.value);
+                            w.endObject();
+                        }
+                        w.endArray();
+                        w.endObject();
+                    }
+                    w.endArray();
+                    w.endObject();
+                    return body;
+                });
         });
 }
 

@@ -37,6 +37,22 @@ Monitor::Monitor(const MonitorConfig &cfg)
 {
     analyzer_ = std::make_unique<BufferAnalyzer>(&registry_);
     throughput_ = std::make_unique<ThroughputTracker>(&registry_);
+    if (!cfg_.recordPath.empty()) {
+        recorder::FlightRecorder::Options opts;
+        opts.path = cfg_.recordPath;
+        opts.segmentBytes = cfg_.recordSegmentBytes;
+        std::string err;
+        recorder_ = recorder::FlightRecorder::create(opts, &err);
+        if (recorder_ == nullptr) {
+            // Recording is an observability aid; a bad path must not
+            // take the simulation down with it.
+            std::fprintf(stderr,
+                         "AkitaRTM: flight recorder disabled: %s\n",
+                         err.c_str());
+        } else {
+            recorder_->recordEvent("monitor_start", nowWallMs(), 0);
+        }
+    }
     if (cfg_.metricsEnabled) {
         values_.attachStore(&metrics_);
         metrics_.setReplayCapacity(cfg_.sseReplayPasses);
@@ -87,6 +103,14 @@ Monitor::~Monitor()
         if (sampler_.joinable())
             sampler_.join();
     }
+    if (engine_ != nullptr)
+        engine_->setStateObserver(nullptr);
+    if (recorder_ != nullptr) {
+        recorder_->recordEvent(
+            "monitor_stop", nowWallMs(),
+            engine_ != nullptr ? engine_->now() : 0);
+        recorder_->sync(/*durable=*/true);
+    }
 }
 
 void
@@ -97,6 +121,15 @@ Monitor::registerEngine(sim::Engine *engine)
     engine_->setWaitWhenEmpty(true);
     hangWatch_ = std::make_unique<HangWatch>(engine_,
                                              cfg_.hangThresholdSec);
+    if (recorder_ != nullptr) {
+        // Lifecycle transitions only — never per event — so the tee
+        // costs the PR 5 allocation-free event loop nothing.
+        recorder::FlightRecorder *rec = recorder_.get();
+        sim::Engine *e = engine_;
+        engine_->setStateObserver([rec, e](const char *kind) {
+            rec->recordEvent(kind, nowWallMs(), e->now());
+        });
+    }
     // The engine itself is inspectable but is not a Component; its
     // fields are exposed through the status endpoint instead.
     if (cfg_.metricsEnabled) {
@@ -165,6 +198,52 @@ Monitor::instrumentEngine()
         d.type = metrics::Type::Gauge;
         metrics_.addCallback(std::move(d), [e]() {
             return e->paused() ? 1.0 : 0.0;
+        });
+    }
+
+    // Hang watchdog exposure (task T3 over /metrics): an alerting
+    // stack can page on akita_rtm_hang_suspected without polling the
+    // JSON API. check() takes only the watch's own mutex.
+    {
+        metrics::Desc d;
+        d.name = "akita_rtm_hang_suspected";
+        d.help = "1 while the hang signature holds (time frozen).";
+        d.type = metrics::Type::Gauge;
+        d.series = metrics::SeriesMode::Full;
+        HangWatch *hw = hangWatch_.get();
+        metrics_.addCallback(std::move(d), [hw]() {
+            return hw->check().hanging ? 1.0 : 0.0;
+        });
+    }
+    {
+        metrics::Desc d;
+        d.name = "akita_rtm_hang_frozen_seconds";
+        d.help = "Wall seconds since virtual time last advanced.";
+        d.type = metrics::Type::Gauge;
+        HangWatch *hw = hangWatch_.get();
+        metrics_.addCallback(std::move(d), [hw]() {
+            return hw->check().frozenForSec;
+        });
+    }
+    {
+        metrics::Desc d;
+        d.name = "akita_rtm_hang_cycle_len";
+        d.help = "Nodes in the last analyzed wait-for cycle "
+                 "(0 = none found).";
+        d.type = metrics::Type::Gauge;
+        metrics_.addCallback(std::move(d), [this]() {
+            return static_cast<double>(
+                lastCycleLen_.load(std::memory_order_relaxed));
+        });
+    }
+    if (recorder_ != nullptr) {
+        metrics::Desc d;
+        d.name = "akita_rtm_recorder_records_total";
+        d.help = "Records appended to the flight-recorder segment.";
+        d.type = metrics::Type::Counter;
+        recorder::FlightRecorder *rec = recorder_.get();
+        metrics_.addCallback(std::move(d), [rec]() {
+            return static_cast<double>(rec->generation());
         });
     }
 
@@ -526,6 +605,36 @@ Monitor::status()
     return obj;
 }
 
+HangReport
+Monitor::hangReport()
+{
+    HangStatus st =
+        hangWatch_ != nullptr ? hangWatch_->check() : HangStatus{};
+    HangReport rep;
+    rep.status = st;
+    if (!st.hanging) {
+        lastCycleLen_.store(0, std::memory_order_relaxed);
+        // A resolved hang re-arms the one-report-per-episode latch.
+        hangRecorded_.store(false, std::memory_order_relaxed);
+        return rep;
+    }
+
+    HangAnalyzer analyzer(&registry_, &connections_);
+    // The graph walk reads buffer occupancies and blocked-sender
+    // tables; take the engine lock so the snapshot is consistent. A
+    // hung engine is drained or frozen, so the hold is uncontended.
+    withEngineLock([&]() { rep = analyzer.analyze(st); });
+    lastCycleLen_.store(rep.cycle.size(), std::memory_order_relaxed);
+
+    if (recorder_ != nullptr &&
+        !hangRecorded_.exchange(true, std::memory_order_acq_rel)) {
+        std::string body;
+        writeHangReport(body, rep);
+        recorder_->recordHangReport(body, nowWallMs(), st.simTime);
+    }
+    return rep;
+}
+
 std::vector<PortThroughput>
 Monitor::portThroughput(const std::string &component_name,
                         const std::string &client)
@@ -620,9 +729,21 @@ Monitor::sampleNow()
 void
 Monitor::metricsSamplePass()
 {
-    metrics_.samplePass(
-        nowWallMs(), engine_ != nullptr ? engine_->now() : 0,
-        [this](const std::function<void()> &fn) { withEngineLock(fn); });
+    std::int64_t wallMs = nowWallMs();
+    std::uint64_t simPs = engine_ != nullptr ? engine_->now() : 0;
+    auto withLock = [this](const std::function<void()> &fn) {
+        withEngineLock(fn);
+    };
+    if (recorder_ == nullptr) {
+        metrics_.samplePass(wallMs, simPs, withLock);
+        return;
+    }
+    // Tee the pass into the flight recorder through a reused scratch
+    // vector (the sampler normally owns this path; the mutex only
+    // matters for harnesses driving metricsSamplePass directly).
+    std::lock_guard<std::mutex> lk(teeMu_);
+    metrics_.samplePass(wallMs, simPs, withLock, &sampledScratch_);
+    recorder_->recordMetricsPass(wallMs, simPs, sampledScratch_);
 }
 
 void

@@ -31,6 +31,7 @@
 #include "gpu/progress.hh"
 #include "json/json.hh"
 #include "metrics/registry.hh"
+#include "recorder/recorder.hh"
 #include "rtm/bufferanalyzer.hh"
 #include "rtm/hang.hh"
 #include "rtm/progressbar.hh"
@@ -39,6 +40,7 @@
 #include "rtm/respcache.hh"
 #include "rtm/throughput.hh"
 #include "rtm/valuemonitor.hh"
+#include "rtm/waitfor.hh"
 #include "sim/engine.hh"
 #include "sim/prof.hh"
 #include "web/server.hh"
@@ -111,6 +113,27 @@ struct MonitorConfig
      * reconnect then restarts from the latest pass).
      */
     std::size_t sseReplayPasses = 32;
+
+    /**
+     * Flight-recorder segment path (--record=). Empty disables the
+     * recorder. When set, every metrics sampling pass, engine
+     * lifecycle event, and hang report is teed into a crash-readable
+     * on-disk ring that `akita-inspect replay` can open post-mortem —
+     * including after SIGKILL.
+     */
+    std::string recordPath;
+    /** Segment file size; bounds disk use, older records wrap away. */
+    std::size_t recordSegmentBytes = 8 * 1024 * 1024;
+    /**
+     * Cache TTL floor (ms) for /api/v1/hang. The hang verdict's
+     * freshness cannot key on the engine event count alone — during a
+     * deadlock that count freezes, and a pre-hang "not hanging" body
+     * would be served forever. The endpoint's generation therefore
+     * also advances once per this many wall milliseconds.
+     */
+    std::uint64_t hangTtlFloorMs = 100;
+    /** Cache TTL floor (ms) for the /api/v1/recorder endpoints. */
+    std::uint64_t recorderTtlFloorMs = 200;
 };
 
 /**
@@ -245,6 +268,16 @@ class Monitor : public gpu::KernelProgressListener
     /** Hang-watch status (task T3). */
     HangStatus hangStatus() { return hangWatch_->check(); }
 
+    /**
+     * Hang status plus automated root-cause analysis: when the watch
+     * reports a hang, builds the wait-for graph under the engine lock
+     * and names the deadlock cycle or stalled sink (task T3 upgraded
+     * from "progress bars stopped" to "L2↔DRAM loop via buffer X").
+     * The first report of a hang episode is teed to the flight
+     * recorder and made durable.
+     */
+    HangReport hangReport();
+
     // ---- Profiling (task T4) ----
 
     void startProfiling() { sim::Profiler::instance().setEnabled(true); }
@@ -335,6 +368,21 @@ class Monitor : public gpu::KernelProgressListener
         return metrics_.generation();
     }
 
+    // ---- Flight recorder ----
+
+    /** The flight recorder; nullptr when recordPath is empty. */
+    recorder::FlightRecorder *recorder() const
+    {
+        return recorder_.get();
+    }
+
+    /** Generation of recorder views (advances per appended record). */
+    std::uint64_t
+    recorderGeneration() const
+    {
+        return recorder_ ? recorder_->generation() : 0;
+    }
+
     // ---- Web server ----
 
     /** Starts the dashboard server; returns false on bind failure. */
@@ -390,6 +438,15 @@ class Monitor : public gpu::KernelProgressListener
     std::unique_ptr<BufferAnalyzer> analyzer_;
     std::unique_ptr<ThroughputTracker> throughput_;
     std::unique_ptr<HangWatch> hangWatch_;
+
+    std::unique_ptr<recorder::FlightRecorder> recorder_;
+    /** Guards sampledScratch_ (the samplePass → recorder tee buffer). */
+    std::mutex teeMu_;
+    std::vector<metrics::SampledValue> sampledScratch_;
+    /** Length of the last analyzed wait cycle (hang gauge). */
+    std::atomic<std::size_t> lastCycleLen_{0};
+    /** One hang report per episode goes to the recorder. */
+    std::atomic<bool> hangRecorded_{false};
 
     std::unique_ptr<web::HttpServer> server_;
     std::atomic<web::HttpServer *> serverRaw_{nullptr};

@@ -1,0 +1,384 @@
+#include "rtm/waitfor.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "json/writer.hh"
+#include "sim/port.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+namespace
+{
+
+/** The wait-for graph in index form, built from named edges. */
+struct Graph
+{
+    std::vector<std::string> names;
+    std::map<std::string, int> index;
+    std::vector<std::vector<int>> out;   ///< Adjacency.
+    std::vector<std::vector<int>> in;    ///< Reverse adjacency.
+    /** edgeIdx[u][k] = index into the WaitEdge list for out[u][k]. */
+    std::vector<std::vector<int>> edgeIdx;
+
+    int
+    node(const std::string &name)
+    {
+        auto it = index.find(name);
+        if (it != index.end())
+            return it->second;
+        int id = static_cast<int>(names.size());
+        index.emplace(name, id);
+        names.push_back(name);
+        out.emplace_back();
+        in.emplace_back();
+        edgeIdx.emplace_back();
+        return id;
+    }
+
+    void
+    addEdge(int from, int to, int edge_list_idx)
+    {
+        out[from].push_back(to);
+        edgeIdx[from].push_back(edge_list_idx);
+        in[to].push_back(from);
+    }
+};
+
+/** Tarjan's strongly-connected components, iterative. */
+class Tarjan
+{
+  public:
+    explicit Tarjan(const Graph &g) : g_(g)
+    {
+        int n = static_cast<int>(g.names.size());
+        idx_.assign(n, -1);
+        low_.assign(n, 0);
+        onStack_.assign(n, false);
+        for (int v = 0; v < n; v++) {
+            if (idx_[v] < 0)
+                strongConnect(v);
+        }
+    }
+
+    const std::vector<std::vector<int>> &sccs() const { return sccs_; }
+
+  private:
+    void
+    strongConnect(int root)
+    {
+        struct Frame
+        {
+            int v;
+            std::size_t child = 0;
+        };
+        std::vector<Frame> work;
+        work.push_back(Frame{root});
+        while (!work.empty()) {
+            Frame &f = work.back();
+            int v = f.v;
+            if (f.child == 0) {
+                idx_[v] = low_[v] = counter_++;
+                stack_.push_back(v);
+                onStack_[v] = true;
+            }
+            bool descended = false;
+            while (f.child < g_.out[v].size()) {
+                int w = g_.out[v][f.child++];
+                if (idx_[w] < 0) {
+                    work.push_back(Frame{w});
+                    descended = true;
+                    break;
+                }
+                if (onStack_[w])
+                    low_[v] = std::min(low_[v], idx_[w]);
+            }
+            if (descended)
+                continue;
+            if (low_[v] == idx_[v]) {
+                std::vector<int> scc;
+                int w;
+                do {
+                    w = stack_.back();
+                    stack_.pop_back();
+                    onStack_[w] = false;
+                    scc.push_back(w);
+                } while (w != v);
+                sccs_.push_back(std::move(scc));
+            }
+            work.pop_back();
+            if (!work.empty()) {
+                int parent = work.back().v;
+                low_[parent] = std::min(low_[parent], low_[v]);
+            }
+        }
+    }
+
+    const Graph &g_;
+    std::vector<int> idx_, low_;
+    std::vector<bool> onStack_;
+    std::vector<int> stack_;
+    std::vector<std::vector<int>> sccs_;
+    int counter_ = 0;
+};
+
+/** Nodes that can reach any node in @p targets (excluding targets). */
+std::vector<std::string>
+upstreamOf(const Graph &g, const std::set<int> &targets)
+{
+    std::vector<bool> seen(g.names.size(), false);
+    std::vector<int> work(targets.begin(), targets.end());
+    for (int t : work)
+        seen[t] = true;
+    while (!work.empty()) {
+        int v = work.back();
+        work.pop_back();
+        for (int u : g.in[v]) {
+            if (!seen[u]) {
+                seen[u] = true;
+                work.push_back(u);
+            }
+        }
+    }
+    std::vector<std::string> out;
+    for (std::size_t v = 0; v < seen.size(); v++) {
+        if (seen[v] && targets.count(static_cast<int>(v)) == 0)
+            out.push_back(g.names[v]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace
+
+HangReport
+HangAnalyzer::analyze(const HangStatus &status) const
+{
+    HangReport rep;
+    rep.status = status;
+    if (!status.hanging) {
+        rep.verdict = "ok";
+        return rep;
+    }
+
+    // 1 + 2: collect wait edges from self-reports and blocked senders.
+    std::set<std::string> subUnits;
+    auto addEdge = [&](WaitEdge e) {
+        for (const WaitEdge &have : rep.edges) {
+            if (have.from == e.from && have.to == e.to &&
+                have.via == e.via)
+                return;
+        }
+        rep.edges.push_back(std::move(e));
+    };
+    if (components_ != nullptr) {
+        for (sim::Component *c : components_->all()) {
+            for (const sim::StallInfo &si : c->stallInfo()) {
+                if (si.waiter.rfind(c->name() + ".", 0) == 0)
+                    subUnits.insert(si.waiter);
+                if (si.waitee.rfind(c->name() + ".", 0) == 0)
+                    subUnits.insert(si.waitee);
+                addEdge(WaitEdge{si.waiter, si.waitee, si.via,
+                                 si.fullness});
+            }
+        }
+    }
+    if (connections_ != nullptr) {
+        for (sim::Connection *conn : *connections_) {
+            for (const sim::Connection::BlockedSender &bs :
+                 conn->blockedSnapshot()) {
+                if (bs.sender == nullptr || bs.dst == nullptr ||
+                    bs.dst->owner() == nullptr)
+                    continue;
+                addEdge(WaitEdge{bs.sender->name(),
+                                 bs.dst->owner()->name(),
+                                 bs.dst->buf().name(),
+                                 bs.dst->buf().fullness()});
+            }
+        }
+    }
+
+    if (rep.edges.empty()) {
+        rep.verdict = "no-waits";
+        rep.summary =
+            "simulation frozen with no backpressure edges: every "
+            "component is asleep with its buffers drained (lost "
+            "wakeup), not a buffer deadlock";
+        return rep;
+    }
+
+    // 3: aggregation edges comp -> comp.sub only (the reverse would
+    // turn any single stalled sub-unit into a fake two-node cycle).
+    Graph g;
+    for (const WaitEdge &e : rep.edges) {
+        g.node(e.from);
+        g.node(e.to);
+    }
+    for (const std::string &sub : subUnits) {
+        std::string owner = sub.substr(0, sub.rfind('.'));
+        if (g.index.count(owner) != 0 || components_->find(owner)) {
+            rep.edges.push_back(
+                WaitEdge{owner, sub, "aggregate", 0.0});
+        }
+    }
+    for (std::size_t i = 0; i < rep.edges.size(); i++) {
+        const WaitEdge &e = rep.edges[i];
+        g.addEdge(g.node(e.from), g.node(e.to),
+                  static_cast<int>(i));
+    }
+
+    // SCC pass: any component with more than one node — or a self
+    // loop — is a wait cycle, i.e. a true deadlock.
+    Tarjan tarjan(g);
+    const std::vector<int> *best = nullptr;
+    for (const auto &scc : tarjan.sccs()) {
+        bool cyclic = scc.size() > 1;
+        if (!cyclic) {
+            int v = scc[0];
+            for (int w : g.out[v])
+                cyclic |= (w == v);
+        }
+        if (cyclic && (best == nullptr || scc.size() > best->size()))
+            best = &scc;
+    }
+
+    if (best != nullptr) {
+        rep.verdict = "cycle";
+        std::set<int> inScc(best->begin(), best->end());
+        // Walk the cycle: from any member, repeatedly follow the first
+        // edge that stays inside the SCC until the start reappears.
+        int start = *std::min_element(
+            best->begin(), best->end(), [&](int a, int b) {
+                return g.names[a] < g.names[b];
+            });
+        int v = start;
+        std::set<int> visited;
+        while (visited.insert(v).second) {
+            rep.cycle.push_back(g.names[v]);
+            for (std::size_t k = 0; k < g.out[v].size(); k++) {
+                int w = g.out[v][k];
+                if (inScc.count(w) != 0 &&
+                    (visited.count(w) == 0 || w == start)) {
+                    rep.cycleEdges.push_back(
+                        rep.edges[g.edgeIdx[v][k]]);
+                    v = w;
+                    break;
+                }
+            }
+            if (v == start)
+                break;
+        }
+        rep.upstreamBlocked = upstreamOf(g, inScc);
+
+        std::string via;
+        for (const WaitEdge &e : rep.cycleEdges) {
+            if (e.via == "aggregate")
+                continue;
+            if (!via.empty())
+                via += ", ";
+            via += e.via;
+        }
+        std::string chain;
+        for (const std::string &n : rep.cycle)
+            chain += (chain.empty() ? "" : " -> ") + n;
+        chain += " -> " + rep.cycle.front();
+        rep.summary = "deadlock cycle: " + chain + " via " + via;
+        return rep;
+    }
+
+    // No cycle: find the stalled sink — a node others wait on that
+    // waits on nothing. Prefer the one blocking the most nodes.
+    int sink = -1;
+    std::size_t bestUpstream = 0;
+    for (std::size_t v = 0; v < g.names.size(); v++) {
+        if (!g.out[v].empty() || g.in[v].empty())
+            continue;
+        std::set<int> t{static_cast<int>(v)};
+        std::size_t ups = upstreamOf(g, t).size();
+        if (sink < 0 || ups > bestUpstream) {
+            sink = static_cast<int>(v);
+            bestUpstream = ups;
+        }
+    }
+    if (sink >= 0) {
+        rep.verdict = "stalled-sink";
+        rep.sink = g.names[sink];
+        rep.upstreamBlocked =
+            upstreamOf(g, std::set<int>{sink});
+        std::string via;
+        for (int u : g.in[sink]) {
+            for (std::size_t k = 0; k < g.out[u].size(); k++) {
+                if (g.out[u][k] == sink) {
+                    const WaitEdge &e = rep.edges[g.edgeIdx[u][k]];
+                    if (e.via != "aggregate" &&
+                        via.find(e.via) == std::string::npos) {
+                        if (!via.empty())
+                            via += ", ";
+                        via += e.via;
+                    }
+                }
+            }
+        }
+        rep.summary = "stalled sink: " + rep.sink + " blocks " +
+                      std::to_string(rep.upstreamBlocked.size()) +
+                      " upstream component(s) via " + via;
+        return rep;
+    }
+
+    // Waits exist but neither shape matched (e.g. a wait chain whose
+    // head cleared between snapshot and analysis).
+    rep.verdict = "no-waits";
+    rep.summary = "wait edges present but no cycle or stalled sink; "
+                  "the hang may be resolving or intermittent";
+    return rep;
+}
+
+void
+writeHangReport(std::string &out, const HangReport &rep)
+{
+    json::Writer w(out);
+    auto edgeArray = [&w](const std::vector<WaitEdge> &edges) {
+        w.beginArray();
+        for (const WaitEdge &e : edges) {
+            w.beginObject();
+            w.field("from", e.from);
+            w.field("to", e.to);
+            w.field("via", e.via);
+            w.field("fullness", e.fullness);
+            w.endObject();
+        }
+        w.endArray();
+    };
+
+    w.beginObject();
+    w.field("hanging", rep.status.hanging);
+    w.field("frozen_for_sec", rep.status.frozenForSec);
+    w.field("sim_time_ps",
+            static_cast<std::uint64_t>(rep.status.simTime));
+    w.field("queue_drained", rep.status.queueDrained);
+    w.field("verdict", rep.verdict);
+    w.field("summary", rep.summary);
+    w.key("cycle");
+    w.beginArray();
+    for (const std::string &n : rep.cycle)
+        w.value(n);
+    w.endArray();
+    w.key("cycle_edges");
+    edgeArray(rep.cycleEdges);
+    w.field("sink", rep.sink);
+    w.key("edges");
+    edgeArray(rep.edges);
+    w.key("upstream_blocked");
+    w.beginArray();
+    for (const std::string &n : rep.upstreamBlocked)
+        w.value(n);
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace rtm
+} // namespace akita

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Automated hang root-cause analysis (the wait-for graph).
+ *
+ * HangWatch (task T3) says *that* the simulation froze; this module
+ * says *why*. It builds a directed wait-for graph whose nodes are
+ * component names (including dotted sub-unit names like "L2.storage")
+ * and whose edges mean "from cannot make progress until to does, via
+ * the named full buffer". Edges come from three sources:
+ *
+ *  1. Component::stallInfo() self-reports — internal pipeline waits a
+ *     connection cannot see (the L2 storage↔write-buffer loop of the
+ *     paper's case study 2).
+ *  2. Connection::blockedSnapshot() — senders blocked on a full
+ *     destination port buffer, one edge sender → dst owner.
+ *  3. Aggregation edges comp → "comp.sub" for every sub-unit node, so
+ *     a cycle through a sub-unit implicates the owning component. Only
+ *     this direction is added — the reverse would manufacture a
+ *     two-node cycle out of any single stalled sub-unit.
+ *
+ * An SCC pass (Tarjan) finds the deadlock cycle; when no cycle exists
+ * the analyzer falls back to the stalled sink (a node others wait on
+ * that waits on nothing — a dead or starved consumer). Components
+ * upstream of the culprit are reported as victims via reverse
+ * reachability.
+ *
+ * analyze() must run while the simulation is quiescent (under the
+ * engine lock, or with the engine drained/paused): it walks buffer
+ * occupancies and blocked-sender tables.
+ */
+
+#ifndef AKITA_RTM_WAITFOR_HH
+#define AKITA_RTM_WAITFOR_HH
+
+#include <string>
+#include <vector>
+
+#include "rtm/hang.hh"
+#include "rtm/registry.hh"
+#include "sim/component.hh"
+#include "sim/connection.hh"
+
+namespace akita
+{
+namespace rtm
+{
+
+/** One wait-for edge: @c from waits on @c to via buffer @c via. */
+struct WaitEdge
+{
+    std::string from;
+    std::string to;
+    std::string via;
+    double fullness = 1.0;
+};
+
+/** The analyzer's verdict on one HangWatch firing. */
+struct HangReport
+{
+    HangStatus status;
+
+    /**
+     * "ok"            — not hanging, no analysis ran.
+     * "cycle"         — a wait-for cycle was found (true deadlock).
+     * "stalled-sink"  — waits exist but no cycle; the named sink node
+     *                   blocks everything and waits on nothing.
+     * "no-waits"      — hanging but no wait edges (e.g. every
+     *                   component asleep with empty buffers — a lost
+     *                   wakeup rather than backpressure).
+     */
+    std::string verdict = "ok";
+
+    /** The culprit chain, cycle order (verdict "cycle"). */
+    std::vector<std::string> cycle;
+    /** Edges forming the cycle, aligned with @c cycle. */
+    std::vector<WaitEdge> cycleEdges;
+
+    /** The stalled sink (verdict "stalled-sink"). */
+    std::string sink;
+
+    /** Every wait edge observed (the full graph, for the dashboard). */
+    std::vector<WaitEdge> edges;
+
+    /** Components blocked upstream of the culprit (victims). */
+    std::vector<std::string> upstreamBlocked;
+
+    /** One-line human verdict: "L2 ↔ L2.storage credit loop via ...". */
+    std::string summary;
+};
+
+/**
+ * Builds the wait-for graph from the monitor's component registry and
+ * connection list and names the culprit.
+ */
+class HangAnalyzer
+{
+  public:
+    HangAnalyzer(const ComponentRegistry *components,
+                 const std::vector<sim::Connection *> *connections)
+        : components_(components), connections_(connections)
+    {
+    }
+
+    /**
+     * Analyzes the current wait state. @p status is the HangWatch
+     * result the report annotates; analysis runs only when
+     * status.hanging is true. Must be called at a quiescent point.
+     */
+    HangReport analyze(const HangStatus &status) const;
+
+  private:
+    const ComponentRegistry *components_;
+    const std::vector<sim::Connection *> *connections_;
+};
+
+/** Serializes @p report as a JSON object into @p out. */
+void writeHangReport(std::string &out, const HangReport &report);
+
+} // namespace rtm
+} // namespace akita
+
+#endif // AKITA_RTM_WAITFOR_HH

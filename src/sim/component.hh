@@ -22,6 +22,25 @@ namespace sim
 {
 
 /**
+ * One self-reported wait-for edge: @c waiter cannot make progress until
+ * @c waitee does, via the named full buffer or exhausted resource.
+ *
+ * Components with internal pipelines report sub-units using dotted
+ * names ("L2.storage", "L2.writeBuffer") so the hang analyzer can
+ * resolve a cycle *inside* one component — the paper's case study 2 is
+ * exactly such a loop between an L2's storage and write-buffer stages.
+ */
+struct StallInfo
+{
+    std::string waiter;
+    std::string waitee;
+    /** The buffer/resource mediating the wait (diagnostic label). */
+    std::string via;
+    /** Occupancy of the mediating buffer in [0,1]. */
+    double fullness = 1.0;
+};
+
+/**
  * A group of hardware circuits under simulation (cache, CU, DRAM, ...).
  *
  * Components own their ports, expose monitorable fields through the
@@ -79,6 +98,15 @@ class Component : public introspect::Inspectable
      * a no-op; TickingComponent schedules a tick.
      */
     virtual void wake() {}
+
+    /**
+     * Self-reported wait-for edges for hang analysis: which internal
+     * stage (or this component as a whole) is blocked on what, right
+     * now. Called by the monitor under the engine lock while the
+     * simulation is frozen; the default reports nothing and components
+     * without internal backpressure need not override.
+     */
+    virtual std::vector<StallInfo> stallInfo() const { return {}; }
 
   private:
     Engine *engine_;

@@ -105,5 +105,17 @@ DirectConnection::notifyAvailable(Port *dst)
         c->wake();
 }
 
+std::vector<Connection::BlockedSender>
+DirectConnection::blockedSnapshot() const
+{
+    std::vector<BlockedSender> out;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &kv : blockedSenders_) {
+        for (Component *c : kv.second)
+            out.push_back(BlockedSender{kv.first, c});
+    }
+    return out;
+}
+
 } // namespace sim
 } // namespace akita

@@ -70,6 +70,23 @@ class Connection
      * can be woken.
      */
     virtual void notifyAvailable(Port *dst) = 0;
+
+    /** One sender currently blocked on a full destination port. */
+    struct BlockedSender
+    {
+        Port *dst = nullptr;
+        Component *sender = nullptr;
+    };
+
+    /**
+     * Snapshot of every sender blocked on this connection (hang
+     * analysis: each entry is a wait-for edge sender → dst owner).
+     * The default reports nothing.
+     */
+    virtual std::vector<BlockedSender> blockedSnapshot() const
+    {
+        return {};
+    }
 };
 
 /**
@@ -123,6 +140,8 @@ class DirectConnection : public Connection, public EventHandler
         std::lock_guard<std::mutex> lk(mu_);
         return inFlightTotal_;
     }
+
+    std::vector<BlockedSender> blockedSnapshot() const override;
 
   private:
     void deliver(MsgPtr msg);

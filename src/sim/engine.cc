@@ -74,12 +74,14 @@ SerialEngine::stop()
     stopRequested_.store(true);
     if (concurrent_)
         cv_.notify_all();
+    notifyState("stop");
 }
 
 void
 SerialEngine::pause()
 {
     paused_.store(true);
+    notifyState("pause");
 }
 
 void
@@ -88,6 +90,7 @@ SerialEngine::resume()
     paused_.store(false);
     if (concurrent_)
         cv_.notify_all();
+    notifyState("resume");
 }
 
 std::size_t
@@ -172,6 +175,7 @@ SerialEngine::runLocked()
             if (!waitWhenEmpty_)
                 return RunResult::Drained;
             drainedWaiting_.store(true);
+            notifyState("drained");
             cv_.wait(lk, [this]() {
                 return !queue_.empty() || stopRequested_.load();
             });
@@ -212,11 +216,13 @@ SerialEngine::run()
 {
     stopRequested_.store(false);
     running_.store(true);
+    notifyState("run_start");
     RunResult result =
         concurrent_ ? runLocked() : runUnlocked();
     running_.store(false);
     if (concurrent_)
         cv_.notify_all();
+    notifyState("run_end");
     return result;
 }
 

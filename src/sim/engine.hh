@@ -123,6 +123,33 @@ class Engine : public Hookable, public introspect::Inspectable
      * thread. May be called from event handlers.
      */
     virtual void withLock(const std::function<void()> &fn) const = 0;
+
+    /**
+     * Observes cold lifecycle transitions: "run_start", "run_end",
+     * "pause", "resume", "drained", "stop". Fired only at state
+     * changes — never per event — so attaching an observer costs the
+     * hot path nothing (unlike a Hookable hook, which every event
+     * would pay for). The callback runs on whichever thread caused the
+     * transition and must not re-enter the engine. Set before run();
+     * pass nullptr to detach.
+     */
+    void
+    setStateObserver(std::function<void(const char *)> fn)
+    {
+        stateObserver_ = std::move(fn);
+    }
+
+  protected:
+    /** Notifies the observer of a lifecycle transition, if attached. */
+    void
+    notifyState(const char *kind)
+    {
+        if (stateObserver_)
+            stateObserver_(kind);
+    }
+
+  private:
+    std::function<void(const char *)> stateObserver_;
 };
 
 /**

@@ -117,12 +117,14 @@ ParallelEngine::stop()
 {
     stopRequested_.store(true);
     cv_.notify_all();
+    notifyState("stop");
 }
 
 void
 ParallelEngine::pause()
 {
     paused_.store(true);
+    notifyState("pause");
 }
 
 void
@@ -130,6 +132,7 @@ ParallelEngine::resume()
 {
     paused_.store(false);
     cv_.notify_all();
+    notifyState("resume");
 }
 
 std::size_t
@@ -336,6 +339,7 @@ ParallelEngine::runLoop()
             if (!waitWhenEmpty_)
                 return RunResult::Drained;
             drainedWaiting_.store(true);
+            notifyState("drained");
             cv_.wait(lk, [this]() {
                 return !queue_.empty() || stopRequested_.load();
             });
@@ -363,14 +367,17 @@ ParallelEngine::run()
 {
     stopRequested_.store(false);
     running_.store(true);
+    notifyState("run_start");
     try {
         RunResult result = runLoop();
         running_.store(false);
         cv_.notify_all();
+        notifyState("run_end");
         return result;
     } catch (...) {
         running_.store(false);
         cv_.notify_all();
+        notifyState("run_end");
         throw;
     }
 }

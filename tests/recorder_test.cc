@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Flight-recorder tests: segment roundtrip, ring wrap-around, crash
+ * recovery (truncated and garbled tails), and the FlightRecorder
+ * encode/decode/query layer.
+ *
+ * The SegmentCrash suite is also registered as its own ctest case
+ * (recorder_crash_recovery) so CI runs it under ASan explicitly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.hh"
+#include "recorder/recorder.hh"
+#include "recorder/segment.hh"
+
+using namespace akita;
+using namespace akita::recorder;
+
+namespace
+{
+
+/** A unique path under /tmp, removed on destruction. */
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const std::string &tag)
+    {
+        path = "/tmp/akita_recorder_test_" + tag + "_" +
+               std::to_string(::getpid()) + ".seg";
+        ::unlink(path.c_str());
+    }
+
+    ~TempFile() { ::unlink(path.c_str()); }
+};
+
+/** A payload sized so the whole frame (header 40 + payload) is 64 B. */
+std::string
+payload64(int i)
+{
+    char buf[25];
+    std::snprintf(buf, sizeof(buf), "record-%016d", i);
+    return std::string(buf, 24);
+}
+
+constexpr std::uint64_t kFrame = 64; // 40-byte header + 24-byte payload.
+
+/** Damages @p len bytes at @p offset of @p path in place. */
+void
+garbleFile(const std::string &path, off_t offset, std::size_t len)
+{
+    int fd = ::open(path.c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0) << strerror(errno);
+    std::vector<std::uint8_t> junk(len, 0x5A);
+    ASSERT_EQ(::pwrite(fd, junk.data(), len, offset),
+              static_cast<ssize_t>(len));
+    ::close(fd);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Segment roundtrip
+// ---------------------------------------------------------------------
+
+TEST(SegmentRoundtrip, WriteScanReadBack)
+{
+    TempFile f("roundtrip");
+    std::string err;
+    auto w = SegmentWriter::create(f.path, 0, &err);
+    ASSERT_NE(w, nullptr) << err;
+    EXPECT_EQ(w->dataBytes(), 64u * 1024);
+
+    for (int i = 0; i < 10; i++) {
+        std::string p = payload64(i);
+        ASSERT_TRUE(w->append(RecordType::EngineEvent, p.data(),
+                              p.size(), 1000 + i));
+    }
+    EXPECT_EQ(w->nextSeq(), 10u);
+    EXPECT_EQ(w->cursor(), 10 * kFrame);
+    w->sync(true);
+
+    // The live writer can scan its own window...
+    w->scan([&](const std::vector<RecordView> &recs,
+                const ScanStats &stats) {
+        EXPECT_EQ(recs.size(), 10u);
+        EXPECT_EQ(stats.framesFound, 10u);
+    });
+
+    // ...and an independent reader recovers the same records.
+    auto r = SegmentReader::open(f.path, &err);
+    ASSERT_NE(r, nullptr) << err;
+    EXPECT_EQ(r->header().magic, kSegmentMagic);
+    EXPECT_EQ(r->header().version, kSegmentVersion);
+    ASSERT_EQ(r->records().size(), 10u);
+    for (int i = 0; i < 10; i++) {
+        const RecordView &rec = r->records()[static_cast<size_t>(i)];
+        EXPECT_EQ(rec.seq, static_cast<std::uint64_t>(i));
+        EXPECT_EQ(rec.type, RecordType::EngineEvent);
+        EXPECT_EQ(rec.wallMs, 1000 + i);
+        EXPECT_EQ(std::string(reinterpret_cast<const char *>(rec.payload),
+                              rec.payloadLen),
+                  payload64(i));
+    }
+    EXPECT_EQ(r->firstWallMs(), 1000);
+    EXPECT_EQ(r->lastWallMs(), 1009);
+}
+
+TEST(SegmentRoundtrip, WrapKeepsContiguousNewestWindow)
+{
+    TempFile f("wrap");
+    std::string err;
+    auto w = SegmentWriter::create(f.path, 0, &err);
+    ASSERT_NE(w, nullptr) << err;
+
+    // 64 KB ring / 64 B frames = 1024 slots; 1500 appends wrap once.
+    const int n = 1500;
+    for (int i = 0; i < n; i++) {
+        std::string p = payload64(i);
+        ASSERT_TRUE(
+            w->append(RecordType::EngineEvent, p.data(), p.size(), i));
+    }
+    w->sync(true);
+    w.reset();
+
+    auto r = SegmentReader::open(f.path, &err);
+    ASSERT_NE(r, nullptr) << err;
+    const auto &recs = r->records();
+    ASSERT_FALSE(recs.empty());
+    // The window ends at the newest record and is seq-contiguous.
+    EXPECT_EQ(recs.back().seq, static_cast<std::uint64_t>(n - 1));
+    for (std::size_t i = 1; i < recs.size(); i++)
+        EXPECT_EQ(recs[i].seq, recs[i - 1].seq + 1);
+    // Everything the ring can still hold is recovered.
+    EXPECT_GE(recs.size(), 1000u);
+    EXPECT_GE(recs.front().seq, static_cast<std::uint64_t>(n) - 1024);
+    // Frames from the overwritten epoch are stale, not window members.
+    EXPECT_EQ(r->stats().framesFound - recs.size(),
+              r->stats().staleDropped);
+}
+
+TEST(SegmentRoundtrip, OversizedPayloadDropped)
+{
+    TempFile f("oversize");
+    std::string err;
+    auto w = SegmentWriter::create(f.path, 0, &err);
+    ASSERT_NE(w, nullptr) << err;
+
+    std::vector<std::uint8_t> big(w->dataBytes(), 0xAB);
+    EXPECT_FALSE(
+        w->append(RecordType::MetricsPass, big.data(), big.size(), 1));
+    EXPECT_EQ(w->nextSeq(), 0u) << "dropped appends consume no seq";
+
+    std::string p = payload64(0);
+    EXPECT_TRUE(
+        w->append(RecordType::EngineEvent, p.data(), p.size(), 2));
+    EXPECT_EQ(w->nextSeq(), 1u);
+}
+
+TEST(SegmentRoundtrip, CreateRejectsBadPath)
+{
+    std::string err;
+    auto w = SegmentWriter::create("/nonexistent-dir/x.seg", 0, &err);
+    EXPECT_EQ(w, nullptr);
+    EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery (the SegmentCrash.* filter runs as its own ctest case)
+// ---------------------------------------------------------------------
+
+TEST(SegmentCrash, TruncatedMidRecordRecoversPrefix)
+{
+    TempFile f("truncate");
+    std::string err;
+    {
+        auto w = SegmentWriter::create(f.path, 0, &err);
+        ASSERT_NE(w, nullptr) << err;
+        for (int i = 0; i < 20; i++) {
+            std::string p = payload64(i);
+            ASSERT_TRUE(w->append(RecordType::EngineEvent, p.data(),
+                                  p.size(), i));
+        }
+        w->sync(true);
+    }
+
+    // Cut the file mid-way through record 10's payload — the shape a
+    // crash during a tail write (or a copy of a live file) leaves.
+    off_t cut = static_cast<off_t>(kSegmentDataOffset + 10 * kFrame + 13);
+    ASSERT_EQ(::truncate(f.path.c_str(), cut), 0) << strerror(errno);
+
+    auto r = SegmentReader::open(f.path, &err);
+    ASSERT_NE(r, nullptr) << err;
+    ASSERT_EQ(r->records().size(), 10u);
+    EXPECT_EQ(r->records().front().seq, 0u);
+    EXPECT_EQ(r->records().back().seq, 9u);
+    for (int i = 0; i < 10; i++) {
+        const RecordView &rec = r->records()[static_cast<size_t>(i)];
+        EXPECT_EQ(std::string(reinterpret_cast<const char *>(rec.payload),
+                              rec.payloadLen),
+                  payload64(i));
+    }
+}
+
+TEST(SegmentCrash, GarbledTailRecoversToLastValidCrc)
+{
+    TempFile f("garble");
+    std::string err;
+    {
+        auto w = SegmentWriter::create(f.path, 0, &err);
+        ASSERT_NE(w, nullptr) << err;
+        for (int i = 0; i < 20; i++) {
+            std::string p = payload64(i);
+            ASSERT_TRUE(w->append(RecordType::EngineEvent, p.data(),
+                                  p.size(), i));
+        }
+        w->sync(true);
+    }
+
+    // Scribble over the payloads of the last two records (a torn tail):
+    // their CRCs fail, so the window must end at record 17.
+    garbleFile(f.path,
+               static_cast<off_t>(kSegmentDataOffset + 18 * kFrame + 40),
+               8);
+    garbleFile(f.path,
+               static_cast<off_t>(kSegmentDataOffset + 19 * kFrame + 40),
+               8);
+
+    auto r = SegmentReader::open(f.path, &err);
+    ASSERT_NE(r, nullptr) << err;
+    ASSERT_EQ(r->records().size(), 18u);
+    EXPECT_EQ(r->records().back().seq, 17u);
+    EXPECT_EQ(r->stats().framesFound, 18u);
+    EXPECT_GT(r->stats().bytesSkipped, 0u);
+}
+
+TEST(SegmentCrash, GarbledMidWindowKeepsNewestSuffix)
+{
+    TempFile f("midgarble");
+    std::string err;
+    {
+        auto w = SegmentWriter::create(f.path, 0, &err);
+        ASSERT_NE(w, nullptr) << err;
+        for (int i = 0; i < 20; i++) {
+            std::string p = payload64(i);
+            ASSERT_TRUE(w->append(RecordType::EngineEvent, p.data(),
+                                  p.size(), i));
+        }
+        w->sync(true);
+    }
+
+    // Destroy record 15. Records 16..19 are still valid and contiguous
+    // with the newest write — recovery keeps the suffix, never a stale
+    // run separated from the present by a hole.
+    garbleFile(f.path,
+               static_cast<off_t>(kSegmentDataOffset + 15 * kFrame + 40),
+               8);
+
+    auto r = SegmentReader::open(f.path, &err);
+    ASSERT_NE(r, nullptr) << err;
+    ASSERT_EQ(r->records().size(), 4u);
+    EXPECT_EQ(r->records().front().seq, 16u);
+    EXPECT_EQ(r->records().back().seq, 19u);
+    EXPECT_EQ(r->stats().staleDropped, 15u);
+}
+
+TEST(SegmentCrash, CorruptHeaderRejected)
+{
+    TempFile f("badheader");
+    std::string err;
+    {
+        auto w = SegmentWriter::create(f.path, 0, &err);
+        ASSERT_NE(w, nullptr) << err;
+        std::string p = payload64(0);
+        ASSERT_TRUE(
+            w->append(RecordType::EngineEvent, p.data(), p.size(), 1));
+        w->sync(true);
+    }
+
+    garbleFile(f.path, 8, 8); // segmentBytes/dataOffset fields.
+    auto r = SegmentReader::open(f.path, &err);
+    EXPECT_EQ(r, nullptr);
+    EXPECT_NE(err.find("header"), std::string::npos) << err;
+}
+
+TEST(SegmentCrash, JunkFileRejected)
+{
+    TempFile f("junk");
+    {
+        FILE *fp = std::fopen(f.path.c_str(), "wb");
+        ASSERT_NE(fp, nullptr);
+        for (int i = 0; i < 8192; i++)
+            std::fputc(i & 0xFF, fp);
+        std::fclose(fp);
+    }
+    std::string err;
+    auto r = SegmentReader::open(f.path, &err);
+    EXPECT_EQ(r, nullptr);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(SegmentCrash, LiveFileReadableWhileWriterAppends)
+{
+    // The reader must work on a file the writer still has mapped —
+    // the post-mortem-of-a-live-sim (or SIGKILL page-cache) story.
+    TempFile f("live");
+    std::string err;
+    auto w = SegmentWriter::create(f.path, 0, &err);
+    ASSERT_NE(w, nullptr) << err;
+    for (int i = 0; i < 5; i++) {
+        std::string p = payload64(i);
+        ASSERT_TRUE(
+            w->append(RecordType::EngineEvent, p.data(), p.size(), i));
+    }
+    // No sync: dirty pages reach the reader through the page cache.
+    auto r = SegmentReader::open(f.path, &err);
+    ASSERT_NE(r, nullptr) << err;
+    EXPECT_EQ(r->records().size(), 5u);
+}
+
+// ---------------------------------------------------------------------
+// FlightRecorder: dictionary, pass encoding, query
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+metrics::Desc
+gaugeDesc(const std::string &name, const metrics::Labels &labels)
+{
+    metrics::Desc d;
+    d.name = name;
+    d.labels = labels;
+    return d;
+}
+
+} // namespace
+
+TEST(FlightRecorder, TeeAndQueryRoundtrip)
+{
+    TempFile f("tee");
+    FlightRecorder::Options opts;
+    opts.path = f.path;
+    std::string err;
+    auto rec = FlightRecorder::create(opts, &err);
+    ASSERT_NE(rec, nullptr) << err;
+
+    metrics::Desc a = gaugeDesc("occ", {{"component", "L2[0]"}});
+    metrics::Desc b = gaugeDesc("occ", {{"component", "L2[1]"}});
+    metrics::Desc c = gaugeDesc("rate", {});
+
+    for (int pass = 0; pass < 3; pass++) {
+        std::vector<metrics::SampledValue> v;
+        v.push_back({&a, 1.0 + pass, 0, 0});
+        v.push_back({&b, 10.0 + pass, 0, 0});
+        v.push_back({&c, 100.0 + pass, 0, 0});
+        rec->recordMetricsPass(1000 + pass * 10,
+                               static_cast<std::uint64_t>(pass) * 500, v);
+    }
+    rec->recordEvent("pause", 1040, 2000);
+    rec->sync(true);
+
+    // Unfiltered: both "occ" series come back, 3 points each.
+    auto series = rec->query("occ", {}, 0,
+                             std::numeric_limits<std::int64_t>::max());
+    ASSERT_EQ(series.size(), 2u);
+    for (const auto &s : series) {
+        EXPECT_EQ(s.name, "occ");
+        ASSERT_EQ(s.points.size(), 3u);
+        EXPECT_EQ(s.points[0].wallMs, 1000);
+        EXPECT_EQ(s.points[2].wallMs, 1020);
+        EXPECT_EQ(s.points[1].simPs, 500u);
+    }
+
+    // Label filter selects one series.
+    auto one = rec->query("occ", {{"component", "L2[1]"}}, 0,
+                          std::numeric_limits<std::int64_t>::max());
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one[0].points[0].value, 10.0);
+
+    // Time range clips points.
+    auto clipped = rec->query("rate", {}, 1005, 1015);
+    ASSERT_EQ(clipped.size(), 1u);
+    ASSERT_EQ(clipped[0].points.size(), 1u);
+    EXPECT_DOUBLE_EQ(clipped[0].points[0].value, 101.0);
+
+    // Unknown name: nothing.
+    EXPECT_TRUE(rec->query("nope", {}, 0, 1 << 30).empty());
+
+    FlightRecorder::Info info = rec->info();
+    EXPECT_EQ(info.path, f.path);
+    EXPECT_EQ(info.dictEntries, 3u);
+    // Meta + 3 Dict + 3 passes + 1 event.
+    EXPECT_EQ(info.nextSeq, 8u);
+    EXPECT_EQ(info.windowRecords, 8u);
+    EXPECT_EQ(info.droppedAppends, 0u);
+    EXPECT_GT(rec->generation(), 0u);
+}
+
+TEST(FlightRecorder, SurvivesSegmentReaderPostMortem)
+{
+    // End to end: tee in, "crash" (no graceful close path taken beyond
+    // sync), recover with the offline reader, decode passes by hand.
+    TempFile f("postmortem");
+    FlightRecorder::Options opts;
+    opts.path = f.path;
+    std::string err;
+    auto rec = FlightRecorder::create(opts, &err);
+    ASSERT_NE(rec, nullptr) << err;
+
+    metrics::Desc a = gaugeDesc("x", {});
+    std::vector<metrics::SampledValue> v;
+    v.push_back({&a, 42.0, 0, 0});
+    rec->recordMetricsPass(123, 456, v);
+    rec->recordHangReport("{\"verdict\":\"cycle\"}", 124, 456);
+    rec->sync(true);
+
+    auto r = SegmentReader::open(f.path, &err);
+    ASSERT_NE(r, nullptr) << err;
+    bool sawDict = false, sawPass = false, sawHang = false;
+    for (const auto &view : r->records()) {
+        if (view.type == RecordType::Dict)
+            sawDict = true;
+        if (view.type == RecordType::HangReport) {
+            sawHang = true;
+            EXPECT_EQ(std::string(reinterpret_cast<const char *>(
+                                      view.payload),
+                                  view.payloadLen),
+                      "{\"verdict\":\"cycle\"}");
+        }
+        if (view.type == RecordType::MetricsPass) {
+            DecodedPass pass;
+            ASSERT_TRUE(decodeMetricsPass(view.payload, view.payloadLen,
+                                          &pass));
+            EXPECT_EQ(pass.wallMs, 123);
+            EXPECT_EQ(pass.simPs, 456u);
+            ASSERT_EQ(pass.values.size(), 1u);
+            EXPECT_DOUBLE_EQ(pass.values[0].value, 42.0);
+            sawPass = true;
+        }
+    }
+    EXPECT_TRUE(sawDict);
+    EXPECT_TRUE(sawPass);
+    EXPECT_TRUE(sawHang);
+}
+
+TEST(FlightRecorder, DecodeRejectsMalformedPass)
+{
+    std::uint8_t buf[32];
+    std::memset(buf, 0, sizeof(buf));
+    buf[16] = 200; // count = 200, but no bytes follow.
+    DecodedPass out;
+    EXPECT_FALSE(decodeMetricsPass(buf, 20, &out));
+    EXPECT_FALSE(decodeMetricsPass(buf, 10, &out)) << "short header";
+    // A count of zero with exactly a header is valid.
+    buf[16] = 0;
+    EXPECT_TRUE(decodeMetricsPass(buf, 20, &out));
+    EXPECT_TRUE(out.values.empty());
+}
+
+TEST(FlightRecorder, DictSurvivesRingAging)
+{
+    // Write far past one ring circumference; the dictionary must be
+    // re-emitted so the recoverable window still resolves series names.
+    TempFile f("aging");
+    FlightRecorder::Options opts;
+    opts.path = f.path;
+    opts.segmentBytes = 0; // Floors to the minimum 64 KB ring.
+    std::string err;
+    auto rec = FlightRecorder::create(opts, &err);
+    ASSERT_NE(rec, nullptr) << err;
+
+    metrics::Desc a = gaugeDesc("aged", {{"component", "X"}});
+    for (int pass = 0; pass < 3000; pass++) {
+        std::vector<metrics::SampledValue> v;
+        v.push_back({&a, static_cast<double>(pass), 0, 0});
+        rec->recordMetricsPass(pass, static_cast<std::uint64_t>(pass), v);
+    }
+
+    FlightRecorder::Info info = rec->info();
+    EXPECT_GT(info.cursor, info.dataBytes * 2) << "must have wrapped";
+
+    auto series = rec->query("aged", {{"component", "X"}}, 0,
+                             std::numeric_limits<std::int64_t>::max());
+    ASSERT_EQ(series.size(), 1u) << "dict aged out of the window";
+    ASSERT_FALSE(series[0].points.empty());
+    EXPECT_DOUBLE_EQ(series[0].points.back().value, 2999.0);
+}

@@ -29,16 +29,22 @@
  *   series <id>                   print a series (t_ps value rows)
  *   export <id>                   print a series as CSV
  *   watch [seconds]               poll status once per second
+ *   replay <segment> [--json]     post-mortem: dump a flight-recorder
+ *                                 segment (no server needed)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "json/json.hh"
+#include "json/writer.hh"
+#include "recorder/recorder.hh"
+#include "recorder/segment.hh"
 #include "web/client.hh"
 
 using akita::json::Json;
@@ -126,6 +132,202 @@ printTree(const Json &node, int depth)
     }
 }
 
+/**
+ * Offline post-mortem of a flight-recorder segment: recover the valid
+ * window (tolerating a truncated or garbled tail), then dump it —
+ * human-readable by default, one JSON document with --json.
+ */
+int
+replaySegment(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return fail("usage: replay <segment-file> [--json]");
+    bool asJson = args.size() > 2 && args[2] == "--json";
+
+    namespace rec = akita::recorder;
+    std::string err;
+    auto reader = rec::SegmentReader::open(args[1], &err);
+    if (!reader)
+        return fail(err);
+
+    const rec::SegmentHeader &h = reader->header();
+    const auto &records = reader->records();
+    const rec::ScanStats &stats = reader->stats();
+
+    // Reassemble the streams the recorder teed in.
+    struct SeriesOut
+    {
+        std::string name;
+        std::string labelsJson;
+        std::vector<rec::FlightRecorder::Point> points;
+    };
+    std::map<std::uint32_t, SeriesOut> series;
+    std::vector<std::string> events;      // Raw JSON documents.
+    std::vector<std::string> hangReports; // Raw JSON documents.
+    std::string metaJson;
+    std::size_t badPasses = 0;
+
+    for (const auto &r : records) {
+        std::string payload(reinterpret_cast<const char *>(r.payload),
+                            r.payloadLen);
+        switch (r.type) {
+        case rec::RecordType::Meta:
+            metaJson = payload;
+            break;
+        case rec::RecordType::Dict: {
+            Json d = Json::parse(payload);
+            auto id = static_cast<std::uint32_t>(d.getInt("id", 0));
+            series[id].name = d.getStr("name");
+            const Json *labels = d.get("labels");
+            series[id].labelsJson = labels ? labels->dump() : "{}";
+            break;
+        }
+        case rec::RecordType::MetricsPass: {
+            rec::DecodedPass pass;
+            if (!rec::decodeMetricsPass(r.payload, r.payloadLen,
+                                        &pass)) {
+                badPasses++;
+                break;
+            }
+            for (const auto &v : pass.values) {
+                series[v.id].points.push_back(
+                    {pass.wallMs, pass.simPs, v.value});
+            }
+            break;
+        }
+        case rec::RecordType::EngineEvent:
+            events.push_back(payload);
+            break;
+        case rec::RecordType::HangReport:
+            hangReports.push_back(payload);
+            break;
+        case rec::RecordType::Pad:
+            break;
+        }
+    }
+
+    if (asJson) {
+        std::string out;
+        akita::json::Writer w(out);
+        w.beginObject();
+        w.field("path", args[1]);
+        w.field("version", static_cast<std::uint64_t>(h.version));
+        w.field("segment_bytes", h.segmentBytes);
+        w.field("data_bytes", h.dataBytes);
+        w.field("write_cursor_hint", h.writeCursor);
+        w.field("window_records",
+                static_cast<std::uint64_t>(records.size()));
+        w.field("frames_found",
+                static_cast<std::uint64_t>(stats.framesFound));
+        w.field("stale_dropped",
+                static_cast<std::uint64_t>(stats.staleDropped));
+        w.field("first_wall_ms", reader->firstWallMs());
+        w.field("last_wall_ms", reader->lastWallMs());
+        if (!records.empty()) {
+            w.field("first_seq", records.front().seq);
+            w.field("last_seq", records.back().seq);
+        }
+        w.key("meta");
+        if (metaJson.empty())
+            w.value(nullptr);
+        else
+            w.json(Json::parse(metaJson));
+        w.key("events").beginArray();
+        for (const auto &e : events)
+            w.json(Json::parse(e));
+        w.endArray();
+        w.key("hang_reports").beginArray();
+        for (const auto &hr : hangReports)
+            w.json(Json::parse(hr));
+        w.endArray();
+        w.key("series").beginArray();
+        for (const auto &kv : series) {
+            w.beginObject();
+            w.field("id", static_cast<std::uint64_t>(kv.first));
+            w.field("name", kv.second.name);
+            w.key("labels");
+            w.json(Json::parse(kv.second.labelsJson.empty()
+                                   ? "{}"
+                                   : kv.second.labelsJson));
+            w.key("points").beginArray();
+            for (const auto &p : kv.second.points) {
+                w.beginObject();
+                w.field("t_ms", p.wallMs);
+                w.field("sim_ps", p.simPs);
+                w.field("value", p.value);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::printf("%s\n", out.c_str());
+        return 0;
+    }
+
+    std::printf("segment %s (v%u, %llu bytes, ring %llu bytes)\n",
+                args[1].c_str(), h.version,
+                static_cast<unsigned long long>(h.segmentBytes),
+                static_cast<unsigned long long>(h.dataBytes));
+    std::printf("recovered window: %zu records", records.size());
+    if (!records.empty()) {
+        std::printf(", seq [%llu, %llu], wall [%lld, %lld] ms",
+                    static_cast<unsigned long long>(records.front().seq),
+                    static_cast<unsigned long long>(records.back().seq),
+                    static_cast<long long>(reader->firstWallMs()),
+                    static_cast<long long>(reader->lastWallMs()));
+    }
+    std::printf("\n  (%zu CRC-valid frames found, %zu stale dropped, "
+                "%llu bytes skipped, cursor hint %llu)\n",
+                stats.framesFound, stats.staleDropped,
+                static_cast<unsigned long long>(stats.bytesSkipped),
+                static_cast<unsigned long long>(h.writeCursor));
+    if (badPasses != 0)
+        std::printf("  %zu malformed metrics passes ignored\n",
+                    badPasses);
+    if (!metaJson.empty())
+        std::printf("meta: %s\n", metaJson.c_str());
+
+    if (!events.empty()) {
+        std::printf("\nengine events:\n");
+        for (const auto &e : events) {
+            Json ev = Json::parse(e);
+            std::printf("  %12lld ms  sim=%llu ps  %s\n",
+                        static_cast<long long>(ev.getInt("wall_ms", 0)),
+                        static_cast<unsigned long long>(
+                            ev.getInt("sim_ps", 0)),
+                        ev.getStr("kind").c_str());
+        }
+    }
+    if (!hangReports.empty()) {
+        std::printf("\nhang reports:\n");
+        for (const auto &hr : hangReports) {
+            Json rep = Json::parse(hr);
+            std::printf("  verdict=%s  %s\n",
+                        rep.getStr("verdict").c_str(),
+                        rep.getStr("summary").c_str());
+        }
+    }
+    if (!series.empty()) {
+        std::printf("\nmetric series (%zu):\n", series.size());
+        for (const auto &kv : series) {
+            const SeriesOut &s = kv.second;
+            std::printf("  [%u] %-44s %s  %zu points",
+                        kv.first, s.name.c_str(), s.labelsJson.c_str(),
+                        s.points.size());
+            if (!s.points.empty()) {
+                std::printf("  last=%g @ %lld ms",
+                            s.points.back().value,
+                            static_cast<long long>(
+                                s.points.back().wallMs));
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}
+
 int
 run(int argc, char **argv)
 {
@@ -143,6 +345,10 @@ run(int argc, char **argv)
     }
     if (args.empty())
         return fail("missing command (see the header of this tool)");
+
+    // Offline commands first: no server required.
+    if (args[0] == "replay")
+        return replaySegment(args);
 
     HttpClient client(host, port);
     const std::string &cmd = args[0];
