@@ -165,6 +165,90 @@ BM_ParallelEngineCohortFanout(benchmark::State &state)
 }
 BENCHMARK(BM_ParallelEngineCohortFanout)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+namespace
+{
+
+/** Self-rescheduling spin chain as a named handler, so it can be
+ * routed to a specific domain with assignHandler(). */
+class SpinChain : public sim::EventHandler
+{
+  public:
+    explicit SpinChain(sim::Engine *eng) : eng_(eng) {}
+
+    void
+    handle(sim::Event &ev) override
+    {
+        volatile std::uint64_t h = 0;
+        for (int j = 0; j < 200; j++)
+            h = h * 31 + static_cast<std::uint64_t>(j);
+        if (++fired < limit) {
+            eng_->schedule(
+                std::make_unique<sim::Event>(ev.time() + 1, this));
+        }
+    }
+
+    int fired = 0;
+    int limit = 0;
+
+  private:
+    sim::Engine *eng_;
+};
+
+} // namespace
+
+void
+BM_DomainEngineSingleChain(benchmark::State &state)
+{
+    // One chain in one domain: the conservative engine's sequential
+    // fast path (no cross-domain edges, safe window unbounded).
+    // Compare against BM_EngineThroughputSingleThread for the cost of
+    // the domain bookkeeping.
+    sim::DomainEngine eng(1);
+    SpinChain chain(&eng);
+    for (auto _ : state) {
+        chain.fired = 0;
+        chain.limit = 10000;
+        eng.schedule(
+            std::make_unique<sim::Event>(eng.now() + 1, &chain));
+        eng.run();
+        benchmark::DoNotOptimize(chain.fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DomainEngineSingleChain);
+
+void
+BM_DomainEngineFanout(benchmark::State &state)
+{
+    // Eight independent chains spread round-robin over N domains.
+    // With no cross-domain edges every domain free-runs its whole
+    // queue — the embarrassingly-parallel upper bound for the
+    // conservative engine (needs real cores to show speedup; on one
+    // core it bounds the synchronization overhead).
+    const int domains = static_cast<int>(state.range(0));
+    constexpr int kChains = 8;
+    constexpr int kFires = 500;
+    sim::DomainEngine eng(domains);
+    std::vector<std::unique_ptr<SpinChain>> chains;
+    for (int i = 0; i < kChains; i++) {
+        chains.push_back(std::make_unique<SpinChain>(&eng));
+        eng.assignHandler(chains.back().get(), i % domains);
+    }
+    for (auto _ : state) {
+        sim::VTime start = eng.now() + 1;
+        for (auto &c : chains) {
+            c->fired = 0;
+            c->limit = kFires;
+            eng.schedule(
+                std::make_unique<sim::Event>(start, c.get()));
+        }
+        eng.run();
+        benchmark::DoNotOptimize(chains[0]->fired);
+    }
+    state.SetItemsProcessed(state.iterations() * kChains * kFires);
+}
+BENCHMARK(BM_DomainEngineFanout)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void
 BM_BufferPushPop(benchmark::State &state)
 {

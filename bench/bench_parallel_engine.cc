@@ -1,16 +1,24 @@
 /**
  * @file
- * Head-to-head engine benchmark: SerialEngine vs ParallelEngine at
- * 1/2/4/8 workers. Two engine-bound scenarios:
+ * Head-to-head engine benchmark: SerialEngine vs ParallelEngine vs
+ * DomainEngine, swept over 1/2/4/8 workers (or domains). Scenarios:
  *
  *   - compute: K co-timed handler chains each burning deterministic
  *     CPU work per event. Parallel speedup here requires real cores;
  *     on a single-core host the sweep documents the coordination
- *     overhead instead.
+ *     overhead instead. The chains are independent, so the domain
+ *     engine free-runs them with no synchronization at all.
  *   - latency_bound: K co-timed handlers each blocking ~200 us per
  *     event (stand-in for co-simulation / external-process stalls,
  *     where the handler waits rather than computes). Worker overlap
  *     wins even on one core because the blocked time is concurrent.
+ *   - ring_lookahead: K ticking components in a ring joined by
+ *     long-latency connections (500 ns wires, 1 GHz cores), spinning
+ *     per forwarded message. The latency/period ratio gives the
+ *     conservative engine a 500-cycle safe window per boundary: the
+ *     per-tick-barrier parallel engine synchronizes every cycle, the
+ *     domain engine once per 500. This is the lookahead case the
+ *     domain engine exists for.
  *
  * Prints a JSON document (BENCH_parallel_engine.json) to stdout;
  * human-readable progress goes to stderr. AKITA_RUNS (default 3)
@@ -33,6 +41,18 @@ using namespace akita;
 namespace
 {
 
+/** Deterministic CPU burn shared by all scenarios. */
+inline std::uint64_t
+spin(std::uint64_t seed, std::uint64_t iters)
+{
+    std::uint64_t h = 1469598103934665603ull ^ seed;
+    for (std::uint64_t i = 0; i < iters; i++) {
+        h ^= i;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 /** A self-rescheduling handler: fires `limit` times at a fixed period,
  * doing `spinIters` of hash work and/or `sleepUs` of blocking per
  * event. All chains share the same period, so every step is a cohort
@@ -50,12 +70,7 @@ class ChainHandler : public sim::EventHandler
     void
     handle(sim::Event &ev) override
     {
-        std::uint64_t h = 1469598103934665603ull ^ ev.time();
-        for (std::uint64_t i = 0; i < spinIters_; i++) {
-            h ^= i;
-            h *= 1099511628211ull;
-        }
-        sink += h;
+        sink += spin(ev.time(), spinIters_);
         if (sleepUs_ > 0) {
             std::this_thread::sleep_for(
                 std::chrono::microseconds(sleepUs_));
@@ -85,37 +100,162 @@ struct Scenario
     int sleepUs;
 };
 
-double
-runOnce(sim::Engine &eng, const Scenario &sc)
+/** Which engine a sweep cell runs. */
+enum class Kind
 {
-    std::vector<std::unique_ptr<ChainHandler>> handlers;
-    handlers.reserve(static_cast<std::size_t>(sc.chains));
-    sim::VTime start = eng.now() + sim::kNanosecond;
-    for (int i = 0; i < sc.chains; i++) {
-        handlers.push_back(std::make_unique<ChainHandler>(
-            &eng, sc.fires, sc.spinIters, sc.sleepUs));
-        eng.schedule(
-            std::make_unique<sim::Event>(start, handlers.back().get()));
+    Serial,
+    Parallel,
+    Domain
+};
+
+std::unique_ptr<sim::Engine>
+makeEngine(Kind kind, int width)
+{
+    switch (kind) {
+    case Kind::Serial:
+        return std::make_unique<sim::SerialEngine>();
+    case Kind::Parallel:
+        return std::make_unique<sim::ParallelEngine>(width);
+    case Kind::Domain:
+    default:
+        return std::make_unique<sim::DomainEngine>(width);
     }
-    bench::Stopwatch sw;
-    eng.run();
-    return sw.seconds();
 }
 
 double
-minOfRuns(const Scenario &sc, int workers, int runs)
+runChains(Kind kind, int width, const Scenario &sc)
 {
-    // workers < 0 selects the serial engine; 0+ the parallel one
-    // (0 = hardware concurrency).
-    double best = 1e18;
-    for (int r = 0; r < runs; r++) {
-        std::unique_ptr<sim::Engine> eng;
-        if (workers < 0)
-            eng = std::make_unique<sim::SerialEngine>();
-        else
-            eng = std::make_unique<sim::ParallelEngine>(workers);
-        best = std::min(best, runOnce(*eng, sc));
+    std::unique_ptr<sim::Engine> eng = makeEngine(kind, width);
+    std::vector<std::unique_ptr<ChainHandler>> handlers;
+    handlers.reserve(static_cast<std::size_t>(sc.chains));
+    sim::VTime start = sim::kNanosecond;
+    for (int i = 0; i < sc.chains; i++) {
+        handlers.push_back(std::make_unique<ChainHandler>(
+            eng.get(), sc.fires, sc.spinIters, sc.sleepUs));
+        if (kind == Kind::Domain) {
+            static_cast<sim::DomainEngine *>(eng.get())->assignHandler(
+                handlers.back().get(), i % width);
+        }
+        eng->schedule(
+            std::make_unique<sim::Event>(start, handlers.back().get()));
     }
+    bench::Stopwatch sw;
+    eng->run();
+    return sw.seconds();
+}
+
+/** Ring node: forwards received messages to the next node with spin
+ * work per hop; each message dies after `ttl` hops. */
+class HopMsg : public sim::Msg
+{
+  public:
+    static constexpr sim::MsgKind kKind = sim::MsgKind::TestA;
+
+    explicit HopMsg(int ttl) : Msg(kKind), ttl(ttl) {}
+
+    const char *kind() const override { return "HopMsg"; }
+
+    int ttl;
+};
+
+class RingNode : public sim::TickingComponent
+{
+  public:
+    RingNode(sim::Engine *eng, const std::string &name,
+             std::uint64_t spin_iters)
+        : TickingComponent(eng, name, sim::Freq::ghz(1)),
+          spinIters_(spin_iters)
+    {
+        in = addPort("In", 16);
+        out = addPort("Out", 16);
+    }
+
+    bool
+    tick() override
+    {
+        bool progress = false;
+        while (!outbox.empty()) {
+            sim::MsgPtr m = outbox.front();
+            m->dst = next;
+            if (out->send(m) != sim::SendStatus::Ok)
+                break;
+            outbox.erase(outbox.begin());
+            progress = true;
+        }
+        for (;;) {
+            sim::MsgPtr m = in->retrieveIncoming();
+            if (m == nullptr)
+                break;
+            sink += spin(engine()->now(), spinIters_);
+            auto hm = sim::msgCast<HopMsg>(m);
+            if (--hm->ttl > 0)
+                outbox.push_back(m);
+            progress = true;
+        }
+        return progress;
+    }
+
+    sim::Port *in = nullptr;
+    sim::Port *out = nullptr;
+    sim::Port *next = nullptr;
+    std::vector<sim::MsgPtr> outbox;
+    volatile std::uint64_t sink = 0;
+
+  private:
+    std::uint64_t spinIters_;
+};
+
+struct RingScenario
+{
+    const char *name;
+    int nodes;
+    int msgsPerNode;
+    int ttl;
+    std::uint64_t spinIters;
+    sim::VTime wireLatency;
+};
+
+double
+runRing(Kind kind, int width, const RingScenario &sc)
+{
+    std::unique_ptr<sim::Engine> eng = makeEngine(kind, width);
+    std::vector<std::unique_ptr<RingNode>> nodes;
+    std::vector<std::unique_ptr<sim::DirectConnection>> wires;
+    for (int i = 0; i < sc.nodes; i++) {
+        nodes.push_back(std::make_unique<RingNode>(
+            eng.get(), "Ring" + std::to_string(i), sc.spinIters));
+        if (kind == Kind::Domain) {
+            // Contiguous arcs of the ring per domain.
+            static_cast<sim::DomainEngine *>(eng.get())->pinComponent(
+                nodes.back().get(), i * width / sc.nodes);
+        }
+    }
+    for (int i = 0; i < sc.nodes; i++) {
+        int j = (i + 1) % sc.nodes;
+        wires.push_back(std::make_unique<sim::DirectConnection>(
+            eng.get(), "Wire" + std::to_string(i), sc.wireLatency));
+        wires.back()->plugIn(nodes[static_cast<std::size_t>(i)]->out);
+        wires.back()->plugIn(nodes[static_cast<std::size_t>(j)]->in);
+        nodes[static_cast<std::size_t>(i)]->next =
+            nodes[static_cast<std::size_t>(j)]->in;
+    }
+    for (auto &n : nodes) {
+        for (int m = 0; m < sc.msgsPerNode; m++)
+            n->outbox.push_back(sim::makeMsg<HopMsg>(sc.ttl));
+        n->tickLater();
+    }
+    bench::Stopwatch sw;
+    eng->run();
+    return sw.seconds();
+}
+
+template <typename F>
+double
+minOfRuns(int runs, F &&once)
+{
+    double best = 1e18;
+    for (int r = 0; r < runs; r++)
+        best = std::min(best, once());
     return best;
 }
 
@@ -126,12 +266,14 @@ main(int argc, char **argv)
 {
     bench::parseCli(argc, argv);
     int runs = bench::envInt("AKITA_RUNS", 3);
-    const int workerSweep[] = {1, 2, 4, 8};
+    const int sweep[] = {1, 2, 4, 8};
 
     const Scenario scenarios[] = {
         {"compute", 16, 400, 4000, 0},
         {"latency_bound", 8, 50, 0, 200},
     };
+    const RingScenario ring = {"ring_lookahead", 8,   4,
+                               400,             2000, 500 * sim::kNanosecond};
 
     json::Json doc = json::Json::object();
     doc.set("bench", "parallel_engine");
@@ -143,22 +285,64 @@ main(int argc, char **argv)
     json::Json byScenario = json::Json::object();
     for (const Scenario &sc : scenarios) {
         std::fprintf(stderr, "%s: serial...\n", sc.name);
-        double serial = minOfRuns(sc, -1, runs);
+        double serial = minOfRuns(
+            runs, [&]() { return runChains(Kind::Serial, 1, sc); });
         json::Json row = json::Json::object();
         row.set("chains", sc.chains);
         row.set("events", sc.chains * sc.fires);
         row.set("serial_sec", serial);
-        json::Json par = json::Json::object();
         double best = serial;
-        for (int w : workerSweep) {
-            std::fprintf(stderr, "%s: %d workers...\n", sc.name, w);
-            double t = minOfRuns(sc, w, runs);
-            par.set(std::to_string(w), t);
-            best = std::min(best, t);
+        for (Kind kind : {Kind::Parallel, Kind::Domain}) {
+            const char *label =
+                kind == Kind::Parallel ? "parallel_sec" : "domain_sec";
+            json::Json cells = json::Json::object();
+            for (int w : sweep) {
+                std::fprintf(stderr, "%s: %s %d...\n", sc.name, label,
+                             w);
+                double t = minOfRuns(runs, [&]() {
+                    return runChains(kind, w, sc);
+                });
+                cells.set(std::to_string(w), t);
+                best = std::min(best, t);
+            }
+            row.set(label, std::move(cells));
         }
-        row.set("parallel_sec", std::move(par));
         row.set("best_speedup", serial / best);
         byScenario.set(sc.name, std::move(row));
+    }
+
+    {
+        std::fprintf(stderr, "%s: serial...\n", ring.name);
+        double serial = minOfRuns(
+            runs, [&]() { return runRing(Kind::Serial, 1, ring); });
+        json::Json row = json::Json::object();
+        row.set("nodes", ring.nodes);
+        row.set("hops", ring.nodes * ring.msgsPerNode * ring.ttl);
+        row.set("wire_latency_ps",
+                static_cast<std::int64_t>(ring.wireLatency));
+        row.set("serial_sec", serial);
+        double best = serial;
+        double bestDomain = 1e18;
+        for (Kind kind : {Kind::Parallel, Kind::Domain}) {
+            const char *label =
+                kind == Kind::Parallel ? "parallel_sec" : "domain_sec";
+            json::Json cells = json::Json::object();
+            for (int w : sweep) {
+                std::fprintf(stderr, "%s: %s %d...\n", ring.name,
+                             label, w);
+                double t = minOfRuns(runs, [&]() {
+                    return runRing(kind, w, ring);
+                });
+                cells.set(std::to_string(w), t);
+                best = std::min(best, t);
+                if (kind == Kind::Domain)
+                    bestDomain = std::min(bestDomain, t);
+            }
+            row.set(label, std::move(cells));
+        }
+        row.set("best_speedup", serial / best);
+        row.set("domain_best_speedup", serial / bestDomain);
+        byScenario.set(ring.name, std::move(row));
     }
     doc.set("scenarios", std::move(byScenario));
 

@@ -67,6 +67,8 @@ Platform::Platform(const PlatformConfig &cfg) : cfg_(cfg)
 {
     if (cfg_.engineKind == EngineKind::Parallel)
         engine_ = std::make_unique<sim::ParallelEngine>(cfg_.workers);
+    else if (cfg_.engineKind == EngineKind::Domain)
+        engine_ = std::make_unique<sim::DomainEngine>(cfg_.domains);
     else
         engine_ = std::make_unique<sim::SerialEngine>();
     driver_ = std::make_unique<Driver>(engine_.get(), "Driver", cfg_.freq);
@@ -366,6 +368,8 @@ applyEngineChoice(PlatformConfig &cfg, const std::string &kind)
 {
     if (kind == "parallel")
         cfg.engineKind = EngineKind::Parallel;
+    else if (kind == "domain")
+        cfg.engineKind = EngineKind::Domain;
     else if (kind == "serial")
         cfg.engineKind = EngineKind::Serial;
 }
@@ -379,6 +383,8 @@ applyEngineEnv(PlatformConfig &cfg)
         applyEngineChoice(cfg, e);
     if (const char *w = std::getenv("AKITA_WORKERS"))
         cfg.workers = std::atoi(w);
+    if (const char *d = std::getenv("AKITA_DOMAINS"))
+        cfg.domains = std::atoi(d);
     if (const char *r = std::getenv("AKITA_RECORD"))
         cfg.recordPath = r;
     if (const char *b = std::getenv("AKITA_RECORD_BYTES")) {
@@ -398,6 +404,8 @@ applyEngineArgs(PlatformConfig &cfg, int argc, char **argv)
             applyEngineChoice(cfg, arg.substr(9));
         else if (arg.rfind("--workers=", 0) == 0)
             cfg.workers = std::atoi(arg.c_str() + 10);
+        else if (arg.rfind("--domains=", 0) == 0)
+            cfg.domains = std::atoi(arg.c_str() + 10);
         else if (arg.rfind("--record=", 0) == 0)
             cfg.recordPath = arg.substr(9);
         else if (arg.rfind("--record-bytes=", 0) == 0) {

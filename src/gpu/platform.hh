@@ -76,6 +76,8 @@ enum class EngineKind
     Serial,
     /** Multi-worker ParallelEngine (same-timestamp cohorts). */
     Parallel,
+    /** Conservative-PDES DomainEngine (latency-partitioned domains). */
+    Domain,
 };
 
 /** Whole-platform shape. */
@@ -85,6 +87,8 @@ struct PlatformConfig
     EngineKind engineKind = EngineKind::Serial;
     /** Parallel-engine worker count; 0 = hardware concurrency. */
     int workers = 0;
+    /** Domain-engine target domain count; 0 = hardware concurrency. */
+    int domains = 0;
     std::size_t numGpus = 1;
     GpuConfig gpu;
     net::SwitchedNetwork::Config network;
@@ -202,13 +206,15 @@ class Platform
  * Applies the standard engine-selection flags/environment to a config.
  *
  * Recognized argv flags (consumed semantically, not removed):
- *   --engine=serial|parallel
+ *   --engine=serial|parallel|domain
  *   --workers=N
+ *   --domains=N            domain-engine partition target
  *   --record=PATH          flight-recorder segment file
  *   --record-bytes=N       segment size in bytes
  * Environment (lower precedence than flags):
- *   AKITA_ENGINE=serial|parallel
+ *   AKITA_ENGINE=serial|parallel|domain
  *   AKITA_WORKERS=N
+ *   AKITA_DOMAINS=N
  *   AKITA_RECORD=PATH
  *   AKITA_RECORD_BYTES=N
  *

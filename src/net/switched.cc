@@ -29,6 +29,12 @@ SwitchedNetwork::SwitchedNetwork(sim::Engine *engine, std::string name,
         return introspect::Value::ofInt(
             static_cast<std::int64_t>(totalMsgs_));
     });
+    engine_->noteConnection(this);
+}
+
+SwitchedNetwork::~SwitchedNetwork()
+{
+    engine_->noteConnectionDestroyed(this);
 }
 
 void

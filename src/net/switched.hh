@@ -50,6 +50,7 @@ class SwitchedNetwork : public sim::Connection,
 
     SwitchedNetwork(sim::Engine *engine, std::string name,
                     const Config &cfg);
+    ~SwitchedNetwork() override;
 
     const std::string &name() const { return name_; }
 
@@ -64,6 +65,8 @@ class SwitchedNetwork : public sim::Connection,
     sim::SendStatus send(sim::MsgPtr msg) override;
     void notifyAvailable(sim::Port *dst) override;
     std::vector<BlockedSender> blockedSnapshot() const override;
+
+    sim::VTime minLatency() const override { return cfg_.latency; }
 
     /** Delivery: the engine hands back the DeliverEvents send() queued. */
     void handle(sim::Event &event) override;

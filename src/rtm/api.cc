@@ -8,6 +8,7 @@
 
 #include "rtm/monitor.hh"
 #include "rtm/serialize.hh"
+#include "sim/domain_engine.hh"
 #include "web/encoding.hh"
 
 namespace akita
@@ -526,6 +527,56 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
                 writeHangReport(body, m->hangReport());
                 return body;
             });
+    });
+
+    server.route("GET", "/api/v1/domains", [m](const web::Request &) {
+        auto *de = dynamic_cast<sim::DomainEngine *>(m->engine());
+        if (de == nullptr)
+            return web::Response::error(
+                404, "engine is not domain-partitioned "
+                     "(run with --engine=domain)");
+        // Membership and edges are frozen at partition time; only the
+        // per-domain counters move, and they are plain atomics — no
+        // engine lock, no cache needed.
+        const auto &members = de->domainMemberNames();
+        const auto &part = de->partition();
+        const auto &connNames = de->edgeConnectionNames();
+        std::string body;
+        json::Writer w(body);
+        w.beginObject();
+        w.field("num_domains",
+                static_cast<std::uint64_t>(de->numDomains()));
+        w.key("domains").beginArray();
+        for (int i = 0; i < de->numDomains(); i++) {
+            sim::DomainEngine::DomainStatus st = de->domainStatus(i);
+            w.beginObject();
+            w.field("id", static_cast<std::uint64_t>(i));
+            w.field("clock_ps", st.clock);
+            w.field("horizon_ps", st.horizon);
+            w.field("events", st.events);
+            w.field("queue_len",
+                    static_cast<std::uint64_t>(st.queueLen));
+            w.key("members").beginArray();
+            for (const std::string &name : members[i])
+                w.value(name);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.key("edges").beginArray();
+        for (std::size_t i = 0; i < part.edges.size(); i++) {
+            w.beginObject();
+            w.field("src",
+                    static_cast<std::uint64_t>(part.edges[i].src));
+            w.field("dst",
+                    static_cast<std::uint64_t>(part.edges[i].dst));
+            w.field("lookahead_ps", part.edges[i].lookahead);
+            w.field("connection", connNames[i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        return web::Response::json(std::move(body));
     });
 
     server.route(

@@ -8,6 +8,12 @@ namespace sim
 Component::Component(Engine *engine, std::string name)
     : engine_(engine), name_(std::move(name))
 {
+    engine_->noteComponent(this);
+}
+
+Component::~Component()
+{
+    engine_->noteComponentDestroyed(this);
 }
 
 Port *

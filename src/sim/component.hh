@@ -56,7 +56,7 @@ class Component : public introspect::Inspectable
      */
     Component(Engine *engine, std::string name);
 
-    ~Component() override = default;
+    ~Component() override;
 
     Component(const Component &) = delete;
     Component &operator=(const Component &) = delete;

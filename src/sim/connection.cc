@@ -16,6 +16,12 @@ DirectConnection::DirectConnection(Engine *engine, std::string name,
     : engine_(engine), name_(std::move(name)), latency_(latency),
       deliverName_(name_ + "::deliver")
 {
+    engine_->noteConnection(this);
+}
+
+DirectConnection::~DirectConnection()
+{
+    engine_->noteConnectionDestroyed(this);
 }
 
 void

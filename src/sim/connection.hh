@@ -39,6 +39,8 @@ class DeliverEvent : public Event
     {
     }
 
+    Port *deliveryDst() const override { return msg ? msg->dst : nullptr; }
+
     MsgPtr msg;
 };
 
@@ -70,6 +72,15 @@ class Connection
      * can be woken.
      */
     virtual void notifyAvailable(Port *dst) = 0;
+
+    /**
+     * Lower bound on the delivery latency of any message this
+     * connection carries — the lookahead the domain engine may exploit
+     * when the connection crosses a domain boundary. The conservative
+     * default (0) forces the partitioner to keep all attached
+     * components in one domain.
+     */
+    virtual VTime minLatency() const { return 0; }
 
     /** One sender currently blocked on a full destination port. */
     struct BlockedSender
@@ -112,6 +123,7 @@ class DirectConnection : public Connection, public EventHandler
      *        (still through the event queue, preserving order).
      */
     DirectConnection(Engine *engine, std::string name, VTime latency);
+    ~DirectConnection() override;
 
     const std::string &name() const { return name_; }
 
@@ -125,6 +137,8 @@ class DirectConnection : public Connection, public EventHandler
     void plugIn(Port *port) override;
     SendStatus send(MsgPtr msg) override;
     void notifyAvailable(Port *dst) override;
+
+    VTime minLatency() const override { return latency_; }
 
     /** Delivery: the engine hands back the DeliverEvents send() queued. */
     void handle(Event &event) override;

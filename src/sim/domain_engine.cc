@@ -1,0 +1,810 @@
+#include "sim/domain_engine.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "sim/component.hh"
+#include "sim/connection.hh"
+#include "sim/port.hh"
+#include "sim/prof.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+namespace
+{
+
+/**
+ * Which engine/domain the current thread is a worker of. Lets
+ * schedule() from a running handler take the lock-free own-queue path,
+ * now() return the exact local clock, and withLock() from a handler
+ * run inline (the caller is already at a consistent point of its own
+ * domain).
+ */
+struct TlsDom
+{
+    const DomainEngine *eng = nullptr;
+    void *dom = nullptr;
+};
+
+thread_local TlsDom tlsDom;
+
+[[noreturn]] void
+throwPast(VTime t, VTime now)
+{
+    throw std::runtime_error("cannot schedule event in the past (t=" +
+                             std::to_string(t) +
+                             ", now=" + std::to_string(now) + ")");
+}
+
+} // namespace
+
+DomainEngine::DomainEngine(int domains)
+    : requested_(domains > 0
+                     ? domains
+                     : static_cast<int>(
+                           std::max(1u, std::thread::hardware_concurrency())))
+{
+    declareField("now_ps", [this]() {
+        return introspect::Value::ofInt(static_cast<std::int64_t>(now()));
+    });
+    declareField("queue_len", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(queueLength()));
+    });
+    declareField("total_events", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(eventCount()));
+    });
+    declareField("total_scheduled", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(scheduledCount()));
+    });
+    declareField("domains", [this]() {
+        return introspect::Value::ofInt(
+            partitioned_.load(std::memory_order_acquire)
+                ? static_cast<std::int64_t>(doms_.size())
+                : requested_);
+    });
+    declareField("paused",
+                 [this]() { return introspect::Value::ofBool(paused()); });
+    declareField("running",
+                 [this]() { return introspect::Value::ofBool(running()); });
+}
+
+DomainEngine::~DomainEngine() = default;
+
+// ---- Registration ----
+
+void
+DomainEngine::noteComponent(Component *c)
+{
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    if (!partitioned_.load(std::memory_order_relaxed)) {
+        components_.push_back(c);
+        return;
+    }
+    // Late registration (after the partition is fixed): the component
+    // joins domain 0. Build the full graph before the first run (or
+    // partition() call) to get a real placement.
+    componentDom_.emplace(c, 0);
+}
+
+void
+DomainEngine::noteComponentDestroyed(Component *c)
+{
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    components_.erase(
+        std::remove(components_.begin(), components_.end(), c),
+        components_.end());
+    pins_.erase(c);
+    componentDom_.erase(c);
+    auto it = componentHandler_.find(c);
+    if (it != componentHandler_.end()) {
+        handlerDom_.erase(it->second);
+        componentHandler_.erase(it);
+    }
+}
+
+void
+DomainEngine::noteConnection(Connection *c)
+{
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    if (!partitioned_.load(std::memory_order_relaxed))
+        connections_.push_back(c);
+}
+
+void
+DomainEngine::noteConnectionDestroyed(Connection *c)
+{
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    connections_.erase(
+        std::remove(connections_.begin(), connections_.end(), c),
+        connections_.end());
+}
+
+void
+DomainEngine::pinComponent(Component *c, int d)
+{
+    if (d < 0)
+        throw std::invalid_argument("domain pin must be >= 0");
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    if (partitioned_.load(std::memory_order_relaxed))
+        throw std::logic_error(
+            "pinComponent: partition already computed");
+    pins_[c] = d;
+}
+
+void
+DomainEngine::assignHandler(EventHandler *h, int d)
+{
+    if (d < 0)
+        throw std::invalid_argument("domain assignment must be >= 0");
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    if (partitioned_.load(std::memory_order_relaxed))
+        throw std::logic_error(
+            "assignHandler: partition already computed");
+    handlerPins_[h] = d;
+}
+
+const DomainPartition &
+DomainEngine::partition()
+{
+    ensurePartitioned();
+    return part_;
+}
+
+void
+DomainEngine::ensurePartitioned()
+{
+    if (partitioned_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    if (partitioned_.load(std::memory_order_relaxed))
+        return;
+
+    part_ = partitionDomains(components_, connections_, requested_, pins_);
+
+    // Handler assignments may name domains the component graph did not
+    // produce (e.g. a component-less bench rig); create them.
+    int numDoms = std::max(part_.numDomains, 1);
+    for (const auto &kv : handlerPins_)
+        numDoms = std::max(numDoms, kv.second + 1);
+    part_.numDomains = numDoms;
+    part_.members.resize(numDoms);
+    part_.incoming.resize(numDoms);
+
+    doms_.clear();
+    doms_.reserve(numDoms);
+    for (int i = 0; i < numDoms; i++) {
+        doms_.push_back(std::make_unique<Dom>());
+        Dom &d = *doms_.back();
+        d.id = static_cast<std::size_t>(i);
+        for (const auto &e : part_.incoming[i])
+            d.in.push_back({static_cast<std::size_t>(e.src),
+                            e.lookahead});
+    }
+
+    componentDom_.clear();
+    handlerDom_.clear();
+    componentHandler_.clear();
+    for (Component *c : components_) {
+        auto it = part_.domainOf.find(c);
+        std::size_t dom =
+            it != part_.domainOf.end()
+                ? static_cast<std::size_t>(it->second)
+                : 0;
+        componentDom_.emplace(c, dom);
+        if (auto *h = dynamic_cast<EventHandler *>(c)) {
+            handlerDom_.emplace(h, dom);
+            componentHandler_.emplace(c, h);
+        }
+    }
+    for (const auto &kv : handlerPins_)
+        handlerDom_[kv.first] = static_cast<std::size_t>(kv.second);
+
+    memberNames_.assign(static_cast<std::size_t>(numDoms), {});
+    for (int i = 0; i < numDoms; i++) {
+        for (Component *c : part_.members[i])
+            memberNames_[i].push_back(c->name());
+    }
+    edgeConnNames_.clear();
+    for (const auto &e : part_.edges)
+        edgeConnNames_.push_back(e.via ? e.via->connectionName()
+                                       : std::string("?"));
+
+    // Events scheduled before the partition existed (pending_ and
+    // totalScheduled_ already counted them) now land in mailboxes; the
+    // owning worker picks them up at its first drain.
+    for (EventPtr &ev : setup_) {
+        Dom *d = routeOf(*ev);
+        std::lock_guard<std::mutex> mk(d->mailMu);
+        if (ev->time() < d->mailMin)
+            d->mailMin = ev->time();
+        d->mail.push_back(std::move(ev));
+        d->mailCount.fetch_add(1, std::memory_order_release);
+    }
+    setup_.clear();
+
+    partitioned_.store(true, std::memory_order_release);
+}
+
+// ---- Scheduling ----
+
+DomainEngine::Dom *
+DomainEngine::routeOf(const Event &ev)
+{
+    if (Port *p = ev.deliveryDst()) {
+        auto it = componentDom_.find(p->owner());
+        if (it != componentDom_.end())
+            return doms_[it->second].get();
+    }
+    auto it = handlerDom_.find(ev.handler());
+    if (it != handlerDom_.end())
+        return doms_[it->second].get();
+    // Unknown handler (ad-hoc FuncEvent, bench rig without
+    // assignHandler): affinity to the scheduling worker's own domain
+    // keeps it causally local; external threads feed domain 0.
+    if (tlsDom.eng == this && tlsDom.dom != nullptr)
+        return static_cast<Dom *>(tlsDom.dom);
+    return doms_[0].get();
+}
+
+void
+DomainEngine::schedule(EventPtr event)
+{
+    if (!partitioned_.load(std::memory_order_acquire)) {
+        std::unique_lock<std::recursive_mutex> lk(setupMu_);
+        if (!partitioned_.load(std::memory_order_relaxed)) {
+            totalScheduled_.fetch_add(1, std::memory_order_relaxed);
+            pending_.fetch_add(1, std::memory_order_acq_rel);
+            setup_.push_back(std::move(event));
+            return;
+        }
+    }
+    Dom *d = routeOf(*event);
+    if (tlsDom.eng == this && tlsDom.dom == d) {
+        // Own-domain schedule from a running handler: the queue is
+        // worker-owned, no lock needed. Past-check against the exact
+        // local clock — identical semantics to the serial engine.
+        VTime c = d->clock.load(std::memory_order_relaxed);
+        if (event->time() < c)
+            throwPast(event->time(), c);
+        totalScheduled_.fetch_add(1, std::memory_order_relaxed);
+        pending_.fetch_add(1, std::memory_order_acq_rel);
+        d->queue.push(std::move(event));
+        d->qlen.store(d->queue.size(), std::memory_order_relaxed);
+        return;
+    }
+    enqueueRemote(*d, std::move(event), false);
+}
+
+void
+DomainEngine::enqueueRemote(Dom &d, EventPtr ev, bool counted)
+{
+    if (!running_.load(std::memory_order_acquire)) {
+        // Engine idle between runs: enforce the serial contract. While
+        // running, cross-thread events are floored to the destination's
+        // safe horizon at mailbox drain instead (a wake may legally
+        // originate from a domain whose clock lags the destination).
+        VTime c = d.clock.load(std::memory_order_relaxed);
+        if (ev->time() < c)
+            throwPast(ev->time(), c);
+    }
+    {
+        std::lock_guard<std::mutex> lk(d.mailMu);
+        if (!counted) {
+            totalScheduled_.fetch_add(1, std::memory_order_relaxed);
+            pending_.fetch_add(1, std::memory_order_acq_rel);
+        }
+        if (ev->time() < d.mailMin)
+            d.mailMin = ev->time();
+        d.mail.push_back(std::move(ev));
+        d.mailCount.fetch_add(1, std::memory_order_release);
+    }
+    bumpProgress();
+}
+
+// ---- Time ----
+
+VTime
+DomainEngine::now() const
+{
+    if (tlsDom.eng == this && tlsDom.dom != nullptr)
+        return static_cast<const Dom *>(tlsDom.dom)
+            ->clock.load(std::memory_order_relaxed);
+    if (!partitioned_.load(std::memory_order_acquire))
+        return 0;
+    // Global virtual-time floor: the minimum published horizon.
+    // Domains that promised "nothing ever" (kTimeMax: idle with no
+    // incoming edges) don't drag the estimate; all-idle engines sync
+    // clocks at drain, so the fallback is the max clock.
+    VTime m = kTimeMax;
+    VTime maxClock = 0;
+    for (const auto &d : doms_) {
+        VTime h = d->horizon.load(std::memory_order_acquire);
+        if (h != kTimeMax && h < m)
+            m = h;
+        VTime c = d->clock.load(std::memory_order_relaxed);
+        if (c > maxClock)
+            maxClock = c;
+    }
+    return m != kTimeMax ? m : maxClock;
+}
+
+// ---- Safe-window machinery ----
+
+VTime
+DomainEngine::safeWindow(const Dom &d) const
+{
+    VTime b = kTimeMax;
+    for (const InEdge &e : d.in) {
+        VTime h = doms_[e.src]->horizon.load(std::memory_order_acquire);
+        VTime w = kTimeMax - h < e.lookahead ? kTimeMax
+                                             : h + e.lookahead;
+        if (w < b)
+            b = w;
+    }
+    return b;
+}
+
+void
+DomainEngine::drainMail(Dom &d)
+{
+    if (d.mailCount.load(std::memory_order_acquire) == 0)
+        return;
+    std::vector<EventPtr> local;
+    {
+        std::lock_guard<std::mutex> lk(d.mailMu);
+        local.swap(d.mail);
+        d.mailMin = kTimeMax;
+        d.mailCount.store(0, std::memory_order_relaxed);
+    }
+    const VTime hz = d.horizon.load(std::memory_order_relaxed);
+    const VTime clk = d.clock.load(std::memory_order_relaxed);
+    for (EventPtr &ev : local) {
+        if (ev->time() < hz && ev->deliveryDst() != nullptr) {
+            // A message delivery can only land below the horizon
+            // when a cross-domain connection's latency undercuts
+            // the partition's lookahead — a partition bug run()
+            // should have rejected.
+            throw std::runtime_error(
+                "cross-domain delivery below the safe horizon "
+                "(t=" + std::to_string(ev->time()) +
+                ", horizon=" + std::to_string(hz) + ") via '" +
+                ev->handler()->handlerName() +
+                "': zero-lookahead partition");
+        }
+        if (auto *tc =
+                dynamic_cast<TickingComponent *>(ev->handler())) {
+            // Wake/tick from a domain whose clock lags ours: floor it
+            // to the horizon, and strictly above the last executed
+            // cycle — a wake landing on an already-ticked cycle would
+            // be eaten by handle()'s same-cycle duplicate guard and
+            // the sleeping component would never retry. Physically the
+            // wake crosses the boundary with the wire's latency.
+            VTime floor = std::max(hz, clk + 1);
+            if (ev->time() < floor) {
+                VTime t = floor;
+                if (t % tc->freq().period() != 0)
+                    t = tc->freq().nextTick(t);
+                ev->setTime(t);
+            }
+        } else if (ev->time() < hz) {
+            ev->setTime(hz);
+        }
+        d.queue.push(std::move(ev));
+    }
+    d.qlen.store(d.queue.size(), std::memory_order_relaxed);
+}
+
+void
+DomainEngine::publishClock(Dom &d, VTime t)
+{
+    if (d.clock.load(std::memory_order_relaxed) == t)
+        return;
+    d.clock.store(t, std::memory_order_release);
+    if (d.horizon.load(std::memory_order_relaxed) < t) {
+        d.horizon.store(t, std::memory_order_release);
+        bumpProgress();
+    }
+}
+
+void
+DomainEngine::publishIdleHorizon(Dom &d, VTime bound)
+{
+    VTime head = d.queue.empty() ? kTimeMax : d.queue.peekTime();
+    bool raised = false;
+    {
+        // Under mailMu so the published promise can never race past a
+        // mailbox stamp an enqueuer is concurrently adding.
+        std::lock_guard<std::mutex> lk(d.mailMu);
+        VTime hz = std::min(head, bound);
+        if (d.mailMin < hz)
+            hz = d.mailMin;
+        if (hz > d.horizon.load(std::memory_order_relaxed)) {
+            d.horizon.store(hz, std::memory_order_release);
+            raised = true;
+        }
+    }
+    if (raised)
+        bumpProgress();
+}
+
+// ---- Execution ----
+
+void
+DomainEngine::executeEvent(Dom &d, Event &event)
+{
+    invokeHook(hookPosBeforeEvent, &event);
+    if (Profiler::instance().enabled()) {
+        ProfScope scope(event.handler()->profName());
+        event.handler()->handle(event);
+    } else {
+        event.handler()->handle(event);
+    }
+    invokeHook(hookPosAfterEvent, &event);
+    // Single writer per domain: load+store beats fetch_add.
+    d.events.store(d.events.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+    totalEvents_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+DomainEngine::executeBatch(Dom &d, VTime bound)
+{
+    std::lock_guard<std::mutex> lk(d.execMu);
+    int n = 0;
+    while (n < batch_ && !d.queue.empty()) {
+        if (stopRequested_.load(std::memory_order_relaxed) ||
+            paused_.load(std::memory_order_relaxed) ||
+            exitWorkers_.load(std::memory_order_relaxed))
+            break;
+        VTime t = d.queue.peekTime();
+        if (t > bound)
+            break;
+        // Publish before executing: outputs of events at t are stamped
+        // >= t + connection latency, so downstream safe windows derived
+        // from clock t stay conservative.
+        publishClock(d, t);
+        EventPtr ev = d.queue.pop();
+        d.qlen.store(d.queue.size(), std::memory_order_relaxed);
+        executeEvent(d, *ev);
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            bumpProgress(); // Possibly globally drained: wake detectors.
+        n++;
+    }
+}
+
+// ---- The worker loop ----
+
+void
+DomainEngine::bumpProgress()
+{
+    progressGen_.fetch_add(1);
+    if (waiters_.load() > 0) {
+        std::lock_guard<std::mutex> lk(waitMu_);
+        waitCv_.notify_all();
+    }
+}
+
+void
+DomainEngine::recordError()
+{
+    {
+        std::lock_guard<std::mutex> lk(errMu_);
+        if (!error_)
+            error_ = std::current_exception();
+    }
+    exitWorkers_.store(true);
+    bumpProgress();
+    std::lock_guard<std::mutex> lk(waitMu_);
+    waitCv_.notify_all();
+}
+
+void
+DomainEngine::parkWhileDrained()
+{
+    waiters_.fetch_add(1);
+    {
+        std::unique_lock<std::mutex> lk(waitMu_);
+        if (pending_.load(std::memory_order_relaxed) == 0 &&
+            !stopRequested_.load(std::memory_order_relaxed) &&
+            !exitWorkers_.load(std::memory_order_relaxed)) {
+            parked_++;
+            waitCv_.notify_all(); // The coordinator counts us.
+            waitCv_.wait(lk, [&]() {
+                return pending_.load(std::memory_order_relaxed) != 0 ||
+                       stopRequested_.load(std::memory_order_relaxed) ||
+                       exitWorkers_.load(std::memory_order_relaxed);
+            });
+            parked_--;
+        }
+    }
+    waiters_.fetch_sub(1);
+}
+
+bool
+DomainEngine::coordinateDrain(Dom &)
+{
+    const int others = static_cast<int>(doms_.size()) - 1;
+    bool finished = false;
+    bool drained = false;
+    waiters_.fetch_add(1);
+    {
+        std::unique_lock<std::mutex> lk(waitMu_);
+        waitCv_.wait(lk, [&]() {
+            return parked_ == others ||
+                   pending_.load(std::memory_order_relaxed) != 0 ||
+                   stopRequested_.load(std::memory_order_relaxed) ||
+                   exitWorkers_.load(std::memory_order_relaxed);
+        });
+        drained = parked_ == others &&
+                  pending_.load(std::memory_order_relaxed) == 0 &&
+                  !stopRequested_.load(std::memory_order_relaxed) &&
+                  !exitWorkers_.load(std::memory_order_relaxed);
+    }
+    waiters_.fetch_sub(1);
+    if (!drained)
+        return false;
+
+    // Globally drained: no event exists anywhere, every other worker is
+    // parked. Synchronize all clocks to the furthest one — from here on
+    // the engine behaves like the serial engine at its final time, so
+    // wait-when-empty revival (the monitor's Tick button) is sane.
+    VTime maxClock = 0;
+    for (const auto &dm : doms_)
+        maxClock =
+            std::max(maxClock, dm->clock.load(std::memory_order_relaxed));
+    for (const auto &dm : doms_) {
+        dm->clock.store(maxClock, std::memory_order_release);
+        dm->horizon.store(maxClock, std::memory_order_release);
+    }
+    invokeHook(hookPosQueueDrained, nullptr);
+
+    if (!waitWhenEmpty_) {
+        drainedResult_ = true;
+        exitWorkers_.store(true);
+        bumpProgress();
+        std::lock_guard<std::mutex> lk(waitMu_);
+        waitCv_.notify_all();
+        return true;
+    }
+
+    drainedWaiting_.store(true);
+    notifyState("drained");
+    waiters_.fetch_add(1);
+    {
+        std::unique_lock<std::mutex> lk(waitMu_);
+        waitCv_.wait(lk, [&]() {
+            return pending_.load(std::memory_order_relaxed) != 0 ||
+                   stopRequested_.load(std::memory_order_relaxed) ||
+                   exitWorkers_.load(std::memory_order_relaxed);
+        });
+    }
+    waiters_.fetch_sub(1);
+    drainedWaiting_.store(false);
+    return finished;
+}
+
+void
+DomainEngine::workerLoop(Dom &d, bool coordinator)
+{
+    tlsDom = {this, &d};
+    while (!exitWorkers_.load(std::memory_order_relaxed) &&
+           !stopRequested_.load(std::memory_order_relaxed)) {
+        try {
+            if (paused_.load(std::memory_order_relaxed)) {
+                waiters_.fetch_add(1);
+                {
+                    std::unique_lock<std::mutex> lk(waitMu_);
+                    waitCv_.wait(lk, [&]() {
+                        return !paused_.load(
+                                   std::memory_order_relaxed) ||
+                               stopRequested_.load(
+                                   std::memory_order_relaxed) ||
+                               exitWorkers_.load(
+                                   std::memory_order_relaxed);
+                    });
+                }
+                waiters_.fetch_sub(1);
+                continue;
+            }
+            if (lockWaiters_.load(std::memory_order_acquire) > 0) {
+                // Monitor-fairness handoff (cf. SerialEngine): we hold
+                // no execMu here, so an announced withLock() can take
+                // every domain's mutex without starving.
+                std::this_thread::yield();
+                continue;
+            }
+            // Order matters: snapshot the progress generation, read
+            // upstream horizons, and only then drain the mailbox —
+            // a message enqueued after the horizon read either lands
+            // in the drain or re-wakes us via the generation.
+            std::uint64_t gen = progressGen_.load();
+            VTime bound = safeWindow(d);
+            drainMail(d);
+            if (!d.queue.empty() && d.queue.peekTime() <= bound) {
+                executeBatch(d, bound);
+                continue;
+            }
+            publishIdleHorizon(d, bound);
+            if (pending_.load(std::memory_order_acquire) == 0) {
+                if (coordinator) {
+                    if (coordinateDrain(d))
+                        break;
+                } else {
+                    parkWhileDrained();
+                }
+                continue;
+            }
+            waiters_.fetch_add(1);
+            {
+                std::unique_lock<std::mutex> lk(waitMu_);
+                waitCv_.wait(lk, [&]() {
+                    return progressGen_.load() != gen ||
+                           stopRequested_.load(
+                               std::memory_order_relaxed) ||
+                           exitWorkers_.load(
+                               std::memory_order_relaxed) ||
+                           paused_.load(std::memory_order_relaxed);
+                });
+            }
+            waiters_.fetch_sub(1);
+        } catch (...) {
+            recordError();
+            break;
+        }
+    }
+    tlsDom = {};
+}
+
+// ---- Control surface ----
+
+void
+DomainEngine::stop()
+{
+    stopRequested_.store(true);
+    bumpProgress();
+    {
+        std::lock_guard<std::mutex> lk(waitMu_);
+        waitCv_.notify_all();
+    }
+    notifyState("stop");
+}
+
+void
+DomainEngine::pause()
+{
+    paused_.store(true);
+    bumpProgress();
+    notifyState("pause");
+}
+
+void
+DomainEngine::resume()
+{
+    paused_.store(false);
+    bumpProgress();
+    {
+        std::lock_guard<std::mutex> lk(waitMu_);
+        waitCv_.notify_all();
+    }
+    notifyState("resume");
+}
+
+void
+DomainEngine::withLock(const std::function<void()> &fn) const
+{
+    if (tlsDom.eng == this) {
+        // A handler is already at a consistent point of its own domain;
+        // taking the domain locks from here would deadlock on our own.
+        fn();
+        return;
+    }
+    if (!partitioned_.load(std::memory_order_acquire)) {
+        // Pre-partition (setup phase). Hold setupMu_ so a concurrent
+        // first run() cannot flip the partition and start executing
+        // events mid-fn — the flip happens under setupMu_ before any
+        // worker exists. Re-check: if the partition landed while we
+        // waited for the lock, fall through to the domain locks.
+        std::unique_lock<std::recursive_mutex> lk(setupMu_);
+        if (!partitioned_.load(std::memory_order_relaxed)) {
+            fn();
+            return;
+        }
+    }
+    lockWaiters_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        // All domain locks in id order: a causally-consistent cut at
+        // event boundaries across the whole simulation.
+        std::vector<std::unique_lock<std::mutex>> locks;
+        locks.reserve(doms_.size());
+        for (const auto &d : doms_)
+            locks.emplace_back(d->execMu);
+        fn();
+    }
+    lockWaiters_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+DomainEngine::DomainStatus
+DomainEngine::domainStatus(int d) const
+{
+    DomainStatus s;
+    if (d < 0 || static_cast<std::size_t>(d) >= doms_.size())
+        return s;
+    const Dom &dm = *doms_[d];
+    s.clock = dm.clock.load(std::memory_order_relaxed);
+    s.horizon = dm.horizon.load(std::memory_order_relaxed);
+    s.events = dm.events.load(std::memory_order_relaxed);
+    s.queueLen = dm.qlen.load(std::memory_order_relaxed) +
+                 dm.mailCount.load(std::memory_order_relaxed);
+    return s;
+}
+
+RunResult
+DomainEngine::run()
+{
+    ensurePartitioned();
+    for (std::size_t i = 0; i < part_.edges.size(); i++) {
+        if (part_.edges[i].lookahead != 0)
+            continue;
+        throw std::runtime_error(
+            "domain partition has zero lookahead on edge " +
+            std::to_string(part_.edges[i].src) + " -> " +
+            std::to_string(part_.edges[i].dst) + " via connection '" +
+            edgeConnNames_[i] +
+            "': a cut connection needs latency > 0 (unpin components "
+            "or lower the domain count)");
+    }
+
+    stopRequested_.store(false);
+    exitWorkers_.store(false);
+    drainedResult_ = false;
+    {
+        std::lock_guard<std::mutex> lk(errMu_);
+        error_ = nullptr;
+    }
+    running_.store(true);
+    notifyState("run_start");
+
+    threads_.clear();
+    threads_.reserve(doms_.size() > 0 ? doms_.size() - 1 : 0);
+    for (std::size_t i = 1; i < doms_.size(); i++) {
+        threads_.emplace_back(
+            [this, i]() { workerLoop(*doms_[i], false); });
+    }
+    workerLoop(*doms_[0], true);
+
+    // The coordinator is done (stop, drain, or error): release everyone.
+    exitWorkers_.store(true);
+    bumpProgress();
+    {
+        std::lock_guard<std::mutex> lk(waitMu_);
+        waitCv_.notify_all();
+    }
+    for (std::thread &t : threads_)
+        t.join();
+    threads_.clear();
+
+    running_.store(false);
+    notifyState("run_end");
+
+    {
+        std::lock_guard<std::mutex> lk(errMu_);
+        if (error_) {
+            std::exception_ptr err = error_;
+            error_ = nullptr;
+            std::rethrow_exception(err);
+        }
+    }
+    if (stopRequested_.load(std::memory_order_relaxed))
+        return RunResult::Stopped;
+    return RunResult::Drained;
+}
+
+} // namespace sim
+} // namespace akita

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Conservative parallel-discrete-event engine over latency domains.
+ */
+
+#ifndef AKITA_SIM_DOMAIN_ENGINE_HH
+#define AKITA_SIM_DOMAIN_ENGINE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/domain.hh"
+#include "sim/engine.hh"
+
+namespace akita
+{
+namespace sim
+{
+
+/**
+ * Conservative PDES engine: the component graph is partitioned into
+ * domains (see domain.hh), each with its own event queue, clock, and
+ * worker thread. A domain advances freely inside its *safe window* —
+ * the minimum over incoming cross-domain edges of the source domain's
+ * published horizon plus the edge's lookahead (its minimum connection
+ * latency) — and synchronizes with other domains only when a message
+ * actually crosses a boundary. There is no per-tick barrier: with long
+ * inter-domain latencies, domains run thousands of events ahead of each
+ * other (Chandy-Misra-Bryant, shared-memory style).
+ *
+ * Safety argument, in terms of the two per-domain times:
+ *
+ *  - clock: the time of the domain's last executed event. Handlers
+ *    observe it as now().
+ *  - horizon: a published promise — "this domain will emit no
+ *    cross-domain message stamped below horizon + edge latency". While
+ *    executing events at time h, horizon == clock == h and outputs are
+ *    stamped >= h + connection latency. While idle or blocked, the
+ *    worker raises horizon to min(queue head, own safe window, earliest
+ *    mailbox stamp): no earlier output can exist, because any event it
+ *    could still receive is itself bounded by the safe window. Horizons
+ *    are monotone, so a reader's stale value is merely conservative.
+ *
+ *  - A worker computes its safe window (acquire-reads of upstream
+ *    horizons) *before* draining its mailbox; senders enqueue to the
+ *    mailbox *before* raising their horizon (release). A message can
+ *    therefore never slip under an already-computed window.
+ *
+ * Cross-domain wakes (sleep/wake ticking, monitor Tick) are scheduled
+ * from the waker's clock and may land below the destination's horizon;
+ * they are floored up to it at mailbox drain — physically, backpressure
+ * release travels with the wire latency of the connection it crosses.
+ * Cross-domain *message deliveries* can never need flooring (their
+ * stamp carries the connection latency); one arriving below the horizon
+ * means a zero-lookahead cut and throws. run() rejects partitions with
+ * zero-lookahead cross edges up front, naming the offending connection.
+ *
+ * Monitor contract: pause/resume/stop work as on the other engines;
+ * withLock() acquires every domain's execution mutex in domain order,
+ * yielding a causally-consistent cut at event boundaries; now() from an
+ * external thread is the minimum published horizon (the global
+ * virtual-time floor, monotone); a globally drained engine synchronizes
+ * all clocks to the maximum before reporting "drained", so wait-when-
+ * empty revival behaves exactly like the serial engine.
+ *
+ * With a single domain, the worker is the run() caller and pops events
+ * one at a time from one queue: event order is bit-identical to
+ * SerialEngine (enforced by test).
+ */
+class DomainEngine : public Engine
+{
+  public:
+    /** @param domains Target domain count; 0 = hardware concurrency. */
+    explicit DomainEngine(int domains = 0);
+    ~DomainEngine() override;
+
+    void schedule(EventPtr event) override;
+    VTime now() const override;
+    RunResult run() override;
+    void stop() override;
+
+    std::uint64_t
+    eventCount() const override
+    {
+        return totalEvents_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    scheduledCount() const override
+    {
+        return totalScheduled_.load(std::memory_order_relaxed);
+    }
+
+    void setConcurrentAccess(bool on) override { concurrent_ = on; }
+
+    bool concurrentAccess() const override { return concurrent_; }
+
+    void setWaitWhenEmpty(bool on) override { waitWhenEmpty_ = on; }
+
+    void pause() override;
+    void resume() override;
+
+    bool
+    paused() const override
+    {
+        return paused_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    running() const override
+    {
+        return running_.load(std::memory_order_relaxed);
+    }
+
+    bool
+    drainedWaiting() const override
+    {
+        return drainedWaiting_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t
+    queueLength() const override
+    {
+        return static_cast<std::size_t>(
+            pending_.load(std::memory_order_relaxed));
+    }
+
+    void withLock(const std::function<void()> &fn) const override;
+
+    void noteComponent(Component *c) override;
+    void noteComponentDestroyed(Component *c) override;
+    void noteConnection(Connection *c) override;
+    void noteConnectionDestroyed(Connection *c) override;
+
+    // ---- Partition surface ----
+
+    /** Target domain count this engine was configured with. */
+    int requestedDomains() const { return requested_; }
+
+    /**
+     * Pins @p c to domain @p d, overriding the partitioner (tests,
+     * tuning experiments). Must be called before the partition is
+     * computed; pins win over the mandatory zero-latency merge, and
+     * run() then rejects the resulting zero-lookahead cut by name.
+     */
+    void pinComponent(Component *c, int d);
+
+    /**
+     * Routes events addressed to @p h — a handler that is not a
+     * component, e.g. a bench workload — to domain @p d. Must be called
+     * before the partition is computed.
+     */
+    void assignHandler(EventHandler *h, int d);
+
+    /**
+     * Computes the partition if not yet computed (idempotent,
+     * thread-safe). Every component/connection must be registered by
+     * the first call; the platform guarantees this by construction.
+     */
+    const DomainPartition &partition();
+
+    /** Domains in the computed partition (computes it on first use). */
+    int numDomains() { return static_cast<int>(partition().numDomains); }
+
+    /** Component names per domain, snapshotted at partition time. */
+    const std::vector<std::vector<std::string>> &
+    domainMemberNames()
+    {
+        partition();
+        return memberNames_;
+    }
+
+    /** Connection name per partition edge (same order as edges). */
+    const std::vector<std::string> &
+    edgeConnectionNames()
+    {
+        partition();
+        return edgeConnNames_;
+    }
+
+    /** Thread-safe per-domain counters for metrics/RTM. */
+    struct DomainStatus
+    {
+        VTime clock = 0;
+        VTime horizon = 0;
+        std::uint64_t events = 0;
+        std::size_t queueLen = 0;
+    };
+
+    /** @p d must be < numDomains(). */
+    DomainStatus domainStatus(int d) const;
+
+    /** Events executed per safe-window batch (cf. SerialEngine). */
+    void
+    setBatch(int n)
+    {
+        batch_ = n < 1 ? 1 : n;
+    }
+
+  private:
+    static constexpr VTime kTimeMax = ~static_cast<VTime>(0);
+
+    struct InEdge
+    {
+        std::size_t src = 0;
+        VTime lookahead = 0;
+    };
+
+    /** One domain's runtime state, cache-line isolated. */
+    struct alignas(64) Dom
+    {
+        std::size_t id = 0;
+        /** Worker-owned between barriers; never touched externally. */
+        EventQueue queue;
+        /** Time of the last executed event (handlers' now()). */
+        std::atomic<VTime> clock{0};
+        /** Published "no output before horizon + edge latency". */
+        std::atomic<VTime> horizon{0};
+        std::atomic<std::uint64_t> events{0};
+        /** queue.size() mirror for external readers. */
+        std::atomic<std::size_t> qlen{0};
+        /** Incoming cross-domain edges (the safe-window scan). */
+        std::vector<InEdge> in;
+        /** Guards mail/mailMin; leaf lock. */
+        std::mutex mailMu;
+        std::vector<EventPtr> mail;
+        /** Earliest stamp in mail (kTimeMax when empty). */
+        VTime mailMin = kTimeMax;
+        std::atomic<std::size_t> mailCount{0};
+        /** Held while executing a batch; withLock takes all in order. */
+        mutable std::mutex execMu;
+    };
+
+    Dom *routeOf(const Event &ev);
+    void enqueueRemote(Dom &d, EventPtr ev, bool countScheduled);
+    void drainMail(Dom &d);
+    VTime safeWindow(const Dom &d) const;
+    void publishClock(Dom &d, VTime t);
+    void publishIdleHorizon(Dom &d, VTime bound);
+    void executeBatch(Dom &d, VTime bound);
+    void executeEvent(Dom &d, Event &ev);
+    void workerLoop(Dom &d, bool coordinator);
+    /** Coordinator-side drained handling; true = leave the run loop. */
+    bool coordinateDrain(Dom &d);
+    void parkWhileDrained();
+    void recordError();
+    void bumpProgress();
+    void ensurePartitioned();
+
+    int requested_;
+    int batch_ = 256;
+
+    // Registration (guarded by setupMu_ until partitioned). Recursive
+    // so a pre-partition withLock() body can schedule(); the partition
+    // flip happens under this lock before any event executes, which is
+    // what makes the pre-partition withLock fast path sound.
+    mutable std::recursive_mutex setupMu_;
+    std::vector<Component *> components_;
+    std::vector<Connection *> connections_;
+    std::unordered_map<const Component *, int> pins_;
+    std::unordered_map<const EventHandler *, int> handlerPins_;
+    /** Events scheduled before the partition existed. */
+    std::vector<EventPtr> setup_;
+    std::atomic<bool> partitioned_{false};
+
+    DomainPartition part_;
+    std::vector<std::unique_ptr<Dom>> doms_;
+    std::unordered_map<const Component *, std::size_t> componentDom_;
+    std::unordered_map<const EventHandler *, std::size_t> handlerDom_;
+    /** Component -> its EventHandler subobject (for dtor cleanup). */
+    std::unordered_map<const Component *, const EventHandler *>
+        componentHandler_;
+    std::vector<std::vector<std::string>> memberNames_;
+    std::vector<std::string> edgeConnNames_;
+
+    std::atomic<std::uint64_t> pending_{0};
+    std::atomic<std::uint64_t> totalEvents_{0};
+    std::atomic<std::uint64_t> totalScheduled_{0};
+
+    bool concurrent_ = false;
+    bool waitWhenEmpty_ = false;
+    std::atomic<bool> paused_{false};
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> drainedWaiting_{false};
+    /** Internal per-run exit signal (drained / error). */
+    std::atomic<bool> exitWorkers_{false};
+    mutable std::atomic<int> lockWaiters_{0};
+
+    /**
+     * The cold-path monitor: pause, drained-parking, and blocked
+     * workers all wait here; any progress (horizon raise, mailbox
+     * enqueue, pending reaching zero, state change) bumps the
+     * generation and notifies. The hot path only touches atomics.
+     */
+    mutable std::mutex waitMu_;
+    mutable std::condition_variable waitCv_;
+    std::atomic<std::uint64_t> progressGen_{0};
+    mutable std::atomic<int> waiters_{0};
+    /** Workers parked on global drain (under waitMu_). */
+    int parked_ = 0;
+
+    std::vector<std::thread> threads_;
+    std::mutex errMu_;
+    std::exception_ptr error_;
+    bool drainedResult_ = false;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_DOMAIN_ENGINE_HH

@@ -22,6 +22,9 @@ namespace akita
 namespace sim
 {
 
+class Component;
+class Connection;
+
 /** Why Engine::run returned. */
 enum class RunResult
 {
@@ -123,6 +126,28 @@ class Engine : public Hookable, public introspect::Inspectable
      * thread. May be called from event handlers.
      */
     virtual void withLock(const std::function<void()> &fn) const = 0;
+
+    // ---- Topology notes ----
+    //
+    // Components and connections announce themselves to the engine at
+    // construction (and retract at destruction). Engines that partition
+    // the simulation graph — the domain engine derives its domains and
+    // lookahead windows from exactly this information — override these;
+    // the serial and cohort engines ignore them. Called with the object
+    // under construction: implementations must only record the pointer,
+    // never call virtuals on it.
+
+    /** A component was constructed against this engine. */
+    virtual void noteComponent(Component *) {}
+
+    /** A component registered via noteComponent is being destroyed. */
+    virtual void noteComponentDestroyed(Component *) {}
+
+    /** A connection was constructed against this engine. */
+    virtual void noteConnection(Connection *) {}
+
+    /** A connection registered via noteConnection is being destroyed. */
+    virtual void noteConnectionDestroyed(Connection *) {}
 
     /**
      * Observes cold lifecycle transitions: "run_start", "run_end",

@@ -25,6 +25,8 @@ namespace sim
 {
 
 class Event;
+class Port;
+class DomainEngine;
 
 /** Receiver of scheduled events. */
 class EventHandler
@@ -83,7 +85,23 @@ class Event
     EventHandler *handler() const { return handler_; }
     bool isSecondary() const { return secondary_; }
 
+    /**
+     * Destination port for message-delivery events (DeliverEvent
+     * overrides), nullptr otherwise. The domain engine routes delivery
+     * events to the domain owning the destination component without
+     * needing RTTI on the hot path.
+     */
+    virtual Port *deliveryDst() const { return nullptr; }
+
   private:
+    /**
+     * The domain engine floors cross-domain wake/tick events up to the
+     * destination domain's published horizon (see domain_engine.hh); no
+     * one else may rewrite an event's time.
+     */
+    friend class DomainEngine;
+    void setTime(VTime t) { time_ = t; }
+
     VTime time_;
     EventHandler *handler_;
     bool secondary_;

@@ -71,11 +71,13 @@ ParallelEngine::ParallelEngine(int workers)
 
 ParallelEngine::~ParallelEngine()
 {
-    {
-        std::lock_guard<std::mutex> lk(poolMu_);
-        poolShutdown_ = true;
+    poolShutdown_.store(true);
+    for (int i = 1; i < numWorkers_; i++) {
+        {
+            std::lock_guard<std::mutex> lk(slots_[i]->mu);
+        }
+        slots_[i]->cv.notify_one();
     }
-    poolCv_.notify_all();
     for (std::thread &t : pool_)
         t.join();
 }
@@ -214,18 +216,19 @@ ParallelEngine::executePartitions(ExecSlot &slot)
 void
 ParallelEngine::workerLoop(std::size_t id)
 {
+    ExecSlot &slot = *slots_[id];
     std::uint64_t seen = 0;
     for (;;) {
         {
-            std::unique_lock<std::mutex> lk(poolMu_);
-            poolCv_.wait(lk, [&]() {
-                return poolShutdown_ || phaseGen_ != seen;
+            std::unique_lock<std::mutex> lk(slot.mu);
+            slot.cv.wait(lk, [&]() {
+                return poolShutdown_.load() || slot.gen != seen;
             });
-            if (poolShutdown_)
+            if (poolShutdown_.load())
                 return;
-            seen = phaseGen_;
+            seen = slot.gen;
         }
-        executePartitions(*slots_[id]);
+        executePartitions(slot);
         {
             std::lock_guard<std::mutex> lk(poolMu_);
             phaseDone_++;
@@ -293,17 +296,24 @@ ParallelEngine::executeCohort(std::vector<EventPtr> &cohort)
         {
             std::lock_guard<std::mutex> lk(poolMu_);
             phaseDone_ = 0;
-            phaseGen_++;
         }
-        poolCv_.notify_all();
+        // Wake exactly the workers that have partitions this step; the
+        // rest of the pool stays parked (a one-partition cohort on an
+        // N-worker engine costs zero wakeups).
+        for (std::size_t i = 1; i < execs; i++) {
+            {
+                std::lock_guard<std::mutex> lk(slots_[i]->mu);
+                slots_[i]->gen++;
+            }
+            slots_[i]->cv.notify_one();
+        }
 
         executePartitions(*slots_[0]);
 
         {
             std::unique_lock<std::mutex> lk(poolMu_);
             poolDoneCv_.wait(lk, [&]() {
-                return phaseDone_ ==
-                       static_cast<std::size_t>(numWorkers_ - 1);
+                return phaseDone_ == execs - 1;
             });
         }
         for (auto &part : partitions_)

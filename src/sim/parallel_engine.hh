@@ -142,6 +142,15 @@ class ParallelEngine : public Engine
         std::vector<EventPtr> staged;
         /** First exception thrown by a handler, if any. */
         std::exception_ptr error;
+        /**
+         * Private wake channel: the coordinator bumps gen and notifies
+         * only the slots it actually dispatched to, so a cohort with
+         * fewer partitions than workers leaves the excess workers
+         * asleep instead of waking the whole pool every step.
+         */
+        std::mutex mu;
+        std::condition_variable cv;
+        std::uint64_t gen = 0;
     };
 
     RunResult runLoop();
@@ -174,11 +183,10 @@ class ParallelEngine : public Engine
     std::vector<std::thread> pool_;
     std::vector<std::unique_ptr<ExecSlot>> slots_;
     std::mutex poolMu_;
-    std::condition_variable poolCv_;      // Coordinator -> pool: new phase.
     std::condition_variable poolDoneCv_;  // Pool -> coordinator: done.
-    std::uint64_t phaseGen_ = 0;
+    /** Dispatched workers finished this phase (under poolMu_). */
     std::size_t phaseDone_ = 0;
-    bool poolShutdown_ = false;
+    std::atomic<bool> poolShutdown_{false};
 
     // ---- Per-step scratch (coordinator only, reused across steps) ----
     std::vector<EventPtr> cohort_;

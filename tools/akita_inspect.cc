@@ -17,6 +17,7 @@
  *   progress                      progress bars
  *   throughput <name>             per-port rates of one component
  *   topology                      connection map
+ *   domains                       domain-engine partition + clocks
  *   pause | resume                simulation controls
  *   tick <name>                   wake one component
  *   profile [N]                   top-N profiler entries
@@ -33,6 +34,7 @@
  *                                 segment (no server needed)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -440,6 +442,42 @@ run(int argc, char **argv)
             std::printf("%s\n", conn.getStr("connection").c_str());
             for (const auto &p : conn.get("ports")->items())
                 std::printf("  %s\n", p.strVal().c_str());
+        }
+        return 0;
+    }
+    if (cmd == "domains") {
+        Json d = mustGet(client, "/api/v1/domains");
+        long long maxClock = 0;
+        for (const auto &dom : d.get("domains")->items())
+            maxClock = std::max(
+                maxClock,
+                static_cast<long long>(dom.getInt("clock_ps", 0)));
+        std::printf("%lld domains\n",
+                    static_cast<long long>(d.getInt("num_domains", 0)));
+        for (const auto &dom : d.get("domains")->items()) {
+            long long clock =
+                static_cast<long long>(dom.getInt("clock_ps", 0));
+            std::printf(
+                "[%lld] clock=%lld ps (lag %lld)  events=%lld  "
+                "queue=%lld\n",
+                static_cast<long long>(dom.getInt("id", 0)), clock,
+                maxClock - clock,
+                static_cast<long long>(dom.getInt("events", 0)),
+                static_cast<long long>(dom.getInt("queue_len", 0)));
+            for (const auto &m : dom.get("members")->items())
+                std::printf("      %s\n", m.strVal().c_str());
+        }
+        const Json *edges = d.get("edges");
+        if (edges != nullptr && !edges->items().empty()) {
+            std::printf("edges:\n");
+            for (const auto &e : edges->items()) {
+                std::printf(
+                    "  %lld -> %lld  lookahead=%lld ps  via %s\n",
+                    static_cast<long long>(e.getInt("src", 0)),
+                    static_cast<long long>(e.getInt("dst", 0)),
+                    static_cast<long long>(e.getInt("lookahead_ps", 0)),
+                    e.getStr("connection").c_str());
+            }
         }
         return 0;
     }
