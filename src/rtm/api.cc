@@ -529,54 +529,89 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
             });
     });
 
-    server.route("GET", "/api/v1/domains", [m](const web::Request &) {
+    server.route("GET", "/api/v1/domains", [m](const web::Request &req) {
         auto *de = dynamic_cast<sim::DomainEngine *>(m->engine());
         if (de == nullptr)
             return web::Response::error(
                 404, "engine is not domain-partitioned "
                      "(run with --engine=domain)");
-        // Membership and edges are frozen at partition time; only the
-        // per-domain counters move, and they are plain atomics — no
-        // engine lock, no cache needed.
-        const auto &members = de->domainMemberNames();
-        const auto &part = de->partition();
-        const auto &connNames = de->edgeConnectionNames();
-        std::string body;
-        json::Writer w(body);
-        w.beginObject();
-        w.field("num_domains",
-                static_cast<std::uint64_t>(de->numDomains()));
-        w.key("domains").beginArray();
-        for (int i = 0; i < de->numDomains(); i++) {
-            sim::DomainEngine::DomainStatus st = de->domainStatus(i);
-            w.beginObject();
-            w.field("id", static_cast<std::uint64_t>(i));
-            w.field("clock_ps", st.clock);
-            w.field("horizon_ps", st.horizon);
-            w.field("events", st.events);
-            w.field("queue_len",
-                    static_cast<std::uint64_t>(st.queueLen));
-            w.key("members").beginArray();
-            for (const std::string &name : members[i])
-                w.value(name);
-            w.endArray();
-            w.endObject();
-        }
-        w.endArray();
-        w.key("edges").beginArray();
-        for (std::size_t i = 0; i < part.edges.size(); i++) {
-            w.beginObject();
-            w.field("src",
-                    static_cast<std::uint64_t>(part.edges[i].src));
-            w.field("dst",
-                    static_cast<std::uint64_t>(part.edges[i].dst));
-            w.field("lookahead_ps", part.edges[i].lookahead);
-            w.field("connection", connNames[i]);
-            w.endObject();
-        }
-        w.endArray();
-        w.endObject();
-        return web::Response::json(std::move(body));
+        // Coalesced like every other hot endpoint: a dashboard wave
+        // polling per-domain lag costs one build per TTL window. The
+        // generation folds wall time (cf. /api/v1/hang) because a
+        // drained engine freezes its event count while the
+        // repartition history can still grow at the next revival.
+        std::uint64_t ttl =
+            std::max<std::uint64_t>(1, m->config().domainsTtlFloorMs);
+        std::uint64_t gen =
+            m->buffersGeneration() +
+            static_cast<std::uint64_t>(wallNowMs()) / ttl;
+        return cachedResponse(
+            m, req, gen, "application/json", ttl, [de]() {
+                // Membership/edges are snapshots by value: a
+                // drain-boundary repartition rewrites the live
+                // tables under the engine's topology lock.
+                const auto members = de->domainMemberNames();
+                const auto edges = de->edgeInfos();
+                const auto reparts = de->repartitionEvents();
+                std::string body;
+                json::Writer w(body);
+                w.beginObject();
+                w.field("num_domains",
+                        static_cast<std::uint64_t>(de->numDomains()));
+                w.field("repartition_enabled",
+                        de->repartitionEnabled());
+                w.field("imbalance", de->lastImbalance());
+                w.field("repartitions", de->repartitionCount());
+                w.field("repartitions_rejected",
+                        de->repartitionRejected());
+                w.field("migrated_components",
+                        de->migratedComponents());
+                w.key("domains").beginArray();
+                for (int i = 0; i < de->numDomains(); i++) {
+                    sim::DomainEngine::DomainStatus st =
+                        de->domainStatus(i);
+                    w.beginObject();
+                    w.field("id", static_cast<std::uint64_t>(i));
+                    w.field("clock_ps", st.clock);
+                    w.field("horizon_ps", st.horizon);
+                    w.field("events", st.events);
+                    w.field("queue_len",
+                            static_cast<std::uint64_t>(st.queueLen));
+                    w.field("cost", st.cost);
+                    w.key("members").beginArray();
+                    for (const std::string &name :
+                         members[static_cast<std::size_t>(i)])
+                        w.value(name);
+                    w.endArray();
+                    w.endObject();
+                }
+                w.endArray();
+                w.key("edges").beginArray();
+                for (const auto &e : edges) {
+                    w.beginObject();
+                    w.field("src", static_cast<std::uint64_t>(e.src));
+                    w.field("dst", static_cast<std::uint64_t>(e.dst));
+                    w.field("lookahead_ps", e.lookahead);
+                    w.field("connection", e.connection);
+                    w.endObject();
+                }
+                w.endArray();
+                w.key("repartition_events").beginArray();
+                for (const auto &r : reparts) {
+                    w.beginObject();
+                    w.field("seq", r.seq);
+                    w.field("sim_ps", r.simTime);
+                    w.field("imbalance_before", r.imbalanceBefore);
+                    w.field("imbalance_after", r.imbalanceAfter);
+                    w.field("migrated",
+                            static_cast<std::uint64_t>(
+                                static_cast<unsigned>(r.migrated)));
+                    w.endObject();
+                }
+                w.endArray();
+                w.endObject();
+                return body;
+            });
     });
 
     server.route(

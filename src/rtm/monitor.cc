@@ -353,7 +353,49 @@ Monitor::instrumentEngine()
             metrics_.addCallback(std::move(d), [de, i]() {
                 return static_cast<double>(de->domainStatus(i).queueLen);
             });
+            d = metrics::Desc{};
+            d.name = "akita_sim_domain_cost";
+            d.help = "Observed cost units charged to the domain in "
+                     "the current repartition window.";
+            d.type = metrics::Type::Gauge;
+            d.labels = labels;
+            metrics_.addCallback(std::move(d), [de, i]() {
+                return static_cast<double>(de->domainStatus(i).cost);
+            });
         }
+
+        // Adaptive-repartitioning health: how skewed the observed
+        // load is and how often the engine acted on it.
+        metrics::Desc d;
+        d.name = "akita_sim_domain_imbalance_ratio";
+        d.help = "Last evaluated window cost imbalance (max/mean) "
+                 "across domains.";
+        d.type = metrics::Type::Gauge;
+        d.series = metrics::SeriesMode::Full;
+        metrics_.addCallback(std::move(d),
+                             [de]() { return de->lastImbalance(); });
+        d = metrics::Desc{};
+        d.name = "akita_sim_repartitions_total";
+        d.help = "Adopted drain-boundary repartitions.";
+        d.type = metrics::Type::Counter;
+        metrics_.addCallback(std::move(d), [de]() {
+            return static_cast<double>(de->repartitionCount());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_sim_repartitions_rejected_total";
+        d.help = "Repartition trigger firings rejected by hysteresis "
+                 "or candidate validity.";
+        d.type = metrics::Type::Counter;
+        metrics_.addCallback(std::move(d), [de]() {
+            return static_cast<double>(de->repartitionRejected());
+        });
+        d = metrics::Desc{};
+        d.name = "akita_sim_repartition_migrations_total";
+        d.help = "Components moved across domains, cumulative.";
+        d.type = metrics::Type::Counter;
+        metrics_.addCallback(std::move(d), [de]() {
+            return static_cast<double>(de->migratedComponents());
+        });
     }
 }
 

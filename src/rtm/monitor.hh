@@ -134,6 +134,14 @@ struct MonitorConfig
     std::uint64_t hangTtlFloorMs = 100;
     /** Cache TTL floor (ms) for the /api/v1/recorder endpoints. */
     std::uint64_t recorderTtlFloorMs = 200;
+    /**
+     * Cache TTL floor (ms) for /api/v1/domains. Per-domain counters
+     * move continuously while the engine runs, and the domain engine
+     * stalls the generation at a drain — the endpoint folds wall time
+     * at this cadence (like /api/v1/hang) so a drained engine still
+     * refreshes its repartition history.
+     */
+    std::uint64_t domainsTtlFloorMs = 100;
 };
 
 /**

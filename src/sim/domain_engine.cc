@@ -1,11 +1,13 @@
 #include "sim/domain_engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
 #include "sim/component.hh"
 #include "sim/connection.hh"
+#include "sim/name.hh"
 #include "sim/port.hh"
 #include "sim/prof.hh"
 
@@ -39,6 +41,18 @@ throwPast(VTime t, VTime now)
                              std::to_string(t) +
                              ", now=" + std::to_string(now) + ")");
 }
+
+std::uint64_t
+wallNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Bounded /api/v1/domains repartition-event history. */
+constexpr std::size_t kRepartHistoryCap = 64;
 
 } // namespace
 
@@ -235,7 +249,7 @@ DomainEngine::ensurePartitioned()
 // ---- Scheduling ----
 
 DomainEngine::Dom *
-DomainEngine::routeOf(const Event &ev)
+DomainEngine::lookupDom(const Event &ev) const
 {
     if (Port *p = ev.deliveryDst()) {
         auto it = componentDom_.find(p->owner());
@@ -245,6 +259,14 @@ DomainEngine::routeOf(const Event &ev)
     auto it = handlerDom_.find(ev.handler());
     if (it != handlerDom_.end())
         return doms_[it->second].get();
+    return nullptr;
+}
+
+DomainEngine::Dom *
+DomainEngine::routeOf(const Event &ev)
+{
+    if (Dom *d = lookupDom(ev))
+        return d;
     // Unknown handler (ad-hoc FuncEvent, bench rig without
     // assignHandler): affinity to the scheduling worker's own domain
     // keeps it causally local; external threads feed domain 0.
@@ -265,20 +287,35 @@ DomainEngine::schedule(EventPtr event)
             return;
         }
     }
-    Dom *d = routeOf(*event);
-    if (tlsDom.eng == this && tlsDom.dom == d) {
-        // Own-domain schedule from a running handler: the queue is
-        // worker-owned, no lock needed. Past-check against the exact
-        // local clock — identical semantics to the serial engine.
-        VTime c = d->clock.load(std::memory_order_relaxed);
-        if (event->time() < c)
-            throwPast(event->time(), c);
-        totalScheduled_.fetch_add(1, std::memory_order_relaxed);
-        pending_.fetch_add(1, std::memory_order_acq_rel);
-        d->queue.push(std::move(event));
-        d->qlen.store(d->queue.size(), std::memory_order_relaxed);
+    if (tlsDom.eng == this) {
+        // Worker context: the routing maps are stable for the whole
+        // run step — a repartition only happens while every worker is
+        // parked — so no lock is needed on this, the hot path.
+        Dom *d = routeOf(*event);
+        if (tlsDom.dom == d) {
+            // Own-domain schedule from a running handler: the queue is
+            // worker-owned, no lock needed. Past-check against the
+            // exact local clock — identical to the serial engine.
+            VTime c = d->clock.load(std::memory_order_relaxed);
+            if (event->time() < c)
+                throwPast(event->time(), c);
+            totalScheduled_.fetch_add(1, std::memory_order_relaxed);
+            pending_.fetch_add(1, std::memory_order_acq_rel);
+            d->queue.push(std::move(event));
+            d->qlen.store(d->queue.size(), std::memory_order_relaxed);
+            return;
+        }
+        enqueueRemote(*d, std::move(event), false);
         return;
     }
+    // External thread (monitor control, setup between runs): route and
+    // enqueue under setupMu_ so a drain-boundary repartition cannot
+    // slip between reading the routing map and landing the event. The
+    // event either lands under the old cut — and the migration
+    // re-routes mailbox contents — or waits and routes under the new
+    // one. Cold path; monitors schedule rarely.
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    Dom *d = routeOf(*event);
     enqueueRemote(*d, std::move(event), false);
 }
 
@@ -437,9 +474,30 @@ DomainEngine::publishIdleHorizon(Dom &d, VTime bound)
 // ---- Execution ----
 
 void
+DomainEngine::noteCost(Dom &d, const Event &ev, std::uint64_t units)
+{
+    const std::uint32_t id = ev.handler()->profName().id();
+    if (id >= d.cost.size()) {
+        // First sight of a handler name: size to the interned-name
+        // table so later names in this window won't grow it again.
+        // Steady state never reaches this branch.
+        d.cost.resize(
+            std::max<std::size_t>(id + 1, internedNameCount()), 0);
+    }
+    d.cost[id] += units;
+    // Single writer per domain: load+store beats fetch_add.
+    d.costTotal.store(d.costTotal.load(std::memory_order_relaxed) + units,
+                      std::memory_order_relaxed);
+}
+
+void
 DomainEngine::executeEvent(Dom &d, Event &event)
 {
     invokeHook(hookPosBeforeEvent, &event);
+    const bool track = repartition_.load(std::memory_order_relaxed);
+    std::uint64_t t0 = 0;
+    if (track && costModel_ == CostModel::Time)
+        t0 = wallNowNs();
     if (Profiler::instance().enabled()) {
         ProfScope scope(event.handler()->profName());
         event.handler()->handle(event);
@@ -447,6 +505,13 @@ DomainEngine::executeEvent(Dom &d, Event &event)
         event.handler()->handle(event);
     }
     invokeHook(hookPosAfterEvent, &event);
+    if (track) {
+        const std::uint64_t units =
+            costModel_ == CostModel::Time
+                ? std::max<std::uint64_t>(1, wallNowNs() - t0)
+                : 1;
+        noteCost(d, event, units);
+    }
     // Single writer per domain: load+store beats fetch_add.
     d.events.store(d.events.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
@@ -565,6 +630,12 @@ DomainEngine::coordinateDrain(Dom &)
     }
     invokeHook(hookPosQueueDrained, nullptr);
 
+    // A wait-when-empty drain is a live rebalancing point: the engine
+    // keeps running afterwards with whatever the next revival brings.
+    // A final drain leaves rebalancing to the next run()'s entry.
+    if (waitWhenEmpty_)
+        maybeRepartition(/*midRun=*/true);
+
     if (!waitWhenEmpty_) {
         drainedResult_ = true;
         exitWorkers_.store(true);
@@ -662,6 +733,278 @@ DomainEngine::workerLoop(Dom &d, bool coordinator)
     tlsDom = {};
 }
 
+// ---- Adaptive repartitioning ----
+
+bool
+DomainEngine::maybeRepartition(bool midRun)
+{
+    if (!repartition_.load(std::memory_order_relaxed) ||
+        doms_.size() < 2)
+        return false;
+
+    // Lock order: setupMu_ -> waitMu_ -> topoMu_/mailMu, matching the
+    // external schedule path (setupMu_ -> mailMu -> waitMu_ never
+    // nests — bumpProgress runs after the mail lock is dropped).
+    std::lock_guard<std::recursive_mutex> setupLk(setupMu_);
+    std::unique_lock<std::mutex> waitLk;
+    if (midRun) {
+        waitLk = std::unique_lock<std::mutex>(waitMu_);
+        // Re-verify the drain under the lock: an external schedule may
+        // have revived the engine since the coordinator observed
+        // quiescence. Holding waitMu_ for the whole migration keeps
+        // the parked workers parked.
+        if (parked_ != static_cast<int>(doms_.size()) - 1 ||
+            pending_.load(std::memory_order_relaxed) != 0)
+            return false;
+    }
+
+    std::uint64_t total = 0;
+    std::uint64_t maxCost = 0;
+    for (const auto &dp : doms_) {
+        std::uint64_t c = dp->costTotal.load(std::memory_order_relaxed);
+        total += c;
+        maxCost = std::max(maxCost, c);
+    }
+    if (total < repartMinEvents_)
+        return false; // Window too thin to act on; keep accumulating.
+
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(doms_.size());
+    const double imbalance =
+        mean > 0 ? static_cast<double>(maxCost) / mean : 1.0;
+    lastImbalance_.store(imbalance, std::memory_order_relaxed);
+
+    bool adopted = false;
+    if (cooldownLeft_ > 0) {
+        cooldownLeft_--;
+    } else if (imbalance >= repartThreshold_) {
+        adopted = tryAdoptRepartition();
+        if (adopted)
+            cooldownLeft_ = repartCooldown_;
+        else
+            repartRejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Fresh observation window either way: the trigger reacts to
+    // recent load, not the run's whole history.
+    for (const auto &dp : doms_) {
+        std::fill(dp->cost.begin(), dp->cost.end(), 0);
+        dp->costTotal.store(0, std::memory_order_relaxed);
+    }
+    return adopted;
+}
+
+bool
+DomainEngine::tryAdoptRepartition()
+{
+    // Observed weight per component: its handler's interned-name cost,
+    // summed over every domain's table (ownership may have changed
+    // inside the window).
+    const std::size_t n = components_.size();
+    std::vector<std::uint64_t> weights(n, 0);
+    for (std::size_t i = 0; i < n; i++) {
+        auto hIt = componentHandler_.find(components_[i]);
+        if (hIt == componentHandler_.end())
+            continue; // Handles no events, costs nothing.
+        const std::uint32_t id = hIt->second->profName().id();
+        for (const auto &dp : doms_)
+            if (id < dp->cost.size())
+                weights[i] += dp->cost[id];
+    }
+
+    DomainPartition cand =
+        partitionDomains(components_, connections_,
+                         static_cast<int>(doms_.size()), pins_, weights);
+    // Same handler-pin domain expansion as the initial partition.
+    int numDoms = std::max(cand.numDomains, 1);
+    for (const auto &kv : handlerPins_)
+        numDoms = std::max(numDoms, kv.second + 1);
+    cand.numDomains = numDoms;
+    cand.members.resize(static_cast<std::size_t>(numDoms));
+    cand.incoming.resize(static_cast<std::size_t>(numDoms));
+    if (cand.numDomains != static_cast<int>(doms_.size()))
+        return false; // Worker binding is fixed for the engine's life.
+    for (const auto &e : cand.edges)
+        if (e.lookahead == 0)
+            return false; // No safe window across that cut.
+
+    // Hysteresis on like-for-like numbers: predicted imbalance of the
+    // current vs. the candidate assignment under the same weights. A
+    // candidate has to beat the standing cut by a real margin, so an
+    // oscillating hotspot cannot flip the partition every boundary.
+    auto imbalanceOf = [this](const std::vector<std::uint64_t> &w) {
+        std::uint64_t tot = 0, mx = 0;
+        for (std::uint64_t v : w) {
+            tot += v;
+            mx = std::max(mx, v);
+        }
+        if (tot == 0)
+            return 1.0;
+        return static_cast<double>(mx) * static_cast<double>(w.size()) /
+               static_cast<double>(tot);
+    };
+    std::vector<std::uint64_t> curW(doms_.size(), 0);
+    std::vector<std::uint64_t> candW(doms_.size(), 0);
+    int moved = 0;
+    for (std::size_t i = 0; i < n; i++) {
+        auto cur = componentDom_.find(components_[i]);
+        auto to = cand.domainOf.find(components_[i]);
+        if (cur == componentDom_.end() || to == cand.domainOf.end())
+            continue;
+        curW[cur->second] += weights[i];
+        candW[static_cast<std::size_t>(to->second)] += weights[i];
+        if (cur->second != static_cast<std::size_t>(to->second))
+            moved++;
+    }
+    const double before = imbalanceOf(curW);
+    const double after = imbalanceOf(candW);
+    if (moved == 0 || after * repartHysteresis_ >= before)
+        return false;
+
+    // Migration. Every mailbox lock is taken so events parked there
+    // (scheduled between runs) move with their components; workers are
+    // parked behind waitMu_ (held by the caller) or not yet spawned,
+    // so queues and routing maps are exclusively ours.
+    std::vector<std::unique_lock<std::mutex>> mailLks;
+    mailLks.reserve(doms_.size());
+    for (const auto &dp : doms_)
+        mailLks.emplace_back(dp->mailMu);
+
+    {
+        std::lock_guard<std::mutex> tk(topoMu_);
+        part_ = std::move(cand);
+
+        componentDom_.clear();
+        handlerDom_.clear();
+        componentHandler_.clear();
+        for (Component *c : components_) {
+            auto it = part_.domainOf.find(c);
+            std::size_t dom = it != part_.domainOf.end()
+                                  ? static_cast<std::size_t>(it->second)
+                                  : 0;
+            componentDom_.emplace(c, dom);
+            if (auto *h = dynamic_cast<EventHandler *>(c)) {
+                handlerDom_.emplace(h, dom);
+                componentHandler_.emplace(c, h);
+            }
+        }
+        for (const auto &kv : handlerPins_)
+            handlerDom_[kv.first] = static_cast<std::size_t>(kv.second);
+
+        memberNames_.assign(doms_.size(), {});
+        for (int i = 0; i < part_.numDomains; i++) {
+            for (Component *c : part_.members[i])
+                memberNames_[static_cast<std::size_t>(i)].push_back(
+                    c->name());
+        }
+        edgeConnNames_.clear();
+        for (const auto &e : part_.edges)
+            edgeConnNames_.push_back(e.via ? e.via->connectionName()
+                                           : std::string("?"));
+
+        // Safe-window recomputation: each worker's next bound scan
+        // reads the rebuilt in-edge lists. Clocks and horizons are
+        // already synchronized by the drain, so the first windows
+        // after revival are maxClock + lookahead — conservative and
+        // monotone.
+        for (auto &dp : doms_) {
+            dp->in.clear();
+            for (const auto &e :
+                 part_.incoming[static_cast<std::size_t>(dp->id)])
+                dp->in.push_back(
+                    {static_cast<std::size_t>(e.src), e.lookahead});
+        }
+
+        RepartitionEvent evh;
+        evh.seq = repartitions_.load(std::memory_order_relaxed) + 1;
+        evh.simTime = doms_[0]->clock.load(std::memory_order_relaxed);
+        evh.imbalanceBefore = before;
+        evh.imbalanceAfter = after;
+        evh.migrated = moved;
+        repartHistory_.push_back(evh);
+        if (repartHistory_.size() > kRepartHistoryCap)
+            repartHistory_.pop_front();
+    }
+
+    // Re-route mailbox contents to their new owners. Cross-domain
+    // FIFO is preserved trivially: queues are empty at a drain, and a
+    // mailbox is unordered until its owner drains it into the queue.
+    std::vector<EventPtr> movedMail;
+    for (const auto &dp : doms_) {
+        Dom &d = *dp;
+        std::vector<EventPtr> keep;
+        keep.reserve(d.mail.size());
+        for (EventPtr &ev : d.mail) {
+            Dom *t = lookupDom(*ev);
+            if (t == nullptr || t == &d)
+                keep.push_back(std::move(ev));
+            else
+                movedMail.push_back(std::move(ev));
+        }
+        d.mail.swap(keep);
+    }
+    for (EventPtr &ev : movedMail) {
+        Dom *t = lookupDom(*ev); // Non-null: the split proved it.
+        t->mail.push_back(std::move(ev));
+    }
+    for (const auto &dp : doms_) {
+        Dom &d = *dp;
+        d.mailMin = kTimeMax;
+        for (const EventPtr &ev : d.mail)
+            d.mailMin = std::min(d.mailMin, ev->time());
+        d.mailCount.store(d.mail.size(), std::memory_order_release);
+    }
+
+    repartitions_.fetch_add(1, std::memory_order_relaxed);
+    migrated_.fetch_add(static_cast<std::uint64_t>(moved),
+                        std::memory_order_relaxed);
+    return true;
+}
+
+std::vector<std::vector<std::string>>
+DomainEngine::domainMemberNames()
+{
+    partition();
+    std::lock_guard<std::mutex> lk(topoMu_);
+    return memberNames_;
+}
+
+std::vector<std::string>
+DomainEngine::edgeConnectionNames()
+{
+    partition();
+    std::lock_guard<std::mutex> lk(topoMu_);
+    return edgeConnNames_;
+}
+
+std::vector<DomainEngine::EdgeInfo>
+DomainEngine::edgeInfos()
+{
+    partition();
+    std::lock_guard<std::mutex> lk(topoMu_);
+    std::vector<EdgeInfo> out;
+    out.reserve(part_.edges.size());
+    for (std::size_t i = 0; i < part_.edges.size(); i++)
+        out.push_back({part_.edges[i].src, part_.edges[i].dst,
+                       part_.edges[i].lookahead, edgeConnNames_[i]});
+    return out;
+}
+
+int
+DomainEngine::domainOfComponent(const Component *c) const
+{
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    auto it = componentDom_.find(c);
+    return it == componentDom_.end() ? -1
+                                     : static_cast<int>(it->second);
+}
+
+std::vector<DomainEngine::RepartitionEvent>
+DomainEngine::repartitionEvents() const
+{
+    std::lock_guard<std::mutex> lk(topoMu_);
+    return {repartHistory_.begin(), repartHistory_.end()};
+}
+
 // ---- Control surface ----
 
 void
@@ -742,6 +1085,7 @@ DomainEngine::domainStatus(int d) const
     s.events = dm.events.load(std::memory_order_relaxed);
     s.queueLen = dm.qlen.load(std::memory_order_relaxed) +
                  dm.mailCount.load(std::memory_order_relaxed);
+    s.cost = dm.costTotal.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -749,6 +1093,10 @@ RunResult
 DomainEngine::run()
 {
     ensurePartitioned();
+    // Between runs every clock is synchronized and no worker exists —
+    // a free rebalancing point. Events scheduled since the last run
+    // sit in mailboxes and migrate with their components.
+    maybeRepartition(/*midRun=*/false);
     for (std::size_t i = 0; i < part_.edges.size(); i++) {
         if (part_.edges[i].lookahead != 0)
             continue;

@@ -9,8 +9,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -72,6 +74,27 @@ namespace sim
  * With a single domain, the worker is the run() caller and pops events
  * one at a time from one queue: event order is bit-identical to
  * SerialEngine (enforced by test).
+ *
+ * Adaptive repartitioning (off by default — see setRepartition):
+ * while enabled, every executed event charges one cost unit (or its
+ * measured wall time, CostModel::Time) to its handler's interned
+ * NameRef in a worker-owned per-domain table. At global drain
+ * boundaries — the only points where all clocks are synchronized,
+ * every queue is empty, and the other workers are parked — the
+ * coordinator compares the per-domain window cost (max/mean) against
+ * a threshold and, past it, re-runs the partitioner seeded with the
+ * observed per-component costs instead of static latencies. The new
+ * cut is adopted only when its predicted imbalance beats the current
+ * one by the hysteresis factor (and a cooldown of evaluations has
+ * elapsed), so oscillating load cannot thrash. Adoption rewrites the
+ * routing maps and every domain's in-edge list (safe windows are
+ * recomputed from them on the next worker iteration) and re-routes
+ * any events sitting in mailboxes between runs; pinned components and
+ * assigned handlers never move, and a candidate that would change the
+ * domain count or cut a zero-latency connection is rejected. The
+ * simulation end-state is unchanged by construction — only the
+ * schedule moves — and with the feature off the engine is
+ * byte-for-byte the PR 7 behavior.
  */
 class DomainEngine : public Engine
 {
@@ -165,24 +188,41 @@ class DomainEngine : public Engine
      */
     const DomainPartition &partition();
 
-    /** Domains in the computed partition (computes it on first use). */
+    /**
+     * Domains in the computed partition (computes it on first use).
+     * The count is fixed for the engine's lifetime: repartitioning
+     * reassigns members but never changes the worker-per-domain
+     * binding.
+     */
     int numDomains() { return static_cast<int>(partition().numDomains); }
 
-    /** Component names per domain, snapshotted at partition time. */
-    const std::vector<std::vector<std::string>> &
-    domainMemberNames()
+    /**
+     * Component names per domain. A snapshot by value: repartitioning
+     * rewrites the membership at drain boundaries, so references into
+     * the live table would race.
+     */
+    std::vector<std::vector<std::string>> domainMemberNames();
+
+    /** One cross-domain edge of the current cut, with diagnostics. */
+    struct EdgeInfo
     {
-        partition();
-        return memberNames_;
-    }
+        int src = 0;
+        int dst = 0;
+        VTime lookahead = 0;
+        std::string connection;
+    };
+
+    /** The current cut's edges, snapshotted (see domainMemberNames). */
+    std::vector<EdgeInfo> edgeInfos();
 
     /** Connection name per partition edge (same order as edges). */
-    const std::vector<std::string> &
-    edgeConnectionNames()
-    {
-        partition();
-        return edgeConnNames_;
-    }
+    std::vector<std::string> edgeConnectionNames();
+
+    /**
+     * Current domain of @p c, or -1 when unknown. Tracks
+     * repartitioning (tests assert pinned components never move).
+     */
+    int domainOfComponent(const Component *c) const;
 
     /** Thread-safe per-domain counters for metrics/RTM. */
     struct DomainStatus
@@ -191,10 +231,116 @@ class DomainEngine : public Engine
         VTime horizon = 0;
         std::uint64_t events = 0;
         std::size_t queueLen = 0;
+        /** Cost units charged in the current observation window. */
+        std::uint64_t cost = 0;
     };
 
     /** @p d must be < numDomains(). */
     DomainStatus domainStatus(int d) const;
+
+    // ---- Adaptive repartitioning surface ----
+
+    /** What one cost unit means when weighing components. */
+    enum class CostModel
+    {
+        /** One unit per executed event (cheap, deterministic). */
+        Events,
+        /** Measured wall nanoseconds per event (two clock reads). */
+        Time,
+    };
+
+    /**
+     * Enables cost accounting and drain-boundary repartitioning.
+     * Off (the default) leaves the hot path and the partition exactly
+     * as PR 7 shipped them; a 1-domain engine never repartitions.
+     */
+    void setRepartition(bool on)
+    {
+        repartition_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    repartitionEnabled() const
+    {
+        return repartition_.load(std::memory_order_relaxed);
+    }
+
+    void setCostModel(CostModel m) { costModel_ = m; }
+
+    /** Trigger: repartition when window max/mean >= @p maxOverMean. */
+    void
+    setRepartitionThreshold(double maxOverMean)
+    {
+        repartThreshold_ = maxOverMean < 1.0 ? 1.0 : maxOverMean;
+    }
+
+    /**
+     * Adopt a candidate only when its predicted imbalance times this
+     * factor is still below the current one (anti-thrash margin).
+     */
+    void
+    setRepartitionHysteresis(double improveFactor)
+    {
+        repartHysteresis_ = improveFactor < 1.0 ? 1.0 : improveFactor;
+    }
+
+    /** Evaluations to skip after an adopted repartition. */
+    void
+    setRepartitionCooldown(int evals)
+    {
+        repartCooldown_ = evals < 0 ? 0 : evals;
+    }
+
+    /** Minimum window cost before the trigger is even evaluated. */
+    void
+    setRepartitionMinEvents(std::uint64_t n)
+    {
+        repartMinEvents_ = n;
+    }
+
+    /** Adopted repartitions so far. */
+    std::uint64_t
+    repartitionCount() const
+    {
+        return repartitions_.load(std::memory_order_relaxed);
+    }
+
+    /** Trigger firings that were rejected (hysteresis/validity). */
+    std::uint64_t
+    repartitionRejected() const
+    {
+        return repartRejected_.load(std::memory_order_relaxed);
+    }
+
+    /** Components moved across domains, cumulative. */
+    std::uint64_t
+    migratedComponents() const
+    {
+        return migrated_.load(std::memory_order_relaxed);
+    }
+
+    /** Most recent evaluated window imbalance (max/mean; 0 = none). */
+    double
+    lastImbalance() const
+    {
+        return lastImbalance_.load(std::memory_order_relaxed);
+    }
+
+    /** One adopted repartition, for the RTM event history. */
+    struct RepartitionEvent
+    {
+        std::uint64_t seq = 0;
+        /** Synchronized virtual time of the drain boundary. */
+        VTime simTime = 0;
+        /** Window imbalance that fired the trigger. */
+        double imbalanceBefore = 0;
+        /** Predicted imbalance of the adopted cut (same weights). */
+        double imbalanceAfter = 0;
+        int migrated = 0;
+    };
+
+    /** Bounded history (newest last) of adopted repartitions. */
+    std::vector<RepartitionEvent> repartitionEvents() const;
 
     /** Events executed per safe-window batch (cf. SerialEngine). */
     void
@@ -235,11 +381,32 @@ class DomainEngine : public Engine
         std::atomic<std::size_t> mailCount{0};
         /** Held while executing a batch; withLock takes all in order. */
         mutable std::mutex execMu;
+        /**
+         * Cost units per interned handler name this window. Worker-
+         * owned; the coordinator reads/resets it at drain boundaries
+         * while the worker is parked (ordered through waitMu_). It
+         * grows once per newly seen name — the steady state never
+         * allocates.
+         */
+        std::vector<std::uint64_t> cost;
+        /** Window total (mirror for external status readers). */
+        std::atomic<std::uint64_t> costTotal{0};
     };
 
     Dom *routeOf(const Event &ev);
+    Dom *lookupDom(const Event &ev) const;
     void enqueueRemote(Dom &d, EventPtr ev, bool countScheduled);
     void drainMail(Dom &d);
+    void noteCost(Dom &d, const Event &ev, std::uint64_t units);
+    /**
+     * Evaluates the imbalance trigger and possibly adopts a new cut.
+     * Caller guarantees quiescence: run() entry (no workers), or the
+     * drain coordinator (re-verified under waitMu_ when @p midRun).
+     * Returns true when a repartition was adopted.
+     */
+    bool maybeRepartition(bool midRun);
+    /** The locked adoption step; see maybeRepartition. */
+    bool tryAdoptRepartition();
     VTime safeWindow(const Dom &d) const;
     void publishClock(Dom &d, VTime t);
     void publishIdleHorizon(Dom &d, VTime bound);
@@ -278,6 +445,29 @@ class DomainEngine : public Engine
         componentHandler_;
     std::vector<std::vector<std::string>> memberNames_;
     std::vector<std::string> edgeConnNames_;
+
+    // ---- Adaptive repartitioning state ----
+
+    /** Cost tracking + drain-boundary rebalancing enabled. */
+    std::atomic<bool> repartition_{false};
+    CostModel costModel_ = CostModel::Events;
+    double repartThreshold_ = 1.5;
+    double repartHysteresis_ = 1.2;
+    int repartCooldown_ = 2;
+    std::uint64_t repartMinEvents_ = 1024;
+    /** Evaluations left to skip (coordinator/drain-boundary only). */
+    int cooldownLeft_ = 0;
+    std::atomic<std::uint64_t> repartitions_{0};
+    std::atomic<std::uint64_t> repartRejected_{0};
+    std::atomic<std::uint64_t> migrated_{0};
+    std::atomic<double> lastImbalance_{0.0};
+    /**
+     * Guards the topology snapshot read by RTM (memberNames_,
+     * edgeConnNames_, part_.edges, repartHistory_) against the
+     * drain-boundary rewrite. Leaf lock.
+     */
+    mutable std::mutex topoMu_;
+    std::deque<RepartitionEvent> repartHistory_;
 
     std::atomic<std::uint64_t> pending_{0};
     std::atomic<std::uint64_t> totalEvents_{0};

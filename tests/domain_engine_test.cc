@@ -16,8 +16,10 @@
 #include <thread>
 
 #include "gpu/platform.hh"
+#include "json/json.hh"
 #include "rtm/monitor.hh"
 #include "sim/sim.hh"
+#include "web/client.hh"
 
 using namespace akita;
 using namespace akita::sim;
@@ -720,4 +722,475 @@ TEST(DomainEngineRtm, FullMonitorSurface)
 
     plat.engine().stop();
     runner.join();
+}
+
+// ---- The cost-weighted partitioner ----
+
+TEST(DomainPartitionerWeighted, EmptyWeightsMatchStaticCut)
+{
+    SerialEngine host;
+    Node a(&host, "A", 4), b(&host, "B", 4), c(&host, "C", 4),
+        d(&host, "D", 4);
+    DirectConnection ab(&host, "AB", kNanosecond);
+    ab.plugIn(a.in);
+    ab.plugIn(b.in);
+    DirectConnection bc(&host, "BC", kNanosecond);
+    bc.plugIn(b.in);
+    bc.plugIn(c.in);
+    DirectConnection cd(&host, "CD", kNanosecond);
+    cd.plugIn(c.in);
+    cd.plugIn(d.in);
+
+    std::vector<Component *> comps{&a, &b, &c, &d};
+    std::vector<Connection *> conns{&ab, &bc, &cd};
+    DomainPartition stat = partitionDomains(comps, conns, 2);
+    DomainPartition weighted =
+        partitionDomains(comps, conns, 2, {}, {});
+    EXPECT_EQ(stat.numDomains, weighted.numDomains);
+    for (Component *comp : comps)
+        EXPECT_EQ(stat.domainOf.at(comp), weighted.domainOf.at(comp));
+}
+
+TEST(DomainPartitionerWeighted, HeavyComponentsAreSpread)
+{
+    // A and C are hot; the balance cap (125% of ideal) keeps the two
+    // heavyweights apart, where the unweighted cut packs {A,B,C}
+    // together by index order.
+    SerialEngine host;
+    Node a(&host, "A", 4), b(&host, "B", 4), c(&host, "C", 4),
+        d(&host, "D", 4);
+    DirectConnection ab(&host, "AB", kNanosecond);
+    ab.plugIn(a.in);
+    ab.plugIn(b.in);
+    DirectConnection bc(&host, "BC", kNanosecond);
+    bc.plugIn(b.in);
+    bc.plugIn(c.in);
+    DirectConnection cd(&host, "CD", kNanosecond);
+    cd.plugIn(c.in);
+    cd.plugIn(d.in);
+
+    std::vector<Component *> comps{&a, &b, &c, &d};
+    std::vector<Connection *> conns{&ab, &bc, &cd};
+
+    DomainPartition stat = partitionDomains(comps, conns, 2);
+    EXPECT_EQ(stat.domainOf.at(&a), stat.domainOf.at(&c));
+
+    DomainPartition part = partitionDomains(comps, conns, 2, {},
+                                            {100, 1, 100, 1});
+    EXPECT_EQ(part.numDomains, 2);
+    EXPECT_NE(part.domainOf.at(&a), part.domainOf.at(&c));
+}
+
+TEST(DomainPartitionerWeighted, ZeroLatencyEdgesStillNeverCut)
+{
+    // Both heavyweights sit on a zero-latency wire: inseparable no
+    // matter what the balance cap says.
+    SerialEngine host;
+    Node a(&host, "A", 4), b(&host, "B", 4), c(&host, "C", 4),
+        d(&host, "D", 4);
+    DirectConnection ab(&host, "AB", 0);
+    ab.plugIn(a.in);
+    ab.plugIn(b.in);
+    DirectConnection bc(&host, "BC", 10 * kNanosecond);
+    bc.plugIn(b.in);
+    bc.plugIn(c.in);
+    DirectConnection cd(&host, "CD", 10 * kNanosecond);
+    cd.plugIn(c.in);
+    cd.plugIn(d.in);
+
+    std::vector<Component *> comps{&a, &b, &c, &d};
+    std::vector<Connection *> conns{&ab, &bc, &cd};
+    DomainPartition part = partitionDomains(comps, conns, 2, {},
+                                            {100, 100, 1, 1});
+    EXPECT_EQ(part.numDomains, 2);
+    EXPECT_EQ(part.domainOf.at(&a), part.domainOf.at(&b));
+    for (const auto &e : part.edges)
+        EXPECT_GT(e.lookahead, 0u);
+}
+
+TEST(DomainPartitionerWeighted, PinsWinOverWeights)
+{
+    SerialEngine host;
+    Node a(&host, "A", 4), b(&host, "B", 4), c(&host, "C", 4);
+    DirectConnection ab(&host, "AB", 5 * kNanosecond);
+    ab.plugIn(a.in);
+    ab.plugIn(b.in);
+    DirectConnection bc(&host, "BC", 5 * kNanosecond);
+    bc.plugIn(b.in);
+    bc.plugIn(c.in);
+
+    std::vector<Component *> comps{&a, &b, &c};
+    std::vector<Connection *> conns{&ab, &bc};
+    std::unordered_map<const Component *, int> pins{{&a, 1}, {&c, 1}};
+    // The weights scream "separate A and C" but the pins say no.
+    DomainPartition part = partitionDomains(comps, conns, 2, pins,
+                                            {100, 1, 100});
+    EXPECT_EQ(part.domainOf.at(&a), 1);
+    EXPECT_EQ(part.domainOf.at(&c), 1);
+}
+
+// ---- Adaptive repartitioning ----
+
+namespace
+{
+
+/** Ring-capable forwarder: separate In/Out ports so node i can send
+ * to node i+1 while also receiving from node i-1. Records the values
+ * it drains, at a configurable rate (for backpressure). */
+class FwdNode : public TickingComponent
+{
+  public:
+    FwdNode(Engine *engine, const std::string &name,
+            std::size_t buf_cap)
+        : TickingComponent(engine, name, Freq::ghz(1))
+    {
+        in = addPort("In", buf_cap);
+        out = addPort("Out", 16);
+    }
+
+    bool
+    tick() override
+    {
+        bool progress = false;
+        while (!outbox.empty()) {
+            MsgPtr m = outbox.front();
+            m->dst = next;
+            if (out->send(m) != SendStatus::Ok)
+                break;
+            outbox.erase(outbox.begin());
+            progress = true;
+        }
+        for (std::size_t i = 0; i < drainPerTick; i++) {
+            MsgPtr m = in->retrieveIncoming();
+            if (m == nullptr)
+                break;
+            received.push_back(msgCast<TestMsg>(m)->value);
+            progress = true;
+        }
+        return progress;
+    }
+
+    Port *in = nullptr;
+    Port *out = nullptr;
+    Port *next = nullptr;
+    std::vector<MsgPtr> outbox;
+    std::vector<int> received;
+    std::size_t drainPerTick = 4;
+};
+
+/** An unpinned ring of `n` forwarders on long-latency wires, where
+ * node i sends to node i+1: the repartition rigs. The equal-latency
+ * static cut packs nodes 0..n-3 into domain 0, so any hotspot on the
+ * low nodes is maximally imbalanced until the engine re-cuts. */
+struct RepartRing
+{
+    RepartRing(Engine &eng, int n, std::size_t buf_cap = 16)
+    {
+        for (int i = 0; i < n; i++) {
+            nodes.push_back(std::make_unique<FwdNode>(
+                &eng, "R" + std::to_string(i), buf_cap));
+        }
+        for (int i = 0; i < n; i++) {
+            int j = (i + 1) % n;
+            wires.push_back(std::make_unique<DirectConnection>(
+                &eng, "W" + std::to_string(i), 500 * kNanosecond));
+            wires.back()->plugIn(
+                nodes[static_cast<std::size_t>(i)]->out);
+            wires.back()->plugIn(
+                nodes[static_cast<std::size_t>(j)]->in);
+            nodes[static_cast<std::size_t>(i)]->next =
+                nodes[static_cast<std::size_t>(j)]->in;
+        }
+    }
+
+    FwdNode &operator[](std::size_t i) { return *nodes[i]; }
+
+    std::vector<std::unique_ptr<FwdNode>> nodes;
+    std::vector<std::unique_ptr<DirectConnection>> wires;
+};
+
+/** Eager trigger settings so small test workloads repartition. */
+void
+eagerRepartition(DomainEngine &eng)
+{
+    eng.setRepartition(true);
+    eng.setRepartitionThreshold(1.1);
+    eng.setRepartitionCooldown(0);
+    eng.setRepartitionMinEvents(16);
+}
+
+} // namespace
+
+TEST(DomainRepartition, CrossDomainFifoPreservedAcrossRepartition)
+{
+    // Alternating hotspots force migrations between phases while
+    // senders push seq-numbered messages through two-slot receiver
+    // buffers (backpressure wakes cross every cut). Delivery order
+    // per sender must stay FIFO through every migration.
+    DomainEngine eng(2);
+    RepartRing ring(eng, 4, 2);
+    eagerRepartition(eng);
+    ring[1].drainPerTick = 1;
+    ring[3].drainPerTick = 1;
+
+    int seq01 = 0, seq23 = 0;
+    for (int phase = 0; phase < 6; phase++) {
+        FwdNode &hot = phase % 2 == 0 ? ring[0] : ring[2];
+        int &seq = phase % 2 == 0 ? seq01 : seq23;
+        for (int i = 0; i < 20; i++)
+            hot.outbox.push_back(makeMsg<TestMsg>(seq++));
+        hot.tickLater();
+        ASSERT_EQ(eng.run(), RunResult::Drained) << "phase " << phase;
+    }
+
+    EXPECT_GE(eng.repartitionCount(), 1u)
+        << "the alternating hotspot must trigger at least one re-cut";
+    ASSERT_EQ(ring[1].received.size(),
+              static_cast<std::size_t>(seq01));
+    for (int i = 0; i < seq01; i++)
+        EXPECT_EQ(ring[1].received[static_cast<std::size_t>(i)], i);
+    ASSERT_EQ(ring[3].received.size(),
+              static_cast<std::size_t>(seq23));
+    for (int i = 0; i < seq23; i++)
+        EXPECT_EQ(ring[3].received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(DomainRepartition, PinnedComponentsNeverMove)
+{
+    DomainEngine eng(2);
+    RepartRing ring(eng, 5);
+    eng.pinComponent(&ring[0], 0);
+    eng.pinComponent(&ring[4], 1);
+    eagerRepartition(eng);
+
+    for (int phase = 0; phase < 6; phase++) {
+        FwdNode &hot = phase % 2 == 0 ? ring[0] : ring[2];
+        for (int i = 0; i < 24; i++)
+            hot.outbox.push_back(makeMsg<TestMsg>(i));
+        hot.tickLater();
+        ASSERT_EQ(eng.run(), RunResult::Drained) << "phase " << phase;
+        EXPECT_EQ(eng.domainOfComponent(&ring[0]), 0)
+            << "pinned component moved at phase " << phase;
+        EXPECT_EQ(eng.domainOfComponent(&ring[4]), 1)
+            << "pinned component moved at phase " << phase;
+    }
+    EXPECT_GE(eng.repartitionCount(), 1u);
+    EXPECT_EQ(eng.domainOfComponent(nullptr), -1);
+}
+
+TEST(DomainRepartition, ConvergesWithoutThrashing)
+{
+    // A fixed hotspot: after the engine adapts to it once, every later
+    // window looks the same, so candidates stop improving and the
+    // hysteresis gate must reject them instead of ping-ponging.
+    DomainEngine eng(2);
+    RepartRing ring(eng, 4);
+    eagerRepartition(eng);
+
+    for (int phase = 0; phase < 10; phase++) {
+        for (int i = 0; i < 24; i++)
+            ring[0].outbox.push_back(makeMsg<TestMsg>(i));
+        ring[0].tickLater();
+        ASSERT_EQ(eng.run(), RunResult::Drained) << "phase " << phase;
+    }
+    EXPECT_GE(eng.repartitionCount(), 1u);
+    EXPECT_LE(eng.repartitionCount(), 3u)
+        << "a steady workload must converge, not thrash";
+
+    // The history carries one entry per adoption, newest last, and
+    // each records an imbalance the adoption improved.
+    auto events = eng.repartitionEvents();
+    ASSERT_EQ(events.size(), eng.repartitionCount());
+    for (const auto &ev : events) {
+        EXPECT_GT(ev.migrated, 0);
+        EXPECT_LT(ev.imbalanceAfter, ev.imbalanceBefore);
+    }
+}
+
+TEST(DomainRepartition, DisabledEngineKeepsStaticCutAndZeroCost)
+{
+    DomainEngine eng(2);
+    RepartRing ring(eng, 4);
+    // Repartition off (the default): no cost tracking, no history.
+    for (int phase = 0; phase < 4; phase++) {
+        for (int i = 0; i < 24; i++)
+            ring[0].outbox.push_back(makeMsg<TestMsg>(i));
+        ring[0].tickLater();
+        ASSERT_EQ(eng.run(), RunResult::Drained);
+    }
+    EXPECT_FALSE(eng.repartitionEnabled());
+    EXPECT_EQ(eng.repartitionCount(), 0u);
+    EXPECT_EQ(eng.migratedComponents(), 0u);
+    EXPECT_TRUE(eng.repartitionEvents().empty());
+    for (int i = 0; i < eng.numDomains(); i++)
+        EXPECT_EQ(eng.domainStatus(i).cost, 0u);
+}
+
+TEST(DomainRepartition, OneDomainWithRepartitionMatchesSerialOrder)
+{
+    // With one domain the trigger can never fire and the event order
+    // must stay bit-identical to the serial engine even with tracking
+    // enabled — the "off/1-domain is a no-op" half of the invariant.
+    SerialEngine serial;
+    OrderHook serialHook;
+    serial.acceptHook(&serialHook);
+    auto serialHandlers = buildScenario(serial);
+    EXPECT_EQ(serial.run(), RunResult::Drained);
+
+    DomainEngine dom(1);
+    eagerRepartition(dom);
+    OrderHook domHook;
+    dom.acceptHook(&domHook);
+    auto domHandlers = buildScenario(dom);
+    EXPECT_EQ(dom.run(), RunResult::Drained);
+
+    EXPECT_EQ(dom.repartitionCount(), 0u);
+    auto a = normalize(serialHook.order, serialHandlers);
+    auto b = normalize(domHook.order, domHandlers);
+    EXPECT_EQ(a, b) << "1-domain + repartition diverged from serial";
+}
+
+TEST(DomainRepartition, EndStateMatchesSerialOnRing)
+{
+    // Same phased hotspot on the serial engine and on an adaptively
+    // repartitioned 2-domain engine: identical delivered data, event
+    // count, and final virtual time — repartitioning may only move
+    // the schedule, never the results.
+    auto driveRing = [](Engine &eng, RepartRing &ring) {
+        std::vector<std::vector<int>> rx;
+        int seq = 0;
+        for (int phase = 0; phase < 6; phase++) {
+            FwdNode &hot = ring[static_cast<std::size_t>(
+                (phase % 2) * 2)];
+            for (int i = 0; i < 16; i++)
+                hot.outbox.push_back(makeMsg<TestMsg>(seq++));
+            hot.tickLater();
+            EXPECT_EQ(eng.run(), RunResult::Drained);
+        }
+        for (auto &n : ring.nodes)
+            rx.push_back(n->received);
+        return rx;
+    };
+
+    SerialEngine serial;
+    RepartRing sring(serial, 4);
+    auto serialRx = driveRing(serial, sring);
+
+    DomainEngine dom(2);
+    RepartRing ring(dom, 4);
+    eagerRepartition(dom);
+    auto domRx = driveRing(dom, ring);
+
+    EXPECT_GE(dom.repartitionCount(), 1u);
+    EXPECT_EQ(domRx, serialRx);
+    EXPECT_EQ(dom.now(), serial.now());
+}
+
+TEST(DomainRepartition, PlatformRunCompletesWithRepartition)
+{
+    // The mcm4 platform with adaptive repartitioning enabled through
+    // the config surface must still complete kernels (end state equal
+    // to the serial run of PlatformRunMatchesSerialCompletion).
+    auto cfg = gpu::PlatformConfig::mcm4(gpu::GpuConfig::tiny());
+    cfg.engineKind = gpu::EngineKind::Domain;
+    cfg.domains = 4;
+    cfg.repartition = true;
+    cfg.repartitionThreshold = 1.1;
+    cfg.repartitionCooldown = 0;
+    cfg.repartitionMinEvents = 64;
+    gpu::Platform plat(cfg);
+    auto *de = dynamic_cast<DomainEngine *>(&plat.engine());
+    ASSERT_NE(de, nullptr);
+    EXPECT_TRUE(de->repartitionEnabled());
+
+    auto k = smallKernel(16);
+    plat.launchKernel(&k);
+    ASSERT_EQ(plat.run(), gpu::Platform::RunStatus::Completed);
+    EXPECT_GT(plat.engine().now(), 0u);
+    EXPECT_GT(plat.engine().eventCount(), 0u);
+}
+
+TEST(DomainRepartition, ApplyEngineArgsParsesRepartitionFlags)
+{
+    gpu::PlatformConfig cfg;
+    const char *argvConst[] = {"prog",
+                               "--engine=domain",
+                               "--domains=4",
+                               "--repartition=time",
+                               "--repartition-threshold=2.5",
+                               "--repartition-cooldown=5",
+                               "--repartition-min-events=9999"};
+    gpu::applyEngineArgs(cfg, 7, const_cast<char **>(argvConst));
+    EXPECT_TRUE(cfg.repartition);
+    EXPECT_TRUE(cfg.repartitionTime);
+    EXPECT_DOUBLE_EQ(cfg.repartitionThreshold, 2.5);
+    EXPECT_EQ(cfg.repartitionCooldown, 5);
+    EXPECT_EQ(cfg.repartitionMinEvents, 9999u);
+
+    const char *argvOff[] = {"prog", "--repartition=off"};
+    gpu::applyEngineArgs(cfg, 2, const_cast<char **>(argvOff));
+    EXPECT_FALSE(cfg.repartition);
+}
+
+TEST(DomainRepartition, DomainsEndpointServesCostAndHistory)
+{
+    // /api/v1/domains now reports per-domain cost, the imbalance
+    // gauge, and the repartition history — and sits behind the
+    // coalesced cache (ETag + 304, x-akita-no-cache bypass).
+    DomainEngine eng(2);
+    RepartRing ring(eng, 4);
+    eagerRepartition(eng);
+    for (int phase = 0; phase < 4; phase++) {
+        FwdNode &hot = phase % 2 == 0 ? ring[0] : ring[2];
+        for (int i = 0; i < 24; i++)
+            hot.outbox.push_back(makeMsg<TestMsg>(i));
+        hot.tickLater();
+        ASSERT_EQ(eng.run(), RunResult::Drained);
+    }
+    ASSERT_GE(eng.repartitionCount(), 1u);
+
+    rtm::MonitorConfig mcfg;
+    mcfg.announceUrl = false;
+    mcfg.domainsTtlFloorMs = 60 * 1000; // One build for this test.
+    rtm::Monitor mon(mcfg);
+    mon.registerEngine(&eng);
+    ASSERT_TRUE(mon.startServer());
+
+    web::PersistentClient client("127.0.0.1", mon.serverPort());
+    auto first = client.get("/api/v1/domains");
+    ASSERT_TRUE(first.has_value());
+    ASSERT_EQ(first->status, 200);
+    ASSERT_TRUE(first->headers.count("etag"));
+
+    json::Json doc = json::Json::parse(first->body);
+    EXPECT_EQ(doc.getInt("num_domains", 0), 2);
+    EXPECT_TRUE(doc.getBool("repartition_enabled", false));
+    EXPECT_GE(doc.getInt("repartitions", 0), 1);
+    EXPECT_GT(doc.getNumber("imbalance", 0), 0.0);
+    // Cost windows reset at evaluations, so only the tail window is
+    // visible — but the field must be present on every domain.
+    for (const auto &dom : doc.get("domains")->items())
+        EXPECT_NE(dom.get("cost"), nullptr);
+    const json::Json *history = doc.get("repartition_events");
+    ASSERT_NE(history, nullptr);
+    ASSERT_FALSE(history->items().empty());
+    const json::Json &ev = history->items().front();
+    EXPECT_GE(ev.getInt("seq", 0), 1);
+    EXPECT_GT(ev.getInt("migrated", 0), 0);
+    EXPECT_GT(ev.getNumber("imbalance_before", 0),
+              ev.getNumber("imbalance_after", 0));
+
+    // Replaying the ETag within the TTL gets a 304.
+    auto second = client.get(
+        "/api/v1/domains",
+        {{"If-None-Match", first->headers.at("etag")}});
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->status, 304);
+
+    // The bypass header skips the cache and carries no validator.
+    auto third =
+        client.get("/api/v1/domains", {{"x-akita-no-cache", "1"}});
+    ASSERT_TRUE(third.has_value());
+    EXPECT_EQ(third->status, 200);
+    EXPECT_FALSE(third->headers.count("etag"));
 }

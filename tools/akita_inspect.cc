@@ -17,7 +17,8 @@
  *   progress                      progress bars
  *   throughput <name>             per-port rates of one component
  *   topology                      connection map
- *   domains                       domain-engine partition + clocks
+ *   domains [--json]              domain-engine partition + clocks
+ *   domains --watch [seconds]     live per-domain lag/cost view
  *   pause | resume                simulation controls
  *   tick <name>                   wake one component
  *   profile [N]                   top-N profiler entries
@@ -35,6 +36,7 @@
  */
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -446,38 +448,113 @@ run(int argc, char **argv)
         return 0;
     }
     if (cmd == "domains") {
-        Json d = mustGet(client, "/api/v1/domains");
-        long long maxClock = 0;
-        for (const auto &dom : d.get("domains")->items())
-            maxClock = std::max(
-                maxClock,
-                static_cast<long long>(dom.getInt("clock_ps", 0)));
-        std::printf("%lld domains\n",
-                    static_cast<long long>(d.getInt("num_domains", 0)));
-        for (const auto &dom : d.get("domains")->items()) {
-            long long clock =
-                static_cast<long long>(dom.getInt("clock_ps", 0));
-            std::printf(
-                "[%lld] clock=%lld ps (lag %lld)  events=%lld  "
-                "queue=%lld\n",
-                static_cast<long long>(dom.getInt("id", 0)), clock,
-                maxClock - clock,
-                static_cast<long long>(dom.getInt("events", 0)),
-                static_cast<long long>(dom.getInt("queue_len", 0)));
-            for (const auto &m : dom.get("members")->items())
-                std::printf("      %s\n", m.strVal().c_str());
-        }
-        const Json *edges = d.get("edges");
-        if (edges != nullptr && !edges->items().empty()) {
-            std::printf("edges:\n");
-            for (const auto &e : edges->items()) {
-                std::printf(
-                    "  %lld -> %lld  lookahead=%lld ps  via %s\n",
-                    static_cast<long long>(e.getInt("src", 0)),
-                    static_cast<long long>(e.getInt("dst", 0)),
-                    static_cast<long long>(e.getInt("lookahead_ps", 0)),
-                    e.getStr("connection").c_str());
+        bool asJson = false;
+        bool watch = false;
+        int seconds = 0;
+        for (std::size_t i = 1; i < args.size(); i++) {
+            if (args[i] == "--json") {
+                asJson = true;
+            } else if (args[i] == "--watch") {
+                watch = true;
+                if (i + 1 < args.size() &&
+                    std::isdigit(
+                        static_cast<unsigned char>(args[i + 1][0])))
+                    seconds = std::atoi(args[++i].c_str());
+            } else {
+                return fail("usage: domains [--json] "
+                            "[--watch [seconds]]");
             }
+        }
+        if (asJson) {
+            // Raw body: scripting-friendly, includes everything the
+            // endpoint offers (repartition history, edge lookaheads).
+            auto r = client.get("/api/v1/domains");
+            if (!r || r->status != 200)
+                return fail(r ? r->body : "unreachable");
+            std::printf("%s\n", r->body.c_str());
+            return 0;
+        }
+        // --watch: one compact line per domain, once a second. The
+        // endpoint is coalesced server-side, so N watchers cost one
+        // build per TTL window.
+        for (int i = 0; !watch || seconds == 0 || i < seconds; i++) {
+            if (watch && i > 0)
+                std::this_thread::sleep_for(std::chrono::seconds(1));
+            Json d;
+            try {
+                d = mustGet(client, "/api/v1/domains");
+            } catch (const std::exception &e) {
+                if (!watch)
+                    throw;
+                std::printf("(%s)\n", e.what());
+                continue;
+            }
+            long long maxClock = 0;
+            for (const auto &dom : d.get("domains")->items())
+                maxClock = std::max(
+                    maxClock,
+                    static_cast<long long>(dom.getInt("clock_ps", 0)));
+            std::printf("%lld domains  imbalance=%.2f  "
+                        "repartitions=%lld (%lld rejected, "
+                        "%lld components moved)\n",
+                        static_cast<long long>(
+                            d.getInt("num_domains", 0)),
+                        d.getNumber("imbalance", 0),
+                        static_cast<long long>(
+                            d.getInt("repartitions", 0)),
+                        static_cast<long long>(
+                            d.getInt("repartitions_rejected", 0)),
+                        static_cast<long long>(
+                            d.getInt("migrated_components", 0)));
+            for (const auto &dom : d.get("domains")->items()) {
+                long long clock =
+                    static_cast<long long>(dom.getInt("clock_ps", 0));
+                std::printf(
+                    "[%lld] clock=%lld ps (lag %lld)  events=%lld  "
+                    "queue=%lld  cost=%lld\n",
+                    static_cast<long long>(dom.getInt("id", 0)), clock,
+                    maxClock - clock,
+                    static_cast<long long>(dom.getInt("events", 0)),
+                    static_cast<long long>(dom.getInt("queue_len", 0)),
+                    static_cast<long long>(dom.getInt("cost", 0)));
+                if (watch)
+                    continue;
+                for (const auto &m : dom.get("members")->items())
+                    std::printf("      %s\n", m.strVal().c_str());
+            }
+            if (watch)
+                continue;
+            const Json *edges = d.get("edges");
+            if (edges != nullptr && !edges->items().empty()) {
+                std::printf("edges:\n");
+                for (const auto &e : edges->items()) {
+                    std::printf(
+                        "  %lld -> %lld  lookahead=%lld ps  via %s\n",
+                        static_cast<long long>(e.getInt("src", 0)),
+                        static_cast<long long>(e.getInt("dst", 0)),
+                        static_cast<long long>(
+                            e.getInt("lookahead_ps", 0)),
+                        e.getStr("connection").c_str());
+                }
+            }
+            const Json *reps = d.get("repartition_events");
+            if (reps != nullptr && !reps->items().empty()) {
+                std::printf("repartitions:\n");
+                for (const auto &r : reps->items()) {
+                    std::printf("  #%lld @ %lld ps  imbalance "
+                                "%.2f -> %.2f  moved %lld\n",
+                                static_cast<long long>(
+                                    r.getInt("seq", 0)),
+                                static_cast<long long>(
+                                    r.getInt("sim_ps", 0)),
+                                r.getNumber("imbalance_before", 0),
+                                r.getNumber("imbalance_after", 0),
+                                static_cast<long long>(
+                                    r.getInt("migrated", 0)));
+                }
+            }
+            if (!watch)
+                break;
         }
         return 0;
     }
