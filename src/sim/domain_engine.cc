@@ -752,10 +752,31 @@ DomainEngine::maybeRepartition(bool midRun)
         // Re-verify the drain under the lock: an external schedule may
         // have revived the engine since the coordinator observed
         // quiescence. Holding waitMu_ for the whole migration keeps
-        // the parked workers parked.
+        // the parked workers parked — deliberately: releasing it would
+        // let stop()/resume() wake them into a half-rewritten routing
+        // table. The cost is that bumpProgress, stop, resume, and
+        // external schedules block on waitMu_ for the O(E log E) recut
+        // plus migration; drain boundaries are rare and the monitor's
+        // control surface tolerates the pause.
         if (parked_ != static_cast<int>(doms_.size()) - 1 ||
             pending_.load(std::memory_order_relaxed) != 0)
             return false;
+    } else {
+        // Between runs no worker exists, but only a run that ended in
+        // a global drain left a migration-safe state. A Stopped run
+        // abandons events in per-domain queues — migration re-routes
+        // mailboxes, never queues, so adopting here would execute a
+        // moved component's leftovers in its old domain while new
+        // events route to the new one — and leaves domain clocks
+        // unsynchronized, which the safe-window reset assumes. A
+        // mailbox-only backlog is fine: events scheduled between runs
+        // migrate with their components.
+        const VTime c0 = doms_[0]->clock.load(std::memory_order_relaxed);
+        for (const auto &dp : doms_) {
+            if (!dp->queue.empty() ||
+                dp->clock.load(std::memory_order_relaxed) != c0)
+                return false;
+        }
     }
 
     std::uint64_t total = 0;
@@ -873,7 +894,13 @@ DomainEngine::tryAdoptRepartition()
         std::lock_guard<std::mutex> tk(topoMu_);
         part_ = std::move(cand);
 
-        componentDom_.clear();
+        // Update componentDom_ in place: it also carries late
+        // registrations (noteComponent after the partition was fixed)
+        // that components_ does not list — clearing would orphan them
+        // and leave their deliveries to the tlsDom fallback, i.e. to
+        // whichever worker happens to schedule. handlerDom_ and
+        // componentHandler_ only ever hold components_ members plus
+        // handlerPins_, so a full rebuild reproduces them exactly.
         handlerDom_.clear();
         componentHandler_.clear();
         for (Component *c : components_) {
@@ -881,7 +908,7 @@ DomainEngine::tryAdoptRepartition()
             std::size_t dom = it != part_.domainOf.end()
                                   ? static_cast<std::size_t>(it->second)
                                   : 0;
-            componentDom_.emplace(c, dom);
+            componentDom_[c] = dom;
             if (auto *h = dynamic_cast<EventHandler *>(c)) {
                 handlerDom_.emplace(h, dom);
                 componentHandler_.emplace(c, h);

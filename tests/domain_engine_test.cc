@@ -1007,6 +1007,91 @@ TEST(DomainRepartition, ConvergesWithoutThrashing)
     }
 }
 
+TEST(DomainRepartition, NoRepartitionAfterStoppedRun)
+{
+    // A Stopped run abandons events in per-domain queues and leaves
+    // clocks unsynchronized; migration only re-routes mailboxes, so
+    // the run()-entry evaluation must skip such a boundary even when
+    // the cost window screams imbalance. (Regression: adopting here
+    // executed a moved component's leftover queue events in its old
+    // domain while new events routed to the new one.)
+    class StopHandler : public EventHandler
+    {
+      public:
+        explicit StopHandler(Engine *e) : eng_(e) {}
+        void handle(Event &) override { eng_->stop(); }
+        std::string handlerName() const override { return "stop"; }
+
+      private:
+        Engine *eng_;
+    };
+
+    DomainEngine eng(2);
+    RepartRing ring(eng, 4);
+    eagerRepartition(eng);
+    // Pin the stop away from the hot pair (external schedules would
+    // otherwise land in domain 0 with it).
+    StopHandler stopH(&eng);
+    eng.assignHandler(&stopH, 1);
+    eng.partition();
+    // The equal-latency static cut co-locates R0 and R1 opposite the
+    // stop's domain — the precondition for a weight-seeded candidate
+    // that splits the hot pair.
+    ASSERT_EQ(eng.domainOfComponent(&ring[0]),
+              eng.domainOfComponent(&ring[1]));
+    ASSERT_NE(eng.domainOfComponent(&ring[0]),
+              eng.domainOfComponent(&ring[3]));
+
+    // R0 floods R1 (intra-domain: sends at 1..60 ns, deliveries at
+    // 501..560 ns) while the stop's domain sits idle. The stop is at
+    // 1020 ns: its domain's safe window is the hot domain's horizon
+    // plus the 500 ns edge lookahead, so it cannot execute until the
+    // hot domain passed 520 ns — all 60 sends plus a batch of
+    // deliveries are in the cost window (well past the 16-event
+    // floor, max/mean ~2, weight spread over two movable components
+    // so a re-cut genuinely improves).
+    for (int i = 0; i < 60; i++)
+        ring[0].outbox.push_back(makeMsg<TestMsg>(i));
+    ring[0].tickLater();
+    eng.schedule(
+        std::make_unique<Event>(1020 * kNanosecond, &stopH));
+    ASSERT_EQ(eng.run(), RunResult::Stopped);
+
+    // Resuming from the stopped state must not adopt a new cut at
+    // entry (adoption only ever happens at run() entry here), and the
+    // resumed run must deliver everything in order.
+    ASSERT_EQ(eng.run(), RunResult::Drained);
+    EXPECT_EQ(eng.repartitionCount(), 0u)
+        << "repartitioned across a Stopped (non-drained) boundary";
+    ASSERT_EQ(ring[1].received.size(), 60u);
+    for (int i = 0; i < 60; i++)
+        EXPECT_EQ(ring[1].received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(DomainRepartition, LateRegisteredComponentKeepsRoutingAcrossRepartition)
+{
+    // A component registered after the partition is fixed is pinned to
+    // domain 0 by noteComponent; the adopted cut must carry that
+    // mapping, not orphan it to the scheduling-worker fallback.
+    DomainEngine eng(2);
+    RepartRing ring(eng, 4);
+    eagerRepartition(eng);
+    eng.partition(); // Fix the cut: anything registered now is late.
+    FwdNode late(&eng, "Late", 16);
+    ASSERT_EQ(eng.domainOfComponent(&late), 0);
+
+    for (int phase = 0; phase < 6; phase++) {
+        FwdNode &hot = phase % 2 == 0 ? ring[0] : ring[2];
+        for (int i = 0; i < 24; i++)
+            hot.outbox.push_back(makeMsg<TestMsg>(i));
+        hot.tickLater();
+        ASSERT_EQ(eng.run(), RunResult::Drained) << "phase " << phase;
+    }
+    ASSERT_GE(eng.repartitionCount(), 1u);
+    EXPECT_EQ(eng.domainOfComponent(&late), 0)
+        << "late registration lost its routing entry in the rebuild";
+}
+
 TEST(DomainRepartition, DisabledEngineKeepsStaticCutAndZeroCost)
 {
     DomainEngine eng(2);
