@@ -430,6 +430,8 @@ applyEngineEnv(PlatformConfig &cfg)
         if (v > 0)
             cfg.recordSegmentBytes = static_cast<std::size_t>(v);
     }
+    if (const char *f = std::getenv("AKITA_FLEET"))
+        cfg.fleet = std::max(1, std::atoi(f));
 }
 
 void
@@ -465,6 +467,8 @@ applyEngineArgs(PlatformConfig &cfg, int argc, char **argv)
             if (v > 0)
                 cfg.recordSegmentBytes = static_cast<std::size_t>(v);
         }
+        else if (arg.rfind("--fleet=", 0) == 0)
+            cfg.fleet = std::max(1, std::atoi(arg.c_str() + 8));
     }
 }
 

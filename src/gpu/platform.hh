@@ -123,6 +123,15 @@ struct PlatformConfig
     /** Segment size (--record-bytes= / AKITA_RECORD_BYTES). */
     std::size_t recordSegmentBytes = 8 * 1024 * 1024;
 
+    /**
+     * Number of independent simulation instances to run in one process
+     * (--fleet= / AKITA_FLEET). 1 is the ordinary single-sim mode;
+     * larger values make fleet-aware harnesses build this many
+     * platform+monitor pairs behind one rtm::Gateway (the gpu layer
+     * itself only carries the knob — the rtm layer does the spawning).
+     */
+    int fleet = 1;
+
     /** The paper's 4-chiplet MCM-GPU (each chiplet an R9 Nano). */
     static PlatformConfig mcm4(const GpuConfig &chip = GpuConfig::tiny());
 };
@@ -232,6 +241,7 @@ class Platform
  *   --repartition-min-events=N  minimum window cost to evaluate
  *   --record=PATH          flight-recorder segment file
  *   --record-bytes=N       segment size in bytes
+ *   --fleet=N              simulation instances behind one gateway
  * Environment (lower precedence than flags):
  *   AKITA_ENGINE=serial|parallel|domain
  *   AKITA_WORKERS=N
@@ -242,6 +252,7 @@ class Platform
  *   AKITA_REPARTITION_MIN_EVENTS=N
  *   AKITA_RECORD=PATH
  *   AKITA_RECORD_BYTES=N
+ *   AKITA_FLEET=N
  *
  * Lets every bench/example binary opt into the parallel engine with the
  * same switches.

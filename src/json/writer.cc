@@ -143,5 +143,14 @@ Writer::json(const Json &j)
     return *this;
 }
 
+Writer &
+Writer::raw(const std::string &pre_serialized)
+{
+    sep();
+    out_ += pre_serialized;
+    needComma_ = true;
+    return *this;
+}
+
 } // namespace json
 } // namespace akita

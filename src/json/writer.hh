@@ -74,6 +74,13 @@ class Writer
     /** Serializes a Json subtree in place (bridge for mixed paths). */
     Writer &json(const Json &j);
 
+    /**
+     * Appends @p pre_serialized as one value, verbatim. The caller
+     * guarantees it is valid JSON (e.g. a cached fragment produced by
+     * another Writer); commas around it are still managed here.
+     */
+    Writer &raw(const std::string &pre_serialized);
+
     /** Shorthand for key(k) followed by value(v). */
     template <typename T>
     Writer &

@@ -34,82 +34,18 @@ wallNowMs()
 }
 
 /**
- * Smallest cached body worth compressing: below this the gzip header
- * overhead beats the savings.
- */
-constexpr std::size_t kCompressMin = 256;
-
-/**
- * Representation-specific ETag: the encoded bytes differ from the
- * identity bytes, so the validator must differ too ("abc" ->
- * "abc-gzip", suffix inside the quotes).
- */
-std::string
-variantEtag(const std::string &etag, const char *enc_name)
-{
-    if (etag.size() >= 2 && etag.back() == '"') {
-        return etag.substr(0, etag.size() - 1) + "-" + enc_name + "\"";
-    }
-    return etag + "-" + enc_name;
-}
-
-/**
- * Serves @p req through the monitor's response cache.
- *
- * The cache key is the raw request target (path + query), the
- * freshness stamp is @p gen, and @p build produces the body when the
- * cached copy is stale (subject to the @p ttl_ms floor — see
- * ResponseCache::get). Clients advertising gzip/deflate support get
- * the entry's lazily-compressed variant (built once per entry and
- * encoding) under a representation-specific ETag; clients replaying
- * that ETag in If-None-Match get a body-less 304. The
- * x-akita-no-cache request header bypasses the cache — and with it
- * the pre-compressed variants — entirely (benchmark baselines); the
- * web server may still compress such responses per request.
+ * Serves @p req through the monitor's response cache, keyed on the raw
+ * request target (path + query). The heavy lifting — encoding
+ * negotiation, variant ETags, If-None-Match — lives in serveCached so
+ * the fleet gateway shares the exact pipeline.
  */
 web::Response
 cachedResponse(Monitor *m, const web::Request &req, std::uint64_t gen,
                const char *contentType, std::uint64_t ttl_ms,
                const ResponseCache::Builder &build)
 {
-    if (req.headers.count("x-akita-no-cache"))
-        return web::Response::ok(build(), contentType);
-
-    auto entry = m->responseCache().get(req.target, gen, contentType,
-                                        build, ttl_ms);
-
-    const std::string *body = &entry->body;
-    std::string etag = entry->etag;
-    const char *encName = nullptr;
-    auto ae = req.headers.find("accept-encoding");
-    if (ae != req.headers.end() && entry->body.size() >= kCompressMin) {
-        web::ContentEncoding enc = web::negotiateEncoding(ae->second);
-        if (enc != web::ContentEncoding::Identity) {
-            const std::string *eb =
-                m->responseCache().encodedBody(entry, enc);
-            if (eb != nullptr && eb->size() < entry->body.size()) {
-                body = eb;
-                encName = web::encodingName(enc);
-                etag = variantEtag(entry->etag, encName);
-            }
-        }
-    }
-
-    auto inm = req.headers.find("if-none-match");
-    if (inm != req.headers.end() && inm->second == etag) {
-        m->responseCache().noteNotModified();
-        web::Response r;
-        r.status = 304;
-        r.headers["ETag"] = etag;
-        r.headers["Vary"] = "Accept-Encoding";
-        return r;
-    }
-    web::Response r = web::Response::ok(*body, entry->contentType);
-    r.headers["ETag"] = etag;
-    r.headers["Vary"] = "Accept-Encoding";
-    if (encName != nullptr)
-        r.headers["Content-Encoding"] = encName;
-    return r;
+    return serveCached(m->responseCache(), req, req.target, gen,
+                       contentType, ttl_ms, build);
 }
 
 } // namespace
@@ -117,21 +53,38 @@ cachedResponse(Monitor *m, const web::Request &req, std::uint64_t gen,
 void
 installApiRoutes(web::HttpServer &server, Monitor &monitor)
 {
+    installApiRoutes(server.router(), monitor);
+}
+
+void
+installApiRoutes(web::Router &server, Monitor &monitor)
+{
     Monitor *m = &monitor;
+
+    // Core endpoints answer under both /api/<name> (the dashboard's
+    // historical paths) and /api/v1/<name> (the stable versioned paths
+    // fleet tooling targets). Distinct targets mean distinct cache
+    // keys, so each alias coalesces its own polling wave.
+    auto routeBoth = [&server](const char *method,
+                               const std::string &suffix,
+                               web::Handler h) {
+        server.route(method, "/api" + suffix, h);
+        server.route(method, "/api/v1" + suffix, std::move(h));
+    };
 
     server.route("GET", "/", [](const web::Request &) {
         return web::Response::html(dashboardHtml());
     });
 
-    server.route("GET", "/api/status", [m](const web::Request &) {
+    routeBoth("GET", "/status", [m](const web::Request &) {
         return jsonResponse(m->status());
     });
 
-    server.route("GET", "/api/resources", [m](const web::Request &) {
+    routeBoth("GET", "/resources", [m](const web::Request &) {
         return jsonResponse(serializeResources(m->resources()));
     });
 
-    server.route("GET", "/api/components", [m](const web::Request &req) {
+    routeBoth("GET", "/components", [m](const web::Request &req) {
         // Structure-only view: its generation is the registration
         // count, so after setup every poll is a cache hit / 304.
         return cachedResponse(
@@ -144,7 +97,7 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
             });
     });
 
-    server.route("GET", "/api/component", [m](const web::Request &req) {
+    routeBoth("GET", "/component", [m](const web::Request &req) {
         std::string name = req.queryParam("name");
         if (name.empty())
             return web::Response::error(400, "missing ?name=");
@@ -160,7 +113,7 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
         return web::Response::json(std::move(body));
     });
 
-    server.route("GET", "/api/buffers", [m](const web::Request &req) {
+    routeBoth("GET", "/buffers", [m](const web::Request &req) {
         BufferSort sort = req.queryParam("sort", "percent") == "size"
                               ? BufferSort::BySize
                               : BufferSort::ByPercent;
@@ -181,24 +134,24 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
             });
     });
 
-    server.route("GET", "/api/progress", [m](const web::Request &) {
+    routeBoth("GET", "/progress", [m](const web::Request &) {
         std::string body;
         json::Writer w(body);
         writeProgress(w, m->progressBars());
         return web::Response::json(std::move(body));
     });
 
-    server.route("POST", "/api/pause", [m](const web::Request &) {
+    routeBoth("POST", "/pause", [m](const web::Request &) {
         m->pause();
         return web::Response::json("{\"paused\":true}");
     });
 
-    server.route("POST", "/api/resume", [m](const web::Request &) {
+    routeBoth("POST", "/resume", [m](const web::Request &) {
         m->kickStart();
         return web::Response::json("{\"paused\":false}");
     });
 
-    server.route("POST", "/api/tick", [m](const web::Request &req) {
+    routeBoth("POST", "/tick", [m](const web::Request &req) {
         std::string name = req.queryParam("component");
         if (name.empty())
             return web::Response::error(400, "missing ?component=");
@@ -290,7 +243,7 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
         return jsonResponse(arr);
     });
 
-    server.route("GET", "/api/topology", [m](const web::Request &) {
+    routeBoth("GET", "/topology", [m](const web::Request &) {
         return jsonResponse(m->topology());
     });
 
@@ -428,11 +381,22 @@ installApiRoutes(web::HttpServer &server, Monitor &monitor)
             *seen = v > 0 ? v - 1 : 0;
             auto lei = req.headers.find("last-event-id");
             if (lei != req.headers.end()) {
+                // Strict parse: this server only ever issues plain
+                // decimal ids, so trailing garbage ("2junk"), a
+                // leading sign, or overflow means the id is corrupt
+                // or from another server — treat it as no resume
+                // point (full replay from one pass back) rather than
+                // resuming at a bogus position and silently dropping
+                // samples.
+                const std::string &raw = lei->second;
                 errno = 0;
                 char *end = nullptr;
                 unsigned long long id =
-                    std::strtoull(lei->second.c_str(), &end, 10);
-                if (errno == 0 && end != lei->second.c_str())
+                    std::strtoull(raw.c_str(), &end, 10);
+                if (!raw.empty() &&
+                    raw.find_first_not_of("0123456789") ==
+                        std::string::npos &&
+                    errno == 0 && end == raw.c_str() + raw.size())
                     *seen = id;
             } else if (req.query.count("last_event_id")) {
                 *seen = static_cast<std::uint64_t>(req.queryInt(

@@ -26,6 +26,11 @@
  *   GET  /api/monitor/export?id=N                 one series as CSV
  *   GET  /api/throughput?component=X              per-port rates
  *   GET  /api/topology                            connection map
+ *
+ * Core read/control endpoints are also served under the stable
+ * versioned prefix (/api/v1/status, /api/v1/components, ...), which is
+ * what fleet tooling targets; the unversioned paths remain for the
+ * dashboard and existing scripts.
  */
 
 #ifndef AKITA_RTM_API_HH
@@ -42,6 +47,13 @@ class Monitor;
 
 /** Registers every RTM endpoint plus the dashboard on @p server. */
 void installApiRoutes(web::HttpServer &server, Monitor &monitor);
+
+/**
+ * Router variant: registers the same routes on a detached table, for
+ * mounting one monitor's API under a path prefix (the fleet gateway
+ * serves N of these as /sim/<id>/...).
+ */
+void installApiRoutes(web::Router &router, Monitor &monitor);
 
 /** The embedded single-page dashboard. */
 const char *dashboardHtml();

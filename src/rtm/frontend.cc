@@ -41,6 +41,7 @@ dashboardHtml()
   td, th { border-bottom: 1px solid #eee; padding: 2px 6px;
            text-align: left; font-size: 12px; }
   .full { color: #b22; font-weight: bold; }
+  .warn { color: #b70; font-weight: bold; }
   .bars .bar { margin: 4px 0; }
   .bar .track { display: flex; height: 14px; border-radius: 3px;
                 overflow: hidden; background: #cfd4da; }
@@ -59,8 +60,8 @@ dashboardHtml()
   <span class="stat">RSS <b id="rss">-</b> MB</span>
   <span id="hang"></span>
   <span style="flex:1"></span>
-  <button onclick="post('/api/pause')">Pause</button>
-  <button onclick="post('/api/resume')">Kick Start</button>
+  <button onclick="post('api/pause')">Pause</button>
+  <button onclick="post('api/resume')">Kick Start</button>
   <button onclick="toggleRight()">Profiler/Buffers</button>
 </header>
 <main>
@@ -80,15 +81,19 @@ dashboardHtml()
 <script>
 let rightMode = 'buffers';
 let selected = null;
+// Relative fetch targets: the same dashboard works served at / and
+// mounted under a fleet-gateway prefix like /sim/sim0/ (the gateway
+// 301s the bare prefix to the trailing-slash form, so relative URLs
+// always resolve inside the mount).
 function get(u){ return fetch(u).then(r=>r.json()); }
 function post(u){ return fetch(u, {method:'POST'}); }
 function toggleRight(){
-  const modes = ['buffers', 'profile', 'topology'];
+  const modes = ['buffers', 'profile', 'topology', 'domains'];
   rightMode = modes[(modes.indexOf(rightMode) + 1) % modes.length];
-  if (rightMode === 'profile') post('/api/profile/start');
+  if (rightMode === 'profile') post('api/profile/start');
   document.getElementById('rightTitle').textContent = {
     buffers: 'Buffer analyzer', profile: 'Simulator profile',
-    topology: 'Topology'}[rightMode];
+    topology: 'Topology', domains: 'PDES domains'}[rightMode];
 }
 function renderTree(node, depth, out){
   if (node.label) {
@@ -105,12 +110,12 @@ function select(name){
   refreshDetail();
 }
 function track(comp, field){
-  post(`/api/monitor/track?component=${encodeURIComponent(comp)}`+
+  post(`api/monitor/track?component=${encodeURIComponent(comp)}`+
        `&field=${encodeURIComponent(field)}`);
 }
 function refreshDetail(){
   if (!selected) return;
-  get('/api/component?name=' + encodeURIComponent(selected)).then(c => {
+  get('api/component?name=' + encodeURIComponent(selected)).then(c => {
     document.getElementById('detailName').textContent = c.name;
     let h = '<table><tr><th>field</th><th>value</th><th></th></tr>';
     c.fields.forEach(f => {
@@ -127,11 +132,11 @@ function refreshDetail(){
            `&#9873;</button></td></tr>`;
     });
     h += '</table>';
-    if (selected) h += `<button onclick="post('/api/tick?component=`+
+    if (selected) h += `<button onclick="post('api/tick?component=`+
         encodeURIComponent(selected)+`')">Tick</button>`;
     document.getElementById('detail').innerHTML = h;
   });
-  get('/api/throughput?component=' + encodeURIComponent(selected))
+  get('api/throughput?component=' + encodeURIComponent(selected))
     .then(ports => {
       let h = '<table><tr><th>port</th><th>sent</th>'+
               '<th>msgs/sim-s</th><th>rejects</th></tr>';
@@ -154,26 +159,26 @@ function chartSvg(s){
       (i?'L':'M') + xs(i).toFixed(1) + ' ' + ys(p.v).toFixed(1)).join(' ');
   const last = s.points[s.points.length-1].v;
   return `<div><b>${s.component}.${s.field}</b> = ${last}`+
-    ` <button onclick="post('/api/monitor/untrack?id=${s.id}')">x</button>`+
+    ` <button onclick="post('api/monitor/untrack?id=${s.id}')">x</button>`+
     `<br><svg width="${W}" height="${H}">`+
     `<path d="${d}" fill="none" stroke="#36c" stroke-width="1.5"/>`+
     `<text x="4" y="12" font-size="10" fill="#888">max ${vmax}</text>`+
     `</svg></div>`;
 }
 function tick(){
-  get('/api/status').then(s => {
+  get('api/status').then(s => {
     document.getElementById('simtime').textContent = s.now;
     document.getElementById('events').textContent = s.events;
     document.getElementById('hang').innerHTML = s.hang.hanging ?
       '<span class="hang">&#9888; HANG suspected</span>' :
       (s.paused ? '(paused)' : '');
   }).catch(()=>{});
-  get('/api/resources').then(r => {
+  get('api/resources').then(r => {
     document.getElementById('cpu').textContent = r.cpu_percent.toFixed(0);
     document.getElementById('rss').textContent =
         (r.rss_bytes/1048576).toFixed(0);
   }).catch(()=>{});
-  get('/api/progress').then(bars => {
+  get('api/progress').then(bars => {
     document.getElementById('progress').innerHTML = bars.map(b => {
       const t = Math.max(b.total,1);
       return `<div class="bar">${b.label} `+
@@ -184,7 +189,7 @@ function tick(){
     }).join('');
   }).catch(()=>{});
   if (rightMode === 'buffers') {
-    get('/api/buffers?sort=percent&top=30').then(rows => {
+    get('api/buffers?sort=percent&top=30').then(rows => {
       let h = '<table><tr><th>Buffer</th><th>Size</th><th>Cap</th></tr>';
       rows.forEach(r => {
         const cls = r.size >= r.cap ? 'full' : '';
@@ -194,7 +199,7 @@ function tick(){
       document.getElementById('right').innerHTML = h + '</table>';
     }).catch(()=>{});
   } else if (rightMode === 'topology') {
-    get('/api/topology').then(t => {
+    get('api/topology').then(t => {
       let h = '';
       t.forEach(conn => {
         h += `<b>${conn.connection}</b><table>` +
@@ -204,8 +209,38 @@ function tick(){
       document.getElementById('right').innerHTML =
           h || 'no connections registered';
     }).catch(()=>{});
+  } else if (rightMode === 'domains') {
+    get('api/v1/domains').then(d => {
+      // Lag fullness: each domain's distance behind the fleet-front
+      // clock as a fraction of the current clock spread. Red at the
+      // straggler holding everyone's lookahead window, amber past
+      // halfway — the same treatment the buffer table gives fullness.
+      const clocks = d.domains.map(x => x.clock_ps);
+      const maxC = clocks.length ? Math.max(...clocks) : 0;
+      const minC = clocks.length ? Math.min(...clocks) : 0;
+      const span = Math.max(maxC - minC, 1);
+      let h = `<div>repartitions: ${d.repartitions} `+
+              `(rejected ${d.repartitions_rejected}, moved `+
+              `${d.migrated_components}), imbalance `+
+              `${d.imbalance.toFixed(2)}</div>`;
+      h += '<table><tr><th>dom</th><th>clock ps</th><th>lag ps</th>'+
+           '<th>events</th><th>queue</th><th>cost</th></tr>';
+      d.domains.forEach(x => {
+        const lag = maxC - x.clock_ps;
+        const frac = (maxC - x.clock_ps) / span;
+        const cls = frac >= 0.99 ? 'full' : (frac >= 0.5 ? 'warn' : '');
+        h += `<tr><td>${x.id}</td><td>${x.clock_ps}</td>`+
+             `<td class="${cls}">${lag}</td>`+
+             `<td>${x.events}</td><td>${x.queue_len}</td>`+
+             `<td>${x.cost}</td></tr>`;
+      });
+      document.getElementById('right').innerHTML = h + '</table>';
+    }).catch(()=>{
+      document.getElementById('right').innerHTML =
+          'engine is not domain-partitioned (run with --engine=domain)';
+    });
   } else {
-    get('/api/profile?top=20').then(p => {
+    get('api/profile?top=20').then(p => {
       let h = '<table><tr><th>function</th><th>self ms</th>'+
               '<th>total ms</th></tr>';
       p.functions.forEach(f => {
@@ -216,12 +251,12 @@ function tick(){
       document.getElementById('right').innerHTML = h + '</table>';
     }).catch(()=>{});
   }
-  get('/api/monitor/all').then(all => {
+  get('api/monitor/all').then(all => {
     document.getElementById('charts').innerHTML =
         all.map(chartSvg).join('');
   }).catch(()=>{});
 }
-get('/api/components').then(t => {
+get('api/components').then(t => {
   const out = [];
   (t.children||[]).forEach(c => renderTree(c, 0, out));
   document.getElementById('tree').innerHTML = out.join('');

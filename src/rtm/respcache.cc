@@ -157,5 +157,166 @@ ResponseCache::size() const
     return slots_.size();
 }
 
+namespace
+{
+
+/**
+ * Smallest cached body worth compressing: below this the gzip header
+ * overhead beats the savings.
+ */
+constexpr std::size_t kCompressMin = 256;
+
+/**
+ * Representation-specific ETag: the encoded bytes differ from the
+ * identity bytes, so the validator must differ too ("abc" ->
+ * "abc-gzip", suffix inside the quotes).
+ */
+std::string
+variantEtag(const std::string &etag, const char *enc_name)
+{
+    if (etag.size() >= 2 && etag.back() == '"') {
+        return etag.substr(0, etag.size() - 1) + "-" + enc_name + "\"";
+    }
+    return etag + "-" + enc_name;
+}
+
+} // namespace
+
+web::Response
+serveCached(ResponseCache &cache, const web::Request &req,
+            const std::string &key, std::uint64_t gen,
+            const char *contentType, std::uint64_t ttl_ms,
+            const ResponseCache::Builder &build)
+{
+    if (req.headers.count("x-akita-no-cache"))
+        return web::Response::ok(build(), contentType);
+
+    auto entry = cache.get(key, gen, contentType, build, ttl_ms);
+
+    const std::string *body = &entry->body;
+    std::string etag = entry->etag;
+    const char *encName = nullptr;
+    auto ae = req.headers.find("accept-encoding");
+    if (ae != req.headers.end() && entry->body.size() >= kCompressMin) {
+        web::ContentEncoding enc = web::negotiateEncoding(ae->second);
+        if (enc != web::ContentEncoding::Identity) {
+            const std::string *eb = cache.encodedBody(entry, enc);
+            if (eb != nullptr && eb->size() < entry->body.size()) {
+                body = eb;
+                encName = web::encodingName(enc);
+                etag = variantEtag(entry->etag, encName);
+            }
+        }
+    }
+
+    auto inm = req.headers.find("if-none-match");
+    if (inm != req.headers.end() && inm->second == etag) {
+        cache.noteNotModified();
+        web::Response r;
+        r.status = 304;
+        r.headers["ETag"] = etag;
+        r.headers["Vary"] = "Accept-Encoding";
+        return r;
+    }
+    web::Response r = web::Response::ok(*body, entry->contentType);
+    r.headers["ETag"] = etag;
+    r.headers["Vary"] = "Accept-Encoding";
+    if (encName != nullptr)
+        r.headers["Content-Encoding"] = encName;
+    return r;
+}
+
+ShardedResponseCache::ShardedResponseCache(std::size_t shards,
+                                           std::size_t maxEntriesPerShard)
+{
+    if (shards == 0)
+        shards = 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; i++)
+        shards_.push_back(
+            std::make_unique<ResponseCache>(maxEntriesPerShard));
+}
+
+std::size_t
+ShardedResponseCache::shardIndex(const std::string &simId,
+                                 const std::string &endpoint,
+                                 std::size_t nshards)
+{
+    // FNV-1a over "simId\0endpoint": the separator keeps ("ab", "c")
+    // and ("a", "bc") from colliding by construction.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](unsigned char c) {
+        h ^= c;
+        h *= 1099511628211ull;
+    };
+    for (unsigned char c : simId)
+        mix(c);
+    mix(0);
+    for (unsigned char c : endpoint)
+        mix(c);
+    return nshards == 0 ? 0 : static_cast<std::size_t>(h % nshards);
+}
+
+ResponseCache &
+ShardedResponseCache::shard(const std::string &simId,
+                            const std::string &endpoint)
+{
+    return *shards_[shardIndex(simId, endpoint, shards_.size())];
+}
+
+std::uint64_t
+ShardedResponseCache::buildCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->buildCount();
+    return n;
+}
+
+std::uint64_t
+ShardedResponseCache::hitCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->hitCount();
+    return n;
+}
+
+std::uint64_t
+ShardedResponseCache::missCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->missCount();
+    return n;
+}
+
+std::uint64_t
+ShardedResponseCache::coalesceCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->coalesceCount();
+    return n;
+}
+
+std::uint64_t
+ShardedResponseCache::notModifiedCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->notModifiedCount();
+    return n;
+}
+
+std::uint64_t
+ShardedResponseCache::encodeCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : shards_)
+        n += s->encodeCount();
+    return n;
+}
+
 } // namespace rtm
 } // namespace akita

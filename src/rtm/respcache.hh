@@ -31,8 +31,10 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "web/encoding.hh"
+#include "web/http.hh"
 
 namespace akita
 {
@@ -190,6 +192,74 @@ class ResponseCache
     std::atomic<std::uint64_t> coalesced_{0};
     std::atomic<std::uint64_t> notModified_{0};
     std::atomic<std::uint64_t> encodes_{0};
+};
+
+/**
+ * Serves @p req through @p cache: the full conditional-GET pipeline
+ * shared by the per-monitor API layer and the fleet gateway.
+ *
+ * The entry is looked up under @p key at generation @p gen (with the
+ * @p ttl_ms floor — see ResponseCache::get) and @p build produces the
+ * body on a miss. Clients advertising gzip/deflate support get the
+ * entry's lazily-compressed variant under a representation-specific
+ * ETag ("abc" -> "abc-gzip"); clients replaying that ETag in
+ * If-None-Match get a body-less 304. The x-akita-no-cache request
+ * header bypasses the cache — and with it the pre-compressed variants
+ * — entirely (benchmark baselines); the web server may still compress
+ * such responses per request.
+ */
+web::Response serveCached(ResponseCache &cache, const web::Request &req,
+                          const std::string &key, std::uint64_t gen,
+                          const char *contentType, std::uint64_t ttl_ms,
+                          const ResponseCache::Builder &build);
+
+/**
+ * A fixed set of ResponseCaches addressed by consistent hash of
+ * (simulation id, endpoint).
+ *
+ * The fleet gateway serves many simulations through one process; a
+ * single shared cache would let one chatty simulation's keys evict
+ * every other simulation's entries (the LRU cap is global), and every
+ * build would contend on one mutex. Sharding by (sim, endpoint) keeps
+ * both blast radius and lock contention per-shard: a flood of keys
+ * for simulation A can only evict entries that hash to A's shard.
+ */
+class ShardedResponseCache
+{
+  public:
+    /**
+     * @param shards Number of independent caches (>= 1 enforced).
+     * @param maxEntriesPerShard LRU cap within each shard.
+     */
+    explicit ShardedResponseCache(std::size_t shards = 8,
+                                  std::size_t maxEntriesPerShard = 64);
+
+    /** Stable shard number for (sim, endpoint) — FNV-1a over both. */
+    static std::size_t shardIndex(const std::string &simId,
+                                  const std::string &endpoint,
+                                  std::size_t nshards);
+
+    /** The cache owning (sim, endpoint) keys. */
+    ResponseCache &shard(const std::string &simId,
+                         const std::string &endpoint);
+
+    /** Shard by index (iteration / tests). */
+    ResponseCache &shardAt(std::size_t i) { return *shards_[i]; }
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    // Counters summed across shards (gateway /metrics).
+    std::uint64_t buildCount() const;
+    std::uint64_t hitCount() const;
+    std::uint64_t missCount() const;
+    std::uint64_t coalesceCount() const;
+    std::uint64_t notModifiedCount() const;
+    std::uint64_t encodeCount() const;
+
+  private:
+    // unique_ptr keeps each shard's address stable (ResponseCache is
+    // non-movable: it owns a mutex and condition variables).
+    std::vector<std::unique_ptr<ResponseCache>> shards_;
 };
 
 } // namespace rtm

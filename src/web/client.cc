@@ -127,13 +127,20 @@ HttpClient::roundTrip(const std::string &request) const
         // response is complete. Responses without such framing are
         // close-framed: keep reading to EOF.
         std::size_t consumed = 0;
-        if (auto parsed = parseResponse(data, consumed)) {
+        ParseResult state = ParseResult::Incomplete;
+        if (auto parsed = parseResponse(data, consumed, &state)) {
             ::close(fd);
             if (!maybeDecompress(*parsed))
                 return std::nullopt;
             return ClientResponse{parsed->status,
                                   std::move(parsed->headers),
                                   std::move(parsed->body)};
+        }
+        if (state == ParseResult::Invalid) {
+            // Corrupt framing can never complete; reading to EOF would
+            // only re-parse the same poison bytes.
+            ::close(fd);
+            return std::nullopt;
         }
     }
     ::close(fd);
@@ -201,11 +208,19 @@ PersistentClient::readResponse()
     char buf[8192];
     while (true) {
         std::size_t consumed = 0;
-        if (auto parsed = parseResponse(pending_, consumed)) {
+        ParseResult state = ParseResult::Incomplete;
+        if (auto parsed = parseResponse(pending_, consumed, &state)) {
             pending_.erase(0, consumed);
             if (!maybeDecompress(*parsed))
                 return std::nullopt;
             return parsed;
+        }
+        if (state == ParseResult::Invalid) {
+            // Corrupt framing (bad chunk size line, malformed status
+            // line): the stream can never resynchronize, so abort now
+            // instead of blocking until the socket timeout fires.
+            disconnect();
+            return std::nullopt;
         }
         ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
         if (n <= 0)

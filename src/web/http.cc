@@ -154,14 +154,20 @@ decodeChunked(const std::string &data, std::size_t start,
         std::size_t semi = line.find(';');
         std::string hex =
             trim(semi == std::string::npos ? line : line.substr(0, semi));
-        if (hex.empty() ||
+        // Strict size-line validation: hex digits only, short enough
+        // that strtoull cannot saturate silently, fully consumed, and
+        // inside the body cap. "12zz" and "ffffffffffffffff" are
+        // framing corruption, not sizes.
+        if (hex.empty() || hex.size() > 16 ||
             hex.find_first_not_of("0123456789abcdefABCDEF") !=
                 std::string::npos)
             return ParseResult::Invalid;
         errno = 0;
-        unsigned long long size = std::strtoull(hex.c_str(), nullptr, 16);
-        if (errno != 0 || size > kMaxBodyBytes ||
-            out.size() + size > kMaxBodyBytes)
+        char *hexEnd = nullptr;
+        unsigned long long size =
+            std::strtoull(hex.c_str(), &hexEnd, 16);
+        if (errno != 0 || hexEnd != hex.c_str() + hex.size() ||
+            size > kMaxBodyBytes || out.size() + size > kMaxBodyBytes)
             return ParseResult::Invalid;
         pos = eol + 2;
         if (size == 0) {
@@ -269,6 +275,8 @@ statusText(int status)
         return "OK";
       case 204:
         return "No Content";
+      case 301:
+        return "Moved Permanently";
       case 304:
         return "Not Modified";
       case 400:
@@ -389,26 +397,54 @@ parseRequest(const std::string &data, std::size_t start, Request &req,
 namespace
 {
 
-/** Parses the status line and headers shared by both variants. */
+/**
+ * Parses the status line and headers shared by both variants.
+ *
+ * @param[out] rc Why nullopt was returned (Incomplete vs Invalid).
+ */
 std::optional<ParsedResponse>
-parseResponseHead(const std::string &data, std::size_t &body_start)
+parseResponseHead(const std::string &data, std::size_t &body_start,
+                  ParseResult &rc)
 {
     std::size_t eol = data.find("\r\n");
-    if (eol == std::string::npos)
+    if (eol == std::string::npos) {
+        // A status line is tens of bytes; unbounded data with no line
+        // ending is garbage, not a partial read.
+        rc = data.size() > 16384 ? ParseResult::Invalid
+                                 : ParseResult::Incomplete;
         return std::nullopt;
+    }
     std::string line = data.substr(0, eol);
+    rc = ParseResult::Invalid;
     if (line.rfind("HTTP/1.", 0) != 0)
         return std::nullopt;
     std::size_t sp = line.find(' ');
-    if (sp == std::string::npos)
+    if (sp == std::string::npos || sp + 3 >= line.size())
+        return std::nullopt;
+    // Exactly three digits in the registered range, terminated by the
+    // reason phrase or end of line — a garbage status must not decay
+    // to atoi's 0 and flow downstream as a "status code".
+    const char *digits = line.c_str() + sp + 1;
+    if (!std::isdigit(static_cast<unsigned char>(digits[0])) ||
+        !std::isdigit(static_cast<unsigned char>(digits[1])) ||
+        !std::isdigit(static_cast<unsigned char>(digits[2])) ||
+        (digits[3] != '\0' && digits[3] != ' '))
         return std::nullopt;
     ParsedResponse resp;
-    resp.status = std::atoi(line.c_str() + sp + 1);
+    resp.status = (digits[0] - '0') * 100 + (digits[1] - '0') * 10 +
+                  (digits[2] - '0');
+    if (resp.status < 100 || resp.status > 599)
+        return std::nullopt;
 
     bool valid = true;
     std::size_t bodyStart = parseHeaders(data, eol + 2, resp.headers, valid);
-    if (bodyStart == std::string::npos || !valid)
+    if (!valid)
         return std::nullopt;
+    if (bodyStart == std::string::npos) {
+        rc = ParseResult::Incomplete;
+        return std::nullopt;
+    }
+    rc = ParseResult::Ok;
     body_start = bodyStart;
     return resp;
 }
@@ -419,7 +455,8 @@ std::optional<ParsedResponse>
 parseResponse(const std::string &data)
 {
     std::size_t bodyStart = 0;
-    auto resp = parseResponseHead(data, bodyStart);
+    ParseResult rc = ParseResult::Invalid;
+    auto resp = parseResponseHead(data, bodyStart, rc);
     if (!resp)
         return std::nullopt;
 
@@ -451,30 +488,43 @@ parseResponse(const std::string &data)
 }
 
 std::optional<ParsedResponse>
-parseResponse(const std::string &data, std::size_t &consumed)
+parseResponse(const std::string &data, std::size_t &consumed,
+              ParseResult *state)
 {
-    std::size_t bodyStart = 0;
-    auto resp = parseResponseHead(data, bodyStart);
-    if (!resp)
+    auto fail = [&](ParseResult rc) {
+        if (state != nullptr)
+            *state = rc;
         return std::nullopt;
+    };
+    std::size_t bodyStart = 0;
+    ParseResult rc = ParseResult::Invalid;
+    auto resp = parseResponseHead(data, bodyStart, rc);
+    if (!resp)
+        return fail(rc);
 
     if (isChunked(resp->headers)) {
         std::size_t end = 0;
-        if (decodeChunked(data, bodyStart, resp->body, end) !=
-            ParseResult::Ok)
-            return std::nullopt; // Incomplete or corrupt; keep reading.
+        ParseResult body = decodeChunked(data, bodyStart, resp->body, end);
+        if (body != ParseResult::Ok) {
+            // Invalid means corrupt framing: reading further can never
+            // resynchronize this connection, so tell the caller to
+            // abort rather than wait out a socket timeout.
+            return fail(body);
+        }
         resp->wireBodyBytes = resp->body.size();
         consumed = end;
         return resp;
     }
     auto it = resp->headers.find("content-length");
-    if (it == resp->headers.end())
-        return std::nullopt; // Close-framed; needs EOF to delimit.
+    if (it == resp->headers.end()) {
+        // Close-framed; needs EOF to delimit.
+        return fail(ParseResult::Incomplete);
+    }
     std::size_t contentLen = 0;
     if (!parseContentLength(it->second, contentLen))
-        return std::nullopt;
+        return fail(ParseResult::Invalid);
     if (data.size() < bodyStart + contentLen)
-        return std::nullopt;
+        return fail(ParseResult::Incomplete);
     resp->body = data.substr(bodyStart, contentLen);
     resp->wireBodyBytes = contentLen;
     consumed = bodyStart + contentLen;

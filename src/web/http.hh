@@ -143,9 +143,17 @@ std::optional<ParsedResponse> parseResponse(const std::string &data);
  * occupied, so a client can leave pipelined follow-up responses in the
  * buffer. Responses without self-delimiting framing (close-framed)
  * return nullopt here.
+ *
+ * @param[out] state When non-null, why nullopt was returned:
+ *        Incomplete means more bytes (or EOF, for close framing) may
+ *        complete the response; Invalid means the bytes can never form
+ *        a valid response (corrupt chunk framing, malformed status
+ *        line, conflicting headers) and the caller must abort the
+ *        connection — no amount of further reading resynchronizes it.
  */
 std::optional<ParsedResponse> parseResponse(const std::string &data,
-                                            std::size_t &consumed);
+                                            std::size_t &consumed,
+                                            ParseResult *state = nullptr);
 
 } // namespace web
 } // namespace akita

@@ -1,0 +1,86 @@
+#include "web/router.hh"
+
+#include <algorithm>
+
+namespace akita
+{
+namespace web
+{
+
+void
+Router::addRoute(const std::string &method, const std::string &pattern,
+                 Handler handler, StreamHandler stream)
+{
+    Route r;
+    r.method = method;
+    if (pattern.size() >= 2 && pattern.rfind("/*") == pattern.size() - 2) {
+        r.pattern = pattern.substr(0, pattern.size() - 1); // Keep '/'.
+        r.prefix = true;
+    } else {
+        r.pattern = pattern;
+        r.prefix = false;
+    }
+    r.handler = std::move(handler);
+    r.stream = std::move(stream);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    auto next = std::make_shared<Table>(*table_);
+    if (r.prefix) {
+        next->prefixes.push_back(std::move(r));
+        std::stable_sort(next->prefixes.begin(), next->prefixes.end(),
+                         [](const Route &a, const Route &b) {
+                             return a.pattern.size() > b.pattern.size();
+                         });
+    } else {
+        next->exact[r.method][r.pattern] = std::move(r);
+    }
+    table_ = std::move(next);
+}
+
+void
+Router::route(const std::string &method, const std::string &pattern,
+              Handler handler)
+{
+    addRoute(method, pattern, std::move(handler), nullptr);
+}
+
+void
+Router::routeStream(const std::string &method, const std::string &pattern,
+                    StreamHandler handler)
+{
+    addRoute(method, pattern, nullptr, std::move(handler));
+}
+
+bool
+Router::find(const Request &req, Route &out) const
+{
+    std::shared_ptr<const Table> tbl;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        tbl = table_;
+    }
+    // Exact-path probe: the request's method bucket first, then "*".
+    for (const char *method : {req.method.c_str(), "*"}) {
+        auto bucket = tbl->exact.find(method);
+        if (bucket == tbl->exact.end())
+            continue;
+        auto hit = bucket->second.find(req.path);
+        if (hit != bucket->second.end()) {
+            out = hit->second;
+            return true;
+        }
+    }
+    // Prefix list is longest-first; take the first method match.
+    for (const Route &r : tbl->prefixes) {
+        if (r.method != "*" && r.method != req.method)
+            continue;
+        if (req.path.rfind(r.pattern, 0) == 0) {
+            out = r;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace web
+} // namespace akita

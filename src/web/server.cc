@@ -56,7 +56,7 @@ overloadedResponse()
 HttpServer::HttpServer() : HttpServer(ServerOptions{}) {}
 
 HttpServer::HttpServer(const ServerOptions &options)
-    : opts_(options), routes_(std::make_shared<RouteTable>())
+    : opts_(options), mounts_(std::make_shared<std::vector<Mount>>())
 {
 }
 
@@ -66,41 +66,10 @@ HttpServer::~HttpServer()
 }
 
 void
-HttpServer::addRoute(const std::string &method,
-                     const std::string &pattern, Handler handler,
-                     StreamHandler stream)
-{
-    Route r;
-    r.method = method;
-    if (pattern.size() >= 2 && pattern.rfind("/*") == pattern.size() - 2) {
-        r.pattern = pattern.substr(0, pattern.size() - 1); // Keep '/'.
-        r.prefix = true;
-    } else {
-        r.pattern = pattern;
-        r.prefix = false;
-    }
-    r.handler = std::move(handler);
-    r.stream = std::move(stream);
-
-    std::lock_guard<std::mutex> lk(routesMu_);
-    auto next = std::make_shared<RouteTable>(*routes_);
-    if (r.prefix) {
-        next->prefixes.push_back(std::move(r));
-        std::stable_sort(next->prefixes.begin(), next->prefixes.end(),
-                         [](const Route &a, const Route &b) {
-                             return a.pattern.size() > b.pattern.size();
-                         });
-    } else {
-        next->exact[r.method][r.pattern] = std::move(r);
-    }
-    routes_ = std::move(next);
-}
-
-void
 HttpServer::route(const std::string &method, const std::string &pattern,
                   Handler handler)
 {
-    addRoute(method, pattern, std::move(handler), nullptr);
+    router_.route(method, pattern, std::move(handler));
 }
 
 void
@@ -108,41 +77,71 @@ HttpServer::routeStream(const std::string &method,
                         const std::string &pattern,
                         StreamHandler handler)
 {
-    addRoute(method, pattern, nullptr, std::move(handler));
+    router_.routeStream(method, pattern, std::move(handler));
 }
 
-std::shared_ptr<const HttpServer::RouteTable>
-HttpServer::routeTable() const
+void
+HttpServer::mount(const std::string &prefix,
+                  std::shared_ptr<Router> router)
 {
-    std::lock_guard<std::mutex> lk(routesMu_);
-    return routes_;
+    Mount m;
+    m.prefix = prefix;
+    while (!m.prefix.empty() && m.prefix.back() == '/')
+        m.prefix.pop_back();
+    if (m.prefix.empty() || m.prefix[0] != '/' || !router)
+        return;
+    m.router = std::move(router);
+
+    std::lock_guard<std::mutex> lk(mountsMu_);
+    auto next = std::make_shared<std::vector<Mount>>(*mounts_);
+    // Replace an existing mount at the same prefix (re-registration).
+    next->erase(std::remove_if(next->begin(), next->end(),
+                               [&](const Mount &e) {
+                                   return e.prefix == m.prefix;
+                               }),
+                next->end());
+    next->push_back(std::move(m));
+    std::stable_sort(next->begin(), next->end(),
+                     [](const Mount &a, const Mount &b) {
+                         return a.prefix.size() > b.prefix.size();
+                     });
+    mounts_ = std::move(next);
 }
 
 bool
-HttpServer::findRoute(const Request &req, Route &out) const
+HttpServer::resolveRoute(const Request &req, Router::Route &out,
+                         Request &stripped, const Request *&reqp,
+                         std::string &redirect) const
 {
-    auto tbl = routeTable();
-    // Exact-path probe: the request's method bucket first, then "*".
-    for (const char *method : {req.method.c_str(), "*"}) {
-        auto bucket = tbl->exact.find(method);
-        if (bucket == tbl->exact.end())
-            continue;
-        auto hit = bucket->second.find(req.path);
-        if (hit != bucket->second.end()) {
-            out = hit->second;
-            return true;
-        }
+    reqp = &req;
+    std::shared_ptr<const std::vector<Mount>> mounts;
+    {
+        std::lock_guard<std::mutex> lk(mountsMu_);
+        mounts = mounts_;
     }
-    // Prefix list is longest-first; take the first method match.
-    for (const Route &r : tbl->prefixes) {
-        if (r.method != "*" && r.method != req.method)
-            continue;
-        if (req.path.rfind(r.pattern, 0) == 0) {
-            out = r;
-            return true;
+    for (const Mount &m : *mounts) { // Longest prefix first.
+        if (req.path == m.prefix) {
+            // Bare prefix: redirect to the directory form so the
+            // page's relative fetches resolve inside the mount.
+            redirect = m.prefix + "/";
+            return false;
         }
+        if (req.path.size() <= m.prefix.size() ||
+            req.path.compare(0, m.prefix.size(), m.prefix) != 0 ||
+            req.path[m.prefix.size()] != '/')
+            continue;
+        stripped = req;
+        stripped.path = req.path.substr(m.prefix.size());
+        // Mount prefixes contain no percent-encoded characters, so the
+        // raw target starts with the same bytes as the decoded path.
+        if (req.target.compare(0, m.prefix.size(), m.prefix) == 0)
+            stripped.target = req.target.substr(m.prefix.size());
+        reqp = &stripped;
+        // Inside a mount the sub-router is authoritative: a miss is a
+        // 404, never a fall-through to the root routes.
+        return m.router->find(stripped, out);
     }
-    return false;
+    return router_.find(req, out);
 }
 
 bool
@@ -641,17 +640,30 @@ HttpServer::runJob(const Job &job) const
     Completion c;
     c.connId = job.connId;
 
-    Route r;
-    if (!findRoute(job.req, r)) {
+    Router::Route r;
+    Request stripped;
+    const Request *reqp = &job.req;
+    std::string redirect;
+    bool found = resolveRoute(job.req, r, stripped, reqp, redirect);
+    if (!redirect.empty()) {
+        Response moved;
+        moved.status = 301;
+        moved.headers["Location"] = redirect;
+        c.bytes = moved.serialize(job.keepAlive);
+        c.close = !job.keepAlive;
+        return c;
+    }
+    if (!found) {
         c.bytes = Response::error(404, "no route for " + job.req.path)
                       .serialize(job.keepAlive);
         c.close = !job.keepAlive;
         return c;
     }
+    const Request &req = *reqp;
 
     if (r.stream) {
         try {
-            StreamSession s = r.stream(job.req);
+            StreamSession s = r.stream(req);
             std::string head = "HTTP/1.1 " + std::to_string(s.status) +
                                " " + statusText(s.status) + "\r\n";
             for (const auto &kv : s.headers)
@@ -671,12 +683,12 @@ HttpServer::runJob(const Job &job) const
 
     Response resp;
     try {
-        resp = r.handler(job.req);
+        resp = r.handler(req);
     } catch (const std::exception &e) {
         resp = Response::error(500,
                                std::string("handler error: ") + e.what());
     }
-    maybeCompress(job.req, resp);
+    maybeCompress(req, resp);
     c.bytes = resp.serialize(job.keepAlive);
     c.close = !job.keepAlive;
     return c;

@@ -33,35 +33,12 @@
 #include <vector>
 
 #include "web/http.hh"
+#include "web/router.hh"
 
 namespace akita
 {
 namespace web
 {
-
-/** Request handler; runs on a pool worker thread. */
-using Handler = std::function<Response(const Request &)>;
-
-/**
- * One live streaming (SSE) response.
- *
- * A stream route returns a session per accepted request. The server
- * writes the head once, then calls pump() from the event loop every
- * streamPollMs once the previous bytes have drained (built-in
- * backpressure: a slow client is never buffered beyond one chunk).
- * pump() appends any ready bytes to @p out and returns false to end
- * the stream — streaming responses carry no Content-Length, so the
- * connection close is the framing. pump() must not block.
- */
-struct StreamSession
-{
-    int status = 200;
-    std::vector<std::pair<std::string, std::string>> headers;
-    std::function<bool(std::string &out)> pump;
-};
-
-/** Streaming handler; runs once per request on a pool worker thread. */
-using StreamHandler = std::function<StreamSession(const Request &)>;
 
 /** Serving knobs (all have production-safe defaults). */
 struct ServerOptions
@@ -111,7 +88,7 @@ class HttpServer
     HttpServer &operator=(const HttpServer &) = delete;
 
     /**
-     * Registers a handler.
+     * Registers a handler on the root router.
      *
      * @param method HTTP method ("GET"/"POST"); "*" matches any.
      * @param pattern Exact path, or a prefix ending in "/" followed by a star.
@@ -125,6 +102,24 @@ class HttpServer
      */
     void routeStream(const std::string &method,
                      const std::string &pattern, StreamHandler handler);
+
+    /** The root route table (the no-prefix routes). */
+    Router &router() { return router_; }
+
+    /**
+     * Mounts @p router under @p prefix (e.g. "/sim/gpu0", no trailing
+     * slash). A request whose path starts with "<prefix>/" is
+     * dispatched inside @p router with the prefix stripped from both
+     * the decoded path and the raw target — handlers (and anything
+     * keyed on Request::target, like the response cache) see exactly
+     * the bytes a request to a standalone server would carry. A
+     * request for the bare prefix is redirected to "<prefix>/" so
+     * relative links in served pages resolve under the mount. Longer
+     * prefixes win when mounts nest; mount resolution runs before the
+     * root routes, and an unmatched path inside a mount is a 404, not
+     * a root-table fallback.
+     */
+    void mount(const std::string &prefix, std::shared_ptr<Router> router);
 
     /**
      * Binds and starts serving.
@@ -156,26 +151,11 @@ class HttpServer
     const ServerOptions &options() const { return opts_; }
 
   private:
-    struct Route
+    /** One mounted sub-router (see mount()). */
+    struct Mount
     {
-        std::string method;
-        std::string pattern; // Without the trailing "*".
-        bool prefix = false;
-        Handler handler;
-        StreamHandler stream; // Set for routeStream registrations.
-    };
-
-    /**
-     * Immutable routing snapshot: exact paths bucketed by method for
-     * O(1) lookup, prefixes in a small longest-first list. Rebuilt on
-     * registration; workers grab the shared_ptr under a short lock.
-     */
-    struct RouteTable
-    {
-        std::unordered_map<std::string,
-                           std::unordered_map<std::string, Route>>
-            exact;
-        std::vector<Route> prefixes;
+        std::string prefix; // Normalized: leading '/', no trailing '/'.
+        std::shared_ptr<Router> router;
     };
 
     /** One connection; owned and touched only by the reactor thread. */
@@ -213,10 +193,19 @@ class HttpServer
         std::function<bool(std::string &)> pump;
     };
 
-    void addRoute(const std::string &method, const std::string &pattern,
-                  Handler handler, StreamHandler stream);
-    std::shared_ptr<const RouteTable> routeTable() const;
-    bool findRoute(const Request &req, Route &out) const;
+    /**
+     * Resolves @p req against the mounts, then the root router. When a
+     * mount matches, @p stripped receives the prefix-stripped request
+     * and @p reqp is pointed at it; otherwise @p reqp stays on @p req.
+     *
+     * @param[out] redirect Set to the "<prefix>/" location when the
+     *        request names a bare mount prefix (the caller answers
+     *        with a 301 and ignores the other outputs).
+     * @return True when a route matched.
+     */
+    bool resolveRoute(const Request &req, Router::Route &out,
+                      Request &stripped, const Request *&reqp,
+                      std::string &redirect) const;
 
     void reactorLoop();
     void workerLoop();
@@ -236,8 +225,9 @@ class HttpServer
 
     ServerOptions opts_;
 
-    mutable std::mutex routesMu_;
-    std::shared_ptr<const RouteTable> routes_;
+    Router router_;
+    mutable std::mutex mountsMu_;
+    std::shared_ptr<const std::vector<Mount>> mounts_;
 
     int listenFd_ = -1;
     int epollFd_ = -1;

@@ -287,7 +287,11 @@ TEST(RtmHttp, DashboardServed)
     ASSERT_TRUE(r.has_value());
     EXPECT_EQ(r->status, 200);
     EXPECT_NE(r->body.find("AkitaRTM"), std::string::npos);
-    EXPECT_NE(r->body.find("/api/status"), std::string::npos);
+    // Mount-relative fetch targets (no leading slash): the same HTML
+    // works at / and under a fleet-gateway /sim/<id>/ prefix.
+    EXPECT_NE(r->body.find("get('api/status')"), std::string::npos);
+    EXPECT_EQ(r->body.find("'/api/"), std::string::npos)
+        << "absolute API URLs break gateway-mounted dashboards";
 }
 
 TEST(RtmHttp, CaseStudy2HangWorkflow)

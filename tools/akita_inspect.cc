@@ -19,6 +19,8 @@
  *   topology                      connection map
  *   domains [--json]              domain-engine partition + clocks
  *   domains --watch [seconds]     live per-domain lag/cost view
+ *   fleet [--json]                per-sim table via a fleet gateway
+ *   fleet --watch [seconds]       live fleet view
  *   pause | resume                simulation controls
  *   tick <name>                   wake one component
  *   profile [N]                   top-N profiler entries
@@ -552,6 +554,91 @@ run(int argc, char **argv)
                                 static_cast<long long>(
                                     r.getInt("migrated", 0)));
                 }
+            }
+            if (!watch)
+                break;
+        }
+        return 0;
+    }
+    if (cmd == "fleet") {
+        bool asJson = false;
+        bool watch = false;
+        int seconds = 0;
+        for (std::size_t i = 1; i < args.size(); i++) {
+            if (args[i] == "--json") {
+                asJson = true;
+            } else if (args[i] == "--watch") {
+                watch = true;
+                if (i + 1 < args.size() &&
+                    std::isdigit(
+                        static_cast<unsigned char>(args[i + 1][0])))
+                    seconds = std::atoi(args[++i].c_str());
+            } else {
+                return fail("usage: fleet [--json] "
+                            "[--watch [seconds]]");
+            }
+        }
+        if (asJson) {
+            auto r = client.get("/api/v1/fleet");
+            if (!r || r->status != 200)
+                return fail(r ? r->body : "unreachable (is a fleet "
+                                          "gateway running?)");
+            std::printf("%s\n", r->body.c_str());
+            return 0;
+        }
+        for (int i = 0; !watch || seconds == 0 || i < seconds; i++) {
+            if (watch && i > 0)
+                std::this_thread::sleep_for(std::chrono::seconds(1));
+            Json f;
+            try {
+                f = mustGet(client, "/api/v1/fleet");
+            } catch (const std::exception &e) {
+                if (!watch)
+                    throw;
+                std::printf("(%s)\n", e.what());
+                continue;
+            }
+            const Json *slowest = f.get("slowest");
+            std::printf("%lld sims  total_events=%lld  slowest=%s @ "
+                        "%lld ps\n",
+                        static_cast<long long>(f.getInt("num_sims", 0)),
+                        static_cast<long long>(
+                            f.getInt("total_events", 0)),
+                        slowest ? slowest->getStr("id").c_str() : "-",
+                        slowest ? static_cast<long long>(
+                                      slowest->getInt("now_ps", 0))
+                                : 0);
+            for (const auto &s : f.get("sims")->items()) {
+                const Json *st = s.get("status");
+                const Json *hang = s.get("hang");
+                long long total = 0, done = 0;
+                if (st != nullptr && st->get("bars") != nullptr) {
+                    for (const auto &b : st->get("bars")->items()) {
+                        total += static_cast<long long>(
+                            b.getInt("total", 0));
+                        done += static_cast<long long>(
+                            b.getInt("completed", 0));
+                    }
+                }
+                std::printf(
+                    "%-8s t=%lld ps  events=%lld  queue=%lld  "
+                    "progress=%lld/%lld%s%s\n",
+                    st ? st->getStr("id").c_str() : "?",
+                    st ? static_cast<long long>(
+                             st->getInt("now_ps", 0))
+                       : 0,
+                    st ? static_cast<long long>(st->getInt("events", 0))
+                       : 0,
+                    st ? static_cast<long long>(
+                             st->getInt("queue_len", 0))
+                       : 0,
+                    done, total,
+                    st != nullptr && st->getBool("paused", false)
+                        ? "  [paused]"
+                        : "",
+                    hang != nullptr && hang->getBool("hanging", false)
+                        ? "  [HANG]"
+                        : "");
             }
             if (!watch)
                 break;
