@@ -347,6 +347,153 @@ BM_DomainEngineRepartition(benchmark::State &state)
 }
 BENCHMARK(BM_DomainEngineRepartition);
 
+namespace
+{
+
+/** Token with a hop budget for the mailbox micro-cells. */
+class BounceMsg : public sim::Msg
+{
+  public:
+    static constexpr sim::MsgKind kKind = sim::MsgKind::TestA;
+
+    explicit BounceMsg(int ttl) : Msg(kKind), ttl(ttl) {}
+
+    const char *kind() const override { return "BounceMsg"; }
+
+    int ttl;
+};
+
+/** Forwards every received token to `next` until its ttl dies; no
+ * handler work, so the cell prices pure cross-domain delivery. */
+class BounceNode : public sim::TickingComponent
+{
+  public:
+    BounceNode(sim::Engine *eng, const std::string &name)
+        : TickingComponent(eng, name, sim::Freq::ghz(1))
+    {
+        in = addPort("In", 64);
+        out = addPort("Out", 64);
+    }
+
+    bool
+    tick() override
+    {
+        bool progress = false;
+        while (!outbox.empty()) {
+            sim::MsgPtr m = outbox.front();
+            m->dst = next;
+            if (out->send(m) != sim::SendStatus::Ok)
+                break;
+            outbox.erase(outbox.begin());
+            progress = true;
+        }
+        for (;;) {
+            sim::MsgPtr m = in->retrieveIncoming();
+            if (m == nullptr)
+                break;
+            hops++;
+            auto bm = sim::msgCast<BounceMsg>(m);
+            if (--bm->ttl > 0)
+                outbox.push_back(m);
+            progress = true;
+        }
+        return progress;
+    }
+
+    sim::Port *in = nullptr;
+    sim::Port *out = nullptr;
+    sim::Port *next = nullptr;
+    std::vector<sim::MsgPtr> outbox;
+    std::uint64_t hops = 0;
+};
+
+} // namespace
+
+void
+BM_DomainEngineMailboxPingPong(benchmark::State &state)
+{
+    // Two domains joined by a long-latency wire pair with K tokens
+    // bouncing between them: every hop is one cross-domain delivery,
+    // steady-state on the SPSC ring fast path. items/sec is the
+    // mailbox hop rate; the fast/slow counters pin the path split.
+    constexpr int kTokens = 8;
+    constexpr int kTtl = 200;
+    sim::DomainEngine eng(2);
+    BounceNode a(&eng, "PingA");
+    BounceNode b(&eng, "PingB");
+    eng.pinComponent(&a, 0);
+    eng.pinComponent(&b, 1);
+    sim::DirectConnection w0(&eng, "PingWire0",
+                             500 * sim::kNanosecond);
+    sim::DirectConnection w1(&eng, "PingWire1",
+                             500 * sim::kNanosecond);
+    w0.plugIn(a.out);
+    w0.plugIn(b.in);
+    w1.plugIn(b.out);
+    w1.plugIn(a.in);
+    a.next = b.in;
+    b.next = a.in;
+    for (auto _ : state) {
+        for (int t = 0; t < kTokens; t++)
+            a.outbox.push_back(sim::makeMsg<BounceMsg>(kTtl));
+        a.tickLater();
+        eng.run();
+        benchmark::DoNotOptimize(a.hops);
+    }
+    state.SetItemsProcessed(state.iterations() * kTokens * kTtl);
+    state.counters["fast"] = benchmark::Counter(
+        static_cast<double>(eng.mailboxFastTotal()));
+    state.counters["slow"] = benchmark::Counter(
+        static_cast<double>(eng.mailboxSlowTotal()));
+}
+BENCHMARK(BM_DomainEngineMailboxPingPong);
+
+void
+BM_DomainEngineMailboxStorm(benchmark::State &state)
+{
+    // One node per domain, every token forwarded to the next domain
+    // around the full circle of N: all workers produce and consume
+    // cross-domain traffic at once, so ring drains, horizon wakes,
+    // and the safe-window scan are all contended.
+    const int domains = static_cast<int>(state.range(0));
+    constexpr int kTokens = 8;
+    constexpr int kTtl = 100;
+    sim::DomainEngine eng(domains);
+    std::vector<std::unique_ptr<BounceNode>> nodes;
+    std::vector<std::unique_ptr<sim::DirectConnection>> wires;
+    for (int i = 0; i < domains; i++) {
+        nodes.push_back(std::make_unique<BounceNode>(
+            &eng, "Storm" + std::to_string(i)));
+        eng.pinComponent(nodes.back().get(), i);
+    }
+    for (int i = 0; i < domains; i++) {
+        int j = (i + 1) % domains;
+        wires.push_back(std::make_unique<sim::DirectConnection>(
+            &eng, "StormWire" + std::to_string(i),
+            500 * sim::kNanosecond));
+        wires.back()->plugIn(nodes[static_cast<std::size_t>(i)]->out);
+        wires.back()->plugIn(nodes[static_cast<std::size_t>(j)]->in);
+        nodes[static_cast<std::size_t>(i)]->next =
+            nodes[static_cast<std::size_t>(j)]->in;
+    }
+    for (auto _ : state) {
+        for (auto &n : nodes) {
+            for (int t = 0; t < kTokens; t++)
+                n->outbox.push_back(sim::makeMsg<BounceMsg>(kTtl));
+            n->tickLater();
+        }
+        eng.run();
+        benchmark::DoNotOptimize(nodes[0]->hops);
+    }
+    state.SetItemsProcessed(state.iterations() * domains * kTokens *
+                            kTtl);
+    state.counters["fast"] = benchmark::Counter(
+        static_cast<double>(eng.mailboxFastTotal()));
+    state.counters["slow"] = benchmark::Counter(
+        static_cast<double>(eng.mailboxSlowTotal()));
+}
+BENCHMARK(BM_DomainEngineMailboxStorm)->Arg(2)->Arg(4);
+
 void
 BM_BufferPushPop(benchmark::State &state)
 {

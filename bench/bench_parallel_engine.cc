@@ -19,6 +19,11 @@
  *     per-tick-barrier parallel engine synchronizes every cycle, the
  *     domain engine once per 500. This is the lookahead case the
  *     domain engine exists for.
+ *   - mailbox_storm: all-to-all small-message traffic — every node
+ *     sends a burst to every other node each round and starts the next
+ *     round when the previous one fully arrived. No spin work: the
+ *     cell is purely the cross-domain delivery path, so it prices the
+ *     mailbox machinery (SPSC fast path vs. locked slow path) itself.
  *   - hotspot_shift: a 9-node 500 ns ring, unpinned, driven in phases
  *     where a 4-node hot set confined to nodes 0..4 injects 1-hop
  *     tokens and shifts by one node every other phase. The static
@@ -258,6 +263,127 @@ runRing(Kind kind, int width, const RingScenario &sc)
     return sw.seconds();
 }
 
+/** All-to-all exchanger: one burst to every peer per round, next round
+ * gated on the previous one fully arriving. Messages die on receipt —
+ * the scenario measures delivery plumbing, not handler work. */
+class StormNode : public sim::TickingComponent
+{
+  public:
+    StormNode(sim::Engine *eng, const std::string &name, int rounds,
+              int msgs_per_peer)
+        : TickingComponent(eng, name, sim::Freq::ghz(1)),
+          roundsLeft_(rounds), msgsPerPeer_(msgs_per_peer)
+    {
+        in = addPort("In", 256);
+        out = addPort("Out", 256);
+    }
+
+    bool
+    tick() override
+    {
+        bool progress = false;
+        if (outbox.empty() && roundsLeft_ > 0 &&
+            received_ >= expected_) {
+            roundsLeft_--;
+            received_ = 0;
+            expected_ =
+                static_cast<int>(peers.size()) * msgsPerPeer_;
+            for (sim::Port *p : peers) {
+                for (int m = 0; m < msgsPerPeer_; m++) {
+                    sim::MsgPtr msg = sim::makeMsg<HopMsg>(1);
+                    msg->dst = p;
+                    outbox.push_back(msg);
+                }
+            }
+            progress = true;
+        }
+        while (!outbox.empty()) {
+            if (out->send(outbox.front()) != sim::SendStatus::Ok)
+                break;
+            outbox.erase(outbox.begin());
+            progress = true;
+        }
+        for (;;) {
+            sim::MsgPtr m = in->retrieveIncoming();
+            if (m == nullptr)
+                break;
+            received_++;
+            progress = true;
+        }
+        return progress;
+    }
+
+    sim::Port *in = nullptr;
+    sim::Port *out = nullptr;
+    std::vector<sim::Port *> peers;
+    std::vector<sim::MsgPtr> outbox;
+
+  private:
+    int roundsLeft_;
+    int msgsPerPeer_;
+    int received_ = 0;
+    int expected_ = 0;
+};
+
+struct StormScenario
+{
+    const char *name;
+    int nodes;
+    int rounds;
+    int msgsPerPeer;
+    sim::VTime wireLatency;
+};
+
+struct StormResult
+{
+    double sec = 0;
+    std::uint64_t mailFast = 0;
+    std::uint64_t mailSlow = 0;
+};
+
+StormResult
+runStorm(Kind kind, int width, const StormScenario &sc)
+{
+    std::unique_ptr<sim::Engine> eng = makeEngine(kind, width);
+    std::vector<std::unique_ptr<StormNode>> nodes;
+    for (int i = 0; i < sc.nodes; i++) {
+        nodes.push_back(std::make_unique<StormNode>(
+            eng.get(), "Storm" + std::to_string(i), sc.rounds,
+            sc.msgsPerPeer));
+        if (kind == Kind::Domain) {
+            static_cast<sim::DomainEngine *>(eng.get())->pinComponent(
+                nodes.back().get(), i * width / sc.nodes);
+        }
+    }
+    // One shared bus: DirectConnection routes by msg->dst, so a single
+    // connection carries the full bipartite traffic while still giving
+    // the partitioner one (cross-cut) latency per edge.
+    sim::DirectConnection bus(eng.get(), "StormBus", sc.wireLatency);
+    for (auto &n : nodes) {
+        bus.plugIn(n->out);
+        bus.plugIn(n->in);
+    }
+    for (int i = 0; i < sc.nodes; i++) {
+        for (int j = 0; j < sc.nodes; j++) {
+            if (i != j)
+                nodes[static_cast<std::size_t>(i)]->peers.push_back(
+                    nodes[static_cast<std::size_t>(j)]->in);
+        }
+    }
+    for (auto &n : nodes)
+        n->tickLater();
+    StormResult res;
+    bench::Stopwatch sw;
+    eng->run();
+    res.sec = sw.seconds();
+    if (kind == Kind::Domain) {
+        auto *de = static_cast<sim::DomainEngine *>(eng.get());
+        res.mailFast = de->mailboxFastTotal();
+        res.mailSlow = de->mailboxSlowTotal();
+    }
+    return res;
+}
+
 struct HotspotScenario
 {
     const char *name;
@@ -459,6 +585,56 @@ main(int argc, char **argv)
         row.set("best_speedup", serial / best);
         row.set("domain_best_speedup", serial / bestDomain);
         byScenario.set(ring.name, std::move(row));
+    }
+
+    {
+        const StormScenario storm = {"mailbox_storm", 8, 24, 2,
+                                     500 * sim::kNanosecond};
+        std::fprintf(stderr, "%s: serial...\n", storm.name);
+        double serial = minOfRuns(runs, [&]() {
+            return runStorm(Kind::Serial, 1, storm).sec;
+        });
+        json::Json row = json::Json::object();
+        row.set("nodes", storm.nodes);
+        row.set("rounds", storm.rounds);
+        row.set("msgs", storm.nodes * (storm.nodes - 1) *
+                            storm.msgsPerPeer * storm.rounds);
+        row.set("wire_latency_ps",
+                static_cast<std::int64_t>(storm.wireLatency));
+        row.set("serial_sec", serial);
+        double best = serial;
+        double bestDomain = 1e18;
+        std::uint64_t fast = 0, slow = 0;
+        for (Kind kind : {Kind::Parallel, Kind::Domain}) {
+            const char *label =
+                kind == Kind::Parallel ? "parallel_sec" : "domain_sec";
+            json::Json cells = json::Json::object();
+            for (int w : sweep) {
+                std::fprintf(stderr, "%s: %s %d...\n", storm.name,
+                             label, w);
+                double t = 1e18;
+                for (int r = 0; r < runs; r++) {
+                    StormResult sr = runStorm(kind, w, storm);
+                    t = std::min(t, sr.sec);
+                    if (kind == Kind::Domain && w == 8) {
+                        fast = sr.mailFast;
+                        slow = sr.mailSlow;
+                    }
+                }
+                cells.set(std::to_string(w), t);
+                best = std::min(best, t);
+                if (kind == Kind::Domain)
+                    bestDomain = std::min(bestDomain, t);
+            }
+            row.set(label, std::move(cells));
+        }
+        row.set("best_speedup", serial / best);
+        row.set("domain_best_speedup", serial / bestDomain);
+        row.set("mailbox_fast_at_8",
+                static_cast<std::int64_t>(fast));
+        row.set("mailbox_slow_at_8",
+                static_cast<std::int64_t>(slow));
+        byScenario.set(storm.name, std::move(row));
     }
 
     {

@@ -530,17 +530,38 @@ installApiRoutes(web::Router &server, Monitor &monitor)
                         de->repartitionRejected());
                 w.field("migrated_components",
                         de->migratedComponents());
+                w.field("mailbox_fast_total", de->mailboxFastTotal());
+                w.field("mailbox_slow_total", de->mailboxSlowTotal());
+                // lag_ps is served rather than left to the client: the
+                // dashboard colors a domain by how far it trails the
+                // slowest-relative-fastest clock, and every consumer
+                // should agree on the reference point.
+                sim::VTime maxClock = 0;
+                std::vector<sim::DomainEngine::DomainStatus> sts;
+                sts.reserve(
+                    static_cast<std::size_t>(de->numDomains()));
+                for (int i = 0; i < de->numDomains(); i++) {
+                    sts.push_back(de->domainStatus(i));
+                    maxClock = std::max(maxClock, sts.back().clock);
+                }
                 w.key("domains").beginArray();
                 for (int i = 0; i < de->numDomains(); i++) {
-                    sim::DomainEngine::DomainStatus st =
-                        de->domainStatus(i);
+                    const sim::DomainEngine::DomainStatus &st =
+                        sts[static_cast<std::size_t>(i)];
                     w.beginObject();
                     w.field("id", static_cast<std::uint64_t>(i));
                     w.field("clock_ps", st.clock);
                     w.field("horizon_ps", st.horizon);
+                    w.field("lag_ps", maxClock - st.clock);
                     w.field("events", st.events);
                     w.field("queue_len",
                             static_cast<std::uint64_t>(st.queueLen));
+                    w.field("ring_occupancy",
+                            static_cast<std::uint64_t>(
+                                st.ringOccupancy));
+                    w.field("ring_capacity",
+                            static_cast<std::uint64_t>(
+                                st.ringCapacity));
                     w.field("cost", st.cost);
                     w.key("members").beginArray();
                     for (const std::string &name :

@@ -46,6 +46,9 @@ dashboardHtml()
   .bar .track { display: flex; height: 14px; border-radius: 3px;
                 overflow: hidden; background: #cfd4da; }
   .bar .done { background: #3a4; } .bar .run { background: #36c; }
+  .lagbar { width: 64px; height: 7px; background: #cfd4da;
+            border-radius: 3px; overflow: hidden; }
+  .lagbar div { height: 100%; }
   footer { padding: 4px 14px; }
   svg { background: #fbfcfe; border: 1px solid #e4e7ec; }
   .hang { color: #f66; font-weight: bold; }
@@ -211,27 +214,36 @@ function tick(){
     }).catch(()=>{});
   } else if (rightMode === 'domains') {
     get('api/v1/domains').then(d => {
-      // Lag fullness: each domain's distance behind the fleet-front
-      // clock as a fraction of the current clock spread. Red at the
+      // Lag fullness, server-driven: lag_ps is each domain's distance
+      // behind the fastest clock, so the slowest domain defines 100%
+      // and wears the same gradient a full buffer does — red at the
       // straggler holding everyone's lookahead window, amber past
-      // halfway — the same treatment the buffer table gives fullness.
-      const clocks = d.domains.map(x => x.clock_ps);
-      const maxC = clocks.length ? Math.max(...clocks) : 0;
-      const minC = clocks.length ? Math.min(...clocks) : 0;
-      const span = Math.max(maxC - minC, 1);
+      // halfway, plus a mini track bar ramping green to red.
+      const maxLag = Math.max(...d.domains.map(x => x.lag_ps), 1);
       let h = `<div>repartitions: ${d.repartitions} `+
               `(rejected ${d.repartitions_rejected}, moved `+
               `${d.migrated_components}), imbalance `+
-              `${d.imbalance.toFixed(2)}</div>`;
+              `${d.imbalance.toFixed(2)}, mailbox fast/slow `+
+              `${d.mailbox_fast_total}/${d.mailbox_slow_total}</div>`;
       h += '<table><tr><th>dom</th><th>clock ps</th><th>lag ps</th>'+
-           '<th>events</th><th>queue</th><th>cost</th></tr>';
+           '<th>events</th><th>queue</th><th>ring</th><th>cost</th>'+
+           '</tr>';
       d.domains.forEach(x => {
-        const lag = maxC - x.clock_ps;
-        const frac = (maxC - x.clock_ps) / span;
+        const frac = x.lag_ps / maxLag;
         const cls = frac >= 0.99 ? 'full' : (frac >= 0.5 ? 'warn' : '');
+        const hue = Math.round(120 * (1 - frac));
+        const bar = `<div class="lagbar"><div style="width:`+
+            `${Math.round(100*frac)}%;background:hsl(${hue},70%,42%)">`+
+            `</div></div>`;
+        const rfrac = x.ring_capacity ?
+            x.ring_occupancy / x.ring_capacity : 0;
+        const rcls = rfrac >= 0.99 ? 'full' :
+                     (rfrac >= 0.5 ? 'warn' : '');
         h += `<tr><td>${x.id}</td><td>${x.clock_ps}</td>`+
-             `<td class="${cls}">${lag}</td>`+
+             `<td class="${cls}">${x.lag_ps}${bar}</td>`+
              `<td>${x.events}</td><td>${x.queue_len}</td>`+
+             `<td class="${rcls}">${x.ring_occupancy}/`+
+             `${x.ring_capacity}</td>`+
              `<td>${x.cost}</td></tr>`;
       });
       document.getElementById('right').innerHTML = h + '</table>';

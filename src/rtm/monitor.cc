@@ -362,6 +362,39 @@ Monitor::instrumentEngine()
             metrics_.addCallback(std::move(d), [de, i]() {
                 return static_cast<double>(de->domainStatus(i).cost);
             });
+            d = metrics::Desc{};
+            d.name = "akita_sim_domain_ring_occupancy";
+            d.help = "Events parked in the domain's incoming SPSC "
+                     "mailbox rings (fast cross-domain path).";
+            d.type = metrics::Type::Gauge;
+            d.labels = labels;
+            metrics_.addCallback(std::move(d), [de, i]() {
+                return static_cast<double>(
+                    de->domainStatus(i).ringOccupancy);
+            });
+        }
+
+        // Fast/slow mailbox split: a growing slow share means the
+        // rings are overflowing (or traffic comes from external
+        // threads) and cross-domain hops are paying the mutex price.
+        {
+            metrics::Desc d;
+            d.name = "akita_sim_domain_mailbox_fast_total";
+            d.help = "Cross-domain events delivered via the lock-free "
+                     "SPSC ring fast path.";
+            d.type = metrics::Type::Counter;
+            metrics_.addCallback(std::move(d), [de]() {
+                return static_cast<double>(de->mailboxFastTotal());
+            });
+            d = metrics::Desc{};
+            d.name = "akita_sim_domain_mailbox_slow_total";
+            d.help = "Cross-domain events delivered via the locked "
+                     "mailbox slow path (overflow, external threads, "
+                     "spill epochs).";
+            d.type = metrics::Type::Counter;
+            metrics_.addCallback(std::move(d), [de]() {
+                return static_cast<double>(de->mailboxSlowTotal());
+            });
         }
 
         // Adaptive-repartitioning health: how skewed the observed
@@ -841,6 +874,12 @@ Monitor::metricsSamplePass()
 void
 Monitor::ensureSampler()
 {
+    // autoSample=false means *no* automatic passes, ever — enforced
+    // here rather than at the call sites so a future caller can't
+    // accidentally spawn a sampler that fires its first-wake metrics
+    // pass against a manual-sampling harness's version counting.
+    if (!cfg_.autoSample)
+        return;
     if (samplerRunning_.exchange(true))
         return;
     sampler_ = std::thread([this]() { samplerLoop(); });

@@ -54,6 +54,35 @@ wallNowNs()
 /** Bounded /api/v1/domains repartition-event history. */
 constexpr std::size_t kRepartHistoryCap = 64;
 
+/**
+ * Iterations of the pre-park spin. Steady-state cross-domain traffic
+ * usually re-arms a blocked window within a handful of upstream batch
+ * publications; a short spin rides that out without a futex round
+ * trip, and parking keeps an under-subscribed host from burning a
+ * timeslice. On a single-hardware-thread host the spin can never
+ * succeed — no producer runs while we hold the core — so it is pure
+ * added latency on every park and is disabled outright.
+ */
+inline int
+idleSpinCount()
+{
+    static const int n =
+        std::thread::hardware_concurrency() > 1 ? 128 : 0;
+    return n;
+}
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
 } // namespace
 
 DomainEngine::DomainEngine(int domains)
@@ -87,6 +116,14 @@ DomainEngine::DomainEngine(int domains)
                  [this]() { return introspect::Value::ofBool(paused()); });
     declareField("running",
                  [this]() { return introspect::Value::ofBool(running()); });
+    declareField("mailbox_fast_total", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(mailboxFastTotal()));
+    });
+    declareField("mailbox_slow_total", [this]() {
+        return introspect::Value::ofInt(
+            static_cast<std::int64_t>(mailboxSlowTotal()));
+    });
 }
 
 DomainEngine::~DomainEngine() = default;
@@ -164,6 +201,16 @@ DomainEngine::assignHandler(EventHandler *h, int d)
     handlerPins_[h] = d;
 }
 
+void
+DomainEngine::setRingCapacity(int n)
+{
+    std::lock_guard<std::recursive_mutex> lk(setupMu_);
+    if (partitioned_.load(std::memory_order_relaxed))
+        throw std::logic_error(
+            "setRingCapacity: partition already computed");
+    ringCapacity_ = n < 1 ? 1 : n;
+}
+
 const DomainPartition &
 DomainEngine::partition()
 {
@@ -201,6 +248,9 @@ DomainEngine::ensurePartitioned()
             d.in.push_back({static_cast<std::size_t>(e.src),
                             e.lookahead});
     }
+    horizons_ = std::make_unique<HorizonSlot[]>(
+        static_cast<std::size_t>(numDoms));
+    buildRings();
 
     componentDom_.clear();
     handlerDom_.clear();
@@ -246,19 +296,162 @@ DomainEngine::ensurePartitioned()
     partitioned_.store(true, std::memory_order_release);
 }
 
+void
+DomainEngine::buildRings()
+{
+    // New partition, new routing epoch: every cached Port::routeHint_
+    // written under the previous cut stops validating. The counter is
+    // shared by all engines in the process so epochs never collide
+    // across instances either.
+    static std::atomic<std::uint32_t> gRouteEpoch{1};
+    routeEpoch_ = gRouteEpoch.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t n = doms_.size();
+    for (auto &dp : doms_) {
+        dp->inRings.clear();
+        dp->outRing.assign(n, nullptr);
+        dp->outNbr.clear();
+    }
+    for (std::size_t i = 0; i < n; i++) {
+        Dom &d = *doms_[i];
+        for (const InEdge &e : d.in) {
+            d.inRings.push_back(std::make_unique<EdgeRing>(
+                e.src, e.lookahead,
+                static_cast<std::size_t>(ringCapacity_)));
+            doms_[e.src]->outRing[i] = d.inRings.back().get();
+            doms_[e.src]->outNbr.push_back(i);
+        }
+    }
+}
+
+void
+DomainEngine::flushRingsToMail()
+{
+    for (auto &dp : doms_) {
+        Dom &d = *dp;
+        std::vector<EventPtr> fromRings;
+        for (auto &r : d.inRings) {
+            r->ring.drain([&fromRings](EventPtr ev) {
+                fromRings.push_back(std::move(ev));
+            });
+        }
+        if (fromRings.empty())
+            continue;
+        // Prepend: for any edge, ring events precede its mailbox
+        // events in send order (a spill epoch only opens after the
+        // ring stopped accepting), so ring-before-mail preserves
+        // per-edge FIFO through the migration.
+        for (EventPtr &ev : d.mail)
+            fromRings.push_back(std::move(ev));
+        d.mail.swap(fromRings);
+    }
+}
+
+// ---- Targeted wakes (spin-then-park) ----
+
+void
+DomainEngine::wakeDom(Dom &d)
+{
+    // seq_cst on the generation bump and the parked-flag read pairs
+    // with the consumer's flag store and generation read in
+    // idleWait(): either the sleeper re-checks and sees the new
+    // generation, or we see its parked flag and take the cv lock —
+    // a wake can never fall between the two.
+    d.wakeGen.fetch_add(1, std::memory_order_seq_cst);
+    if (d.parkedFlag.load(std::memory_order_seq_cst) &&
+        d.parkedFlag.exchange(false, std::memory_order_seq_cst)) {
+        // The exchange claims the wake: a burst of pushes to one
+        // parked domain pays for a single futex notify (the first
+        // bump already satisfied the sleeper's predicate; once
+        // notified it is guaranteed to wake and re-check). Without
+        // the claim every message of a convoy would notify again.
+        std::lock_guard<std::mutex> lk(d.parkMu);
+        d.parkCv.notify_one();
+    }
+}
+
+void
+DomainEngine::wakeNeighbors(Dom &d)
+{
+    for (std::size_t i : d.outNbr)
+        wakeDom(*doms_[i]);
+}
+
+void
+DomainEngine::wakeAllDoms()
+{
+    if (!partitioned_.load(std::memory_order_acquire))
+        return;
+    for (auto &dp : doms_)
+        wakeDom(*dp);
+}
+
+void
+DomainEngine::idleWait(Dom &d, std::uint64_t wgen)
+{
+    auto ready = [&]() {
+        return d.wakeGen.load(std::memory_order_seq_cst) != wgen ||
+               stopRequested_.load(std::memory_order_relaxed) ||
+               exitWorkers_.load(std::memory_order_relaxed) ||
+               paused_.load(std::memory_order_relaxed) ||
+               pending_.load(std::memory_order_relaxed) == 0;
+    };
+    for (int i = idleSpinCount(); i > 0; i--) {
+        if (ready())
+            return;
+        cpuRelax();
+    }
+    // Donate the timeslice before paying for a futex park. When the
+    // host is oversubscribed (more domains than cores) the producer
+    // this domain is blocked on is runnable-but-not-running, and a
+    // yield hands it the core for the price of the context switch a
+    // park/wake cycle would force anyway — minus the futex wait and
+    // notify syscalls. With no runnable peer, yield returns almost
+    // immediately, so the ladder adds negligible latency to a real
+    // park.
+    for (int i = 0; i < 32; i++) {
+        if (ready())
+            return;
+        std::this_thread::yield();
+    }
+    if (ready())
+        return;
+    d.parkedFlag.store(true, std::memory_order_seq_cst);
+    {
+        std::unique_lock<std::mutex> lk(d.parkMu);
+        d.parkCv.wait(lk, ready);
+    }
+    d.parkedFlag.store(false, std::memory_order_relaxed);
+}
+
 // ---- Scheduling ----
 
 DomainEngine::Dom *
 DomainEngine::lookupDom(const Event &ev) const
 {
     if (Port *p = ev.deliveryDst()) {
+        // Epoch-tagged memo of the component hash lookup: valid for
+        // the lifetime of the current partition (buildRings bumps the
+        // epoch on every re-cut, and the epoch counter is process-
+        // global so a hint written under any other engine or partition
+        // can never validate here).
+        const std::uint64_t hint =
+            p->routeHint_.load(std::memory_order_relaxed);
+        if ((hint >> 32) == routeEpoch_)
+            return doms_[static_cast<std::uint32_t>(hint)].get();
         auto it = componentDom_.find(p->owner());
-        if (it != componentDom_.end())
+        if (it != componentDom_.end()) {
+            p->routeHint_.store(
+                (static_cast<std::uint64_t>(routeEpoch_) << 32) |
+                    static_cast<std::uint32_t>(it->second),
+                std::memory_order_relaxed);
+            return doms_[it->second].get();
+        }
+    }
+    if (!handlerDom_.empty()) {
+        auto it = handlerDom_.find(ev.handler());
+        if (it != handlerDom_.end())
             return doms_[it->second].get();
     }
-    auto it = handlerDom_.find(ev.handler());
-    if (it != handlerDom_.end())
-        return doms_[it->second].get();
     return nullptr;
 }
 
@@ -299,13 +492,56 @@ DomainEngine::schedule(EventPtr event)
             VTime c = d->clock.load(std::memory_order_relaxed);
             if (event->time() < c)
                 throwPast(event->time(), c);
-            totalScheduled_.fetch_add(1, std::memory_order_relaxed);
+            // Single writer (this worker): load+store, no locked RMW.
+            d->sched.store(
+                d->sched.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
             pending_.fetch_add(1, std::memory_order_acq_rel);
             d->queue.push(std::move(event));
             d->qlen.store(d->queue.size(), std::memory_order_relaxed);
             return;
         }
-        enqueueRemote(*d, std::move(event), false);
+        // Cross-domain from the one worker owning the source domain:
+        // the SPSC fast path, when this edge has a ring and no spill
+        // epoch is open. Count first — pending_ must cover the event
+        // before the consumer can possibly execute it.
+        Dom *src = static_cast<Dom *>(tlsDom.dom);
+        EdgeRing *r = src != nullptr && d->id < src->outRing.size()
+                          ? src->outRing[d->id]
+                          : nullptr;
+        if (r != nullptr &&
+            r->spillIssued.load(std::memory_order_relaxed) ==
+                r->spillAck.load(std::memory_order_acquire)) {
+            src->sched.store(
+                src->sched.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+            pending_.fetch_add(1, std::memory_order_acq_rel);
+            const VTime stamp = event->time();
+            if (r->ring.tryPush(event)) {
+                src->fastPushed.store(
+                    src->fastPushed.load(std::memory_order_relaxed) +
+                        1,
+                    std::memory_order_relaxed);
+                // Wake the consumer only if the event is executable
+                // under the window our *published* horizon already
+                // grants it (stamp <= horizon + lookahead). Anything
+                // later is gated on our next horizon raise, and every
+                // raise wakes the out-neighbors — so the wake is
+                // deferred, not lost, and a convoy of pushes costs
+                // one wake at the batch settle instead of one each.
+                const VTime h = horizons_[src->id].v.load(
+                    std::memory_order_relaxed);
+                if (kTimeMax - h < r->lookahead ||
+                    stamp <= h + r->lookahead)
+                    wakeDom(*d);
+                return;
+            }
+            // Ring full: spill to the mailbox and open the epoch; the
+            // edge stays on the slow path until the consumer acks.
+            enqueueRemote(*d, std::move(event), /*counted=*/true, r);
+            return;
+        }
+        enqueueRemote(*d, std::move(event), /*counted=*/false, r);
         return;
     }
     // External thread (monitor control, setup between runs): route and
@@ -320,7 +556,8 @@ DomainEngine::schedule(EventPtr event)
 }
 
 void
-DomainEngine::enqueueRemote(Dom &d, EventPtr ev, bool counted)
+DomainEngine::enqueueRemote(Dom &d, EventPtr ev, bool counted,
+                            EdgeRing *spill)
 {
     if (!running_.load(std::memory_order_acquire)) {
         // Engine idle between runs: enforce the serial contract. While
@@ -337,11 +574,18 @@ DomainEngine::enqueueRemote(Dom &d, EventPtr ev, bool counted)
             totalScheduled_.fetch_add(1, std::memory_order_relaxed);
             pending_.fetch_add(1, std::memory_order_acq_rel);
         }
+        if (spill != nullptr) {
+            // Under mailMu so the consumer's swap-time read of
+            // spillIssued can never see the count without the event.
+            spill->spillIssued.fetch_add(1, std::memory_order_relaxed);
+        }
         if (ev->time() < d.mailMin)
             d.mailMin = ev->time();
         d.mail.push_back(std::move(ev));
         d.mailCount.fetch_add(1, std::memory_order_release);
     }
+    mailSlow_.fetch_add(1, std::memory_order_relaxed);
+    wakeDom(d);
     bumpProgress();
 }
 
@@ -362,7 +606,7 @@ DomainEngine::now() const
     VTime m = kTimeMax;
     VTime maxClock = 0;
     for (const auto &d : doms_) {
-        VTime h = d->horizon.load(std::memory_order_acquire);
+        VTime h = horizons_[d->id].v.load(std::memory_order_acquire);
         if (h != kTimeMax && h < m)
             m = h;
         VTime c = d->clock.load(std::memory_order_relaxed);
@@ -377,9 +621,12 @@ DomainEngine::now() const
 VTime
 DomainEngine::safeWindow(const Dom &d) const
 {
+    // Linear pass over the padded horizon array: every in-edge read
+    // touches its own cache line, so the scan never bounces a line a
+    // producer is writing clock/queue state into.
     VTime b = kTimeMax;
     for (const InEdge &e : d.in) {
-        VTime h = doms_[e.src]->horizon.load(std::memory_order_acquire);
+        VTime h = horizons_[e.src].v.load(std::memory_order_acquire);
         VTime w = kTimeMax - h < e.lookahead ? kTimeMax
                                              : h + e.lookahead;
         if (w < b)
@@ -391,18 +638,50 @@ DomainEngine::safeWindow(const Dom &d) const
 void
 DomainEngine::drainMail(Dom &d)
 {
-    if (d.mailCount.load(std::memory_order_acquire) == 0)
+    bool ringsLoaded = false;
+    for (const auto &r : d.inRings) {
+        if (!r->ring.empty()) {
+            ringsLoaded = true;
+            break;
+        }
+    }
+    const bool mailLoaded =
+        d.mailCount.load(std::memory_order_acquire) != 0;
+    if (!ringsLoaded && !mailLoaded)
         return;
-    std::vector<EventPtr> local;
-    {
+
+    // Mailbox first, rings second, and within the pass ring events are
+    // queued before mail events. Per-edge FIFO across the fast/slow
+    // split hangs on this order: a spill epoch only opens after the
+    // ring stopped accepting, so whatever the ring still holds for an
+    // edge was sent before anything the mailbox holds for it — and the
+    // producer stays on the slow path until spillAck (stored below,
+    // after the queue pushes) catches up, so no fresh ring traffic can
+    // overtake a spilled message either. The mailMu acquire also
+    // publishes the producer's earlier ring tail stores to our drain.
+    std::vector<EventPtr> &local = d.drainScratch;
+    if (mailLoaded) {
         std::lock_guard<std::mutex> lk(d.mailMu);
         local.swap(d.mail);
         d.mailMin = kTimeMax;
         d.mailCount.store(0, std::memory_order_relaxed);
+        for (auto &r : d.inRings)
+            r->spillSeen =
+                r->spillIssued.load(std::memory_order_relaxed);
     }
-    const VTime hz = d.horizon.load(std::memory_order_relaxed);
+
+    const VTime hz = horizons_[d.id].v.load(std::memory_order_relaxed);
     const VTime clk = d.clock.load(std::memory_order_relaxed);
-    for (EventPtr &ev : local) {
+    auto admit = [&](EventPtr ev) {
+        if (ev->time() >= hz && ev->time() > clk) {
+            // Above the horizon and the last executed cycle: no floor
+            // can apply (both branches below only rewrite stamps under
+            // max(hz, clk + 1)), so skip the TickingComponent probe —
+            // a dynamic_cast per steady-state cross-domain event is
+            // measurable.
+            d.queue.push(std::move(ev));
+            return;
+        }
         if (ev->time() < hz && ev->deliveryDst() != nullptr) {
             // A message delivery can only land below the horizon
             // when a cross-domain connection's latency undercuts
@@ -434,20 +713,26 @@ DomainEngine::drainMail(Dom &d)
             ev->setTime(hz);
         }
         d.queue.push(std::move(ev));
+    };
+    try {
+        for (auto &r : d.inRings)
+            r->ring.drain([&](EventPtr ev) { admit(std::move(ev)); });
+        for (EventPtr &ev : local)
+            admit(std::move(ev));
+    } catch (...) {
+        // The scratch must be empty at the next swap — a half-drained
+        // pass would otherwise inject its leftovers into the mailbox.
+        local.clear();
+        throw;
+    }
+    if (mailLoaded) {
+        local.clear();
+        // Everything seen at swap time is now in the queue: close the
+        // spill epochs so the producers may return to their rings.
+        for (auto &r : d.inRings)
+            r->spillAck.store(r->spillSeen, std::memory_order_release);
     }
     d.qlen.store(d.queue.size(), std::memory_order_relaxed);
-}
-
-void
-DomainEngine::publishClock(Dom &d, VTime t)
-{
-    if (d.clock.load(std::memory_order_relaxed) == t)
-        return;
-    d.clock.store(t, std::memory_order_release);
-    if (d.horizon.load(std::memory_order_relaxed) < t) {
-        d.horizon.store(t, std::memory_order_release);
-        bumpProgress();
-    }
 }
 
 void
@@ -457,18 +742,23 @@ DomainEngine::publishIdleHorizon(Dom &d, VTime bound)
     bool raised = false;
     {
         // Under mailMu so the published promise can never race past a
-        // mailbox stamp an enqueuer is concurrently adding.
+        // mailbox stamp an enqueuer is concurrently adding. Ring
+        // contents need no scan: this runs right after drainMail, so
+        // anything still in a ring was pushed after our safe-window
+        // read and is stamped >= that bound >= the promise below
+        // (DESIGN.md §15).
         std::lock_guard<std::mutex> lk(d.mailMu);
         VTime hz = std::min(head, bound);
         if (d.mailMin < hz)
             hz = d.mailMin;
-        if (hz > d.horizon.load(std::memory_order_relaxed)) {
-            d.horizon.store(hz, std::memory_order_release);
+        std::atomic<VTime> &slot = horizons_[d.id].v;
+        if (hz > slot.load(std::memory_order_relaxed)) {
+            slot.store(hz, std::memory_order_release);
             raised = true;
         }
     }
     if (raised)
-        bumpProgress();
+        wakeNeighbors(d);
 }
 
 // ---- Execution ----
@@ -512,10 +802,10 @@ DomainEngine::executeEvent(Dom &d, Event &event)
                 : 1;
         noteCost(d, event, units);
     }
-    // Single writer per domain: load+store beats fetch_add.
+    // Single writer per domain: load+store beats fetch_add. The
+    // shared totalEvents_ counter settles once per batch instead.
     d.events.store(d.events.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
-    totalEvents_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -523,6 +813,34 @@ DomainEngine::executeBatch(Dom &d, VTime bound)
 {
     std::lock_guard<std::mutex> lk(d.execMu);
     int n = 0;
+    int done = 0;
+    VTime last = 0;
+    // The horizon raise, neighbor wake, and global counters settle
+    // once per batch, not once per event. Safety is the §15 ordering
+    // argument: every output of the batch was enqueued (ring-tail /
+    // mailbox store) before the release store below, so a consumer
+    // that acquires the raised horizon and then drains sees them all.
+    // Per-event raises are what the serial construction needed; here
+    // they just wake each neighbor once per tick.
+    auto settle = [&]() {
+        if (done == 0)
+            return;
+        std::atomic<VTime> &hz = horizons_[d.id].v;
+        if (hz.load(std::memory_order_relaxed) < last) {
+            hz.store(last, std::memory_order_release);
+            wakeNeighbors(d);
+        }
+        d.qlen.store(d.queue.size(), std::memory_order_relaxed);
+        totalEvents_.fetch_add(static_cast<std::uint64_t>(done),
+                               std::memory_order_relaxed);
+        if (pending_.fetch_sub(done, std::memory_order_acq_rel) ==
+            done) {
+            // Possibly globally drained: wake the drain detectors and
+            // every idle-parked worker so they can reach the barrier.
+            bumpProgress();
+            wakeAllDoms();
+        }
+    };
     while (n < batch_ && !d.queue.empty()) {
         if (stopRequested_.load(std::memory_order_relaxed) ||
             paused_.load(std::memory_order_relaxed) ||
@@ -531,17 +849,27 @@ DomainEngine::executeBatch(Dom &d, VTime bound)
         VTime t = d.queue.peekTime();
         if (t > bound)
             break;
-        // Publish before executing: outputs of events at t are stamped
-        // >= t + connection latency, so downstream safe windows derived
-        // from clock t stay conservative.
-        publishClock(d, t);
+        // Advance the local clock before executing — handlers observe
+        // it through now(). Only this domain's worker writes it, and
+        // remote readers (status, lag) tolerate batch-grained skew.
+        if (d.clock.load(std::memory_order_relaxed) != t)
+            d.clock.store(t, std::memory_order_release);
         EventPtr ev = d.queue.pop();
-        d.qlen.store(d.queue.size(), std::memory_order_relaxed);
-        executeEvent(d, *ev);
-        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            bumpProgress(); // Possibly globally drained: wake detectors.
+        last = t;
+        try {
+            executeEvent(d, *ev);
+        } catch (...) {
+            // pending_ survives run() (events may be queued while
+            // stopped), so the decrements owed by this batch must not
+            // be lost to a throwing handler.
+            done++;
+            settle();
+            throw;
+        }
+        done++;
         n++;
     }
+    settle();
 }
 
 // ---- The worker loop ----
@@ -566,6 +894,7 @@ DomainEngine::recordError()
     }
     exitWorkers_.store(true);
     bumpProgress();
+    wakeAllDoms();
     std::lock_guard<std::mutex> lk(waitMu_);
     waitCv_.notify_all();
 }
@@ -626,7 +955,7 @@ DomainEngine::coordinateDrain(Dom &)
             std::max(maxClock, dm->clock.load(std::memory_order_relaxed));
     for (const auto &dm : doms_) {
         dm->clock.store(maxClock, std::memory_order_release);
-        dm->horizon.store(maxClock, std::memory_order_release);
+        horizons_[dm->id].v.store(maxClock, std::memory_order_release);
     }
     invokeHook(hookPosQueueDrained, nullptr);
 
@@ -691,11 +1020,13 @@ DomainEngine::workerLoop(Dom &d, bool coordinator)
                 std::this_thread::yield();
                 continue;
             }
-            // Order matters: snapshot the progress generation, read
-            // upstream horizons, and only then drain the mailbox —
-            // a message enqueued after the horizon read either lands
-            // in the drain or re-wakes us via the generation.
-            std::uint64_t gen = progressGen_.load();
+            // Order matters: snapshot the wake generation, read
+            // upstream horizons, and only then drain the rings and
+            // mailbox — a message enqueued (or a horizon raised) after
+            // the snapshot either lands in the drain or re-wakes us
+            // via the generation.
+            std::uint64_t wgen =
+                d.wakeGen.load(std::memory_order_seq_cst);
             VTime bound = safeWindow(d);
             drainMail(d);
             if (!d.queue.empty() && d.queue.peekTime() <= bound) {
@@ -712,19 +1043,7 @@ DomainEngine::workerLoop(Dom &d, bool coordinator)
                 }
                 continue;
             }
-            waiters_.fetch_add(1);
-            {
-                std::unique_lock<std::mutex> lk(waitMu_);
-                waitCv_.wait(lk, [&]() {
-                    return progressGen_.load() != gen ||
-                           stopRequested_.load(
-                               std::memory_order_relaxed) ||
-                           exitWorkers_.load(
-                               std::memory_order_relaxed) ||
-                           paused_.load(std::memory_order_relaxed);
-                });
-            }
-            waiters_.fetch_sub(1);
+            idleWait(d, wgen);
         } catch (...) {
             recordError();
             break;
@@ -890,6 +1209,12 @@ DomainEngine::tryAdoptRepartition()
     for (const auto &dp : doms_)
         mailLks.emplace_back(dp->mailMu);
 
+    // Ring residue (pushed but never drained — e.g. a stopped run)
+    // joins the mailbox under the same locks, so the re-route below
+    // migrates it with everything else. The rings themselves are
+    // rebuilt for the new edge set once the in-lists are final.
+    flushRingsToMail();
+
     {
         std::lock_guard<std::mutex> tk(topoMu_);
         part_ = std::move(cand);
@@ -940,6 +1265,9 @@ DomainEngine::tryAdoptRepartition()
                 dp->in.push_back(
                     {static_cast<std::size_t>(e.src), e.lookahead});
         }
+        // Fresh rings for the new cut: the flush above emptied the old
+        // ones, and fresh EdgeRings reset every spill epoch to closed.
+        buildRings();
 
         RepartitionEvent evh;
         evh.seq = repartitions_.load(std::memory_order_relaxed) + 1;
@@ -1039,6 +1367,7 @@ DomainEngine::stop()
 {
     stopRequested_.store(true);
     bumpProgress();
+    wakeAllDoms();
     {
         std::lock_guard<std::mutex> lk(waitMu_);
         waitCv_.notify_all();
@@ -1108,10 +1437,24 @@ DomainEngine::domainStatus(int d) const
         return s;
     const Dom &dm = *doms_[d];
     s.clock = dm.clock.load(std::memory_order_relaxed);
-    s.horizon = dm.horizon.load(std::memory_order_relaxed);
+    s.horizon = horizons_[dm.id].v.load(std::memory_order_relaxed);
     s.events = dm.events.load(std::memory_order_relaxed);
+    std::size_t inFlight = 0;
+    std::size_t cap = 0;
+    {
+        // A repartition rebuilds inRings under topoMu_; occupancy is a
+        // monitor-thread read, so pay the (uncontended) lock here.
+        std::lock_guard<std::mutex> lk(topoMu_);
+        for (const auto &r : dm.inRings) {
+            inFlight += r->ring.size();
+            cap += r->ring.capacity();
+        }
+    }
+    s.ringOccupancy = inFlight;
+    s.ringCapacity = cap;
     s.queueLen = dm.qlen.load(std::memory_order_relaxed) +
-                 dm.mailCount.load(std::memory_order_relaxed);
+                 dm.mailCount.load(std::memory_order_relaxed) +
+                 inFlight;
     s.cost = dm.costTotal.load(std::memory_order_relaxed);
     return s;
 }
@@ -1157,6 +1500,7 @@ DomainEngine::run()
     // The coordinator is done (stop, drain, or error): release everyone.
     exitWorkers_.store(true);
     bumpProgress();
+    wakeAllDoms();
     {
         std::lock_guard<std::mutex> lk(waitMu_);
         waitCv_.notify_all();

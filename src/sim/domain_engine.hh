@@ -19,6 +19,7 @@
 
 #include "sim/domain.hh"
 #include "sim/engine.hh"
+#include "sim/spsc.hh"
 
 namespace akita
 {
@@ -53,6 +54,19 @@ namespace sim
  *    horizons) *before* draining its mailbox; senders enqueue to the
  *    mailbox *before* raising their horizon (release). A message can
  *    therefore never slip under an already-computed window.
+ *
+ * Cross-domain delivery is two-tier (DESIGN.md §15). The steady-state
+ * fast path is a bounded SPSC ring per directed partition edge: the
+ * source domain's worker pushes (release on the ring tail), the
+ * destination's worker drains whole segments per safe-window
+ * recomputation, and the enqueue-before-horizon-raise ordering above
+ * carries over because the tail store is program-ordered before the
+ * producer's next horizon release. The locked mailbox remains as the
+ * slow path for external threads, edges without a ring, full-ring
+ * spills (per-edge FIFO is preserved across the spill by an epoch
+ * handshake — see EdgeRing), and repartition migration. Idle workers
+ * spin briefly and then park on a per-domain channel; a horizon raise
+ * wakes only the domains whose safe window actually moved.
  *
  * Cross-domain wakes (sleep/wake ticking, monitor Tick) are scheduled
  * from the waker's clock and may land below the destination's horizon;
@@ -117,7 +131,12 @@ class DomainEngine : public Engine
     std::uint64_t
     scheduledCount() const override
     {
-        return totalScheduled_.load(std::memory_order_relaxed);
+        std::uint64_t n =
+            totalScheduled_.load(std::memory_order_relaxed);
+        if (partitioned_.load(std::memory_order_acquire))
+            for (const auto &d : doms_)
+                n += d->sched.load(std::memory_order_relaxed);
+        return n;
     }
 
     void setConcurrentAccess(bool on) override { concurrent_ = on; }
@@ -233,6 +252,10 @@ class DomainEngine : public Engine
         std::size_t queueLen = 0;
         /** Cost units charged in the current observation window. */
         std::uint64_t cost = 0;
+        /** Events sitting in this domain's in-rings (approximate). */
+        std::size_t ringOccupancy = 0;
+        /** Summed capacity of this domain's in-rings. */
+        std::size_t ringCapacity = 0;
     };
 
     /** @p d must be < numDomains(). */
@@ -349,6 +372,35 @@ class DomainEngine : public Engine
         batch_ = n < 1 ? 1 : n;
     }
 
+    /**
+     * Per-edge fast-path ring capacity (rounded up to a power of two).
+     * Must be set before the partition is computed; a full ring spills
+     * to the slow mailbox, so small rings only cost throughput, never
+     * correctness. Tests use 1-2 slot rings to force the spill path.
+     */
+    void setRingCapacity(int n);
+
+    /** Cross-domain events delivered through the SPSC fast path. */
+    std::uint64_t
+    mailboxFastTotal() const
+    {
+        std::uint64_t n = 0;
+        if (partitioned_.load(std::memory_order_acquire))
+            for (const auto &d : doms_)
+                n += d->fastPushed.load(std::memory_order_relaxed);
+        return n;
+    }
+
+    /**
+     * Cross-domain events that took the locked slow path: external
+     * threads, edges without a ring, and full-ring spills.
+     */
+    std::uint64_t
+    mailboxSlowTotal() const
+    {
+        return mailSlow_.load(std::memory_order_relaxed);
+    }
+
   private:
     static constexpr VTime kTimeMax = ~static_cast<VTime>(0);
 
@@ -358,7 +410,51 @@ class DomainEngine : public Engine
         VTime lookahead = 0;
     };
 
-    /** One domain's runtime state, cache-line isolated. */
+    /**
+     * One domain's published horizon, isolated on its own cache line
+     * in a flat array (horizons_). The safe-window min-scan is the
+     * hottest cross-domain read; keeping it a linear pass over padded
+     * atomics means it never bounces lines the owning worker is
+     * concurrently writing (clock, qlen, cost).
+     */
+    struct alignas(64) HorizonSlot
+    {
+        std::atomic<VTime> v{0};
+    };
+
+    /**
+     * Fast-path state of one directed cross-domain edge: the SPSC
+     * ring (producer = the source domain's worker, consumer = the
+     * destination's) plus the spill-epoch counters that keep per-edge
+     * FIFO exact across the ring/mailbox boundary. A full ring spills
+     * to the slow mailbox; from then on the producer stays on the
+     * slow path (spillIssued ahead of spillAck) until the consumer
+     * has pushed every spilled event into its queue and acknowledged
+     * — so ring traffic and mailbox traffic for one edge never
+     * interleave, and same-timestamp FIFO survives the overflow.
+     */
+    struct EdgeRing
+    {
+        EdgeRing(std::size_t src_, VTime lookahead_, std::size_t cap)
+            : src(src_), lookahead(lookahead_), ring(cap)
+        {
+        }
+
+        std::size_t src;
+        /** The edge's lookahead, for the producer's wake filter. */
+        VTime lookahead;
+        SpscRing<EventPtr> ring;
+        /** Spills issued by the producer (written under mailMu). */
+        std::atomic<std::uint64_t> spillIssued{0};
+        /** Spills the consumer has drained into its queue. */
+        std::atomic<std::uint64_t> spillAck{0};
+        /** Consumer scratch: spillIssued as read at the last swap. */
+        std::uint64_t spillSeen = 0;
+    };
+
+    /** One domain's runtime state, grouped by writer to keep the
+     * producer-facing wake line and the slow-mailbox lock off the
+     * worker's own hot line. */
     struct alignas(64) Dom
     {
         std::size_t id = 0;
@@ -366,15 +462,36 @@ class DomainEngine : public Engine
         EventQueue queue;
         /** Time of the last executed event (handlers' now()). */
         std::atomic<VTime> clock{0};
-        /** Published "no output before horizon + edge latency". */
-        std::atomic<VTime> horizon{0};
         std::atomic<std::uint64_t> events{0};
+        /** Events scheduled by this worker (single-writer: load+store
+         * instead of a locked RMW on a shared engine counter). */
+        std::atomic<std::uint64_t> sched{0};
+        /** Ring pushes issued by this worker (single-writer). */
+        std::atomic<std::uint64_t> fastPushed{0};
         /** queue.size() mirror for external readers. */
         std::atomic<std::size_t> qlen{0};
         /** Incoming cross-domain edges (the safe-window scan). */
         std::vector<InEdge> in;
-        /** Guards mail/mailMin; leaf lock. */
-        std::mutex mailMu;
+        /** In-rings, one per in-edge (same order as `in`). */
+        std::vector<std::unique_ptr<EdgeRing>> inRings;
+        /** Out-rings indexed by destination domain; null = no edge. */
+        std::vector<EdgeRing *> outRing;
+        /** Domains whose safe window reads our horizon (targets of
+         * the horizon-raise wake). */
+        std::vector<std::size_t> outNbr;
+        /** Consumer scratch for mailbox swaps (steady-state no-alloc). */
+        std::vector<EventPtr> drainScratch;
+
+        /** Spin-then-park wake channel, written by producers: a
+         * horizon raise or enqueue bumps the generation and notifies
+         * only when the owning worker is actually parked. */
+        alignas(64) std::atomic<std::uint64_t> wakeGen{0};
+        std::atomic<bool> parkedFlag{false};
+        std::mutex parkMu;
+        std::condition_variable parkCv;
+
+        /** Guards mail/mailMin/spillIssued; leaf lock (slow path). */
+        alignas(64) std::mutex mailMu;
         std::vector<EventPtr> mail;
         /** Earliest stamp in mail (kTimeMax when empty). */
         VTime mailMin = kTimeMax;
@@ -395,8 +512,25 @@ class DomainEngine : public Engine
 
     Dom *routeOf(const Event &ev);
     Dom *lookupDom(const Event &ev) const;
-    void enqueueRemote(Dom &d, EventPtr ev, bool countScheduled);
+    void enqueueRemote(Dom &d, EventPtr ev, bool countScheduled,
+                       EdgeRing *spill = nullptr);
     void drainMail(Dom &d);
+    /** (Re)creates the per-edge rings from the current in-edge lists.
+     * Caller guarantees quiescence and empty rings. */
+    void buildRings();
+    /** Moves residual ring events into the slow mailboxes (prepended,
+     * preserving per-edge order). Caller holds every mailMu and
+     * guarantees no worker runs (repartition adoption, where the old
+     * rings are about to be torn down). */
+    void flushRingsToMail();
+    /** Bumps @p d's wake generation; notifies only if parked. */
+    void wakeDom(Dom &d);
+    /** Wakes the domains whose safe window reads @p d's horizon. */
+    void wakeNeighbors(Dom &d);
+    void wakeAllDoms();
+    /** Spin-then-park until the wake generation moves past @p wgen
+     * or a global signal (stop/pause/exit/drain) fires. */
+    void idleWait(Dom &d, std::uint64_t wgen);
     void noteCost(Dom &d, const Event &ev, std::uint64_t units);
     /**
      * Evaluates the imbalance trigger and possibly adopts a new cut.
@@ -408,7 +542,6 @@ class DomainEngine : public Engine
     /** The locked adoption step; see maybeRepartition. */
     bool tryAdoptRepartition();
     VTime safeWindow(const Dom &d) const;
-    void publishClock(Dom &d, VTime t);
     void publishIdleHorizon(Dom &d, VTime bound);
     void executeBatch(Dom &d, VTime bound);
     void executeEvent(Dom &d, Event &ev);
@@ -438,8 +571,21 @@ class DomainEngine : public Engine
 
     DomainPartition part_;
     std::vector<std::unique_ptr<Dom>> doms_;
+    /** Published horizons, one padded slot per domain (see
+     * HorizonSlot). Allocated once at partition time; the domain
+     * count never changes afterwards. */
+    std::unique_ptr<HorizonSlot[]> horizons_;
+    /** Per-edge ring capacity (power of two; see setRingCapacity). */
+    int ringCapacity_ = 256;
+    /** Cross-domain events through the locked slow path. */
+    std::atomic<std::uint64_t> mailSlow_{0};
     std::unordered_map<const Component *, std::size_t> componentDom_;
     std::unordered_map<const EventHandler *, std::size_t> handlerDom_;
+    /**
+     * Partition epoch tag for Port::routeHint_ memoization; assigned
+     * a process-unique value by buildRings() at every (re)cut.
+     */
+    std::uint32_t routeEpoch_ = 0;
     /** Component -> its EventHandler subobject (for dtor cleanup). */
     std::unordered_map<const Component *, const EventHandler *>
         componentHandler_;

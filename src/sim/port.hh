@@ -6,6 +6,8 @@
 #ifndef AKITA_SIM_PORT_HH
 #define AKITA_SIM_PORT_HH
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "metrics/instrument.hh"
@@ -115,6 +117,8 @@ class Port : public Hookable
     std::uint64_t totalReceived() const { return totalReceived_.value(); }
 
   private:
+    friend class DomainEngine;
+
     Component *owner_;
     std::string name_;
     std::string fullName_;
@@ -124,6 +128,16 @@ class Port : public Hookable
     metrics::Counter totalRejected_;
     metrics::Counter totalSentBytes_;
     metrics::Counter totalReceived_;
+    /**
+     * DomainEngine routing cache: (partition epoch << 32) | domain
+     * index. Delivery events route by destination port; hashing the
+     * owning component on every cross-domain send is measurable on
+     * the hot path, so the engine memoizes the answer here and a
+     * repartition invalidates it by bumping the epoch. Multiple
+     * workers may race to fill it with the same value — hence the
+     * relaxed atomic, not a plain field.
+     */
+    mutable std::atomic<std::uint64_t> routeHint_{0};
 };
 
 } // namespace sim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Bounded single-producer single-consumer ring: the domain engine's
+ * cross-domain fast path.
+ */
+
+#ifndef AKITA_SIM_SPSC_HH
+#define AKITA_SIM_SPSC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace akita
+{
+namespace sim
+{
+
+/**
+ * A bounded wait-free SPSC ring over move-only elements.
+ *
+ * Exactly one thread may push and exactly one thread may pop. The
+ * head/tail indices grow monotonically and wrap through a power-of-two
+ * mask; each sits on its own cache line so the producer's tail stores
+ * never bounce the consumer's head line and vice versa.
+ *
+ * Ordering contract: tryPush writes the slot, then publishes it with a
+ * release store of the tail; drain/tryPop acquire-read the tail before
+ * touching slots and release-store the head after moving out of them.
+ * A consumer therefore always observes fully-constructed elements, and
+ * a producer never overwrites a slot the consumer still reads.
+ *
+ * The domain engine layers a second, transitive guarantee on top: a
+ * producer's tail store is program-ordered before its later horizon
+ * release, so a consumer that acquire-reads that horizon and *then*
+ * drains observes every element enqueued before the horizon was
+ * raised (DESIGN.md §15). Nothing in this class needs to know that;
+ * it only has to keep the release/acquire pairing above.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity Rounded up to a power of two, minimum 1. */
+    explicit SpscRing(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /**
+     * Producer side. Moves from @p v and returns true on success;
+     * leaves @p v untouched and returns false when the ring is full
+     * (the caller falls back to its slow path).
+     */
+    bool
+    tryPush(T &v)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head > mask_)
+            return false; // Full.
+        slots_[tail & mask_] = std::move(v);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: pops every element published at entry, invoking
+     * @p fn with each (rvalue) in FIFO order, then releases the whole
+     * segment with one head store. If @p fn throws, the elements
+     * already consumed stay consumed (the head is advanced before the
+     * exception propagates) — no slot is handed out twice.
+     *
+     * @return Number of elements consumed.
+     */
+    template <typename Fn>
+    std::size_t
+    drain(Fn &&fn)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        std::size_t i = head;
+        try {
+            for (; i != tail; i++)
+                fn(std::move(slots_[i & mask_]));
+        } catch (...) {
+            head_.store(i + 1, std::memory_order_release);
+            throw;
+        }
+        if (i != head)
+            head_.store(i, std::memory_order_release);
+        return i - head;
+    }
+
+    /** Consumer side: pops one element into @p out when available. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return false;
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Approximate occupancy, safe from any thread (a gauge, not a
+     * synchronization primitive): both indices are racy-read, so the
+     * value may lag either end by an in-flight operation.
+     */
+    std::size_t
+    size() const
+    {
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        return tail >= head ? tail - head : 0;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    /** Producer-written publication index (total pushes). */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    /** Consumer-written release index (total pops). */
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::vector<T> slots_;
+    std::size_t mask_ = 0;
+};
+
+} // namespace sim
+} // namespace akita
+
+#endif // AKITA_SIM_SPSC_HH

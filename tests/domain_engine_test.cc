@@ -955,6 +955,91 @@ TEST(DomainRepartition, CrossDomainFifoPreservedAcrossRepartition)
         EXPECT_EQ(ring[3].received[static_cast<std::size_t>(i)], i);
 }
 
+TEST(DomainRepartition, MidRunRecutRebuildsRingsWithoutLosingMessages)
+{
+    // A waitWhenEmpty drain boundary is the live re-cut point: the
+    // engine migrates components without ever leaving run(), and must
+    // rebuild the per-edge SPSC mailbox rings for the new cut —
+    // flushing any ring residue into the migration so nothing is lost.
+    // Seq-numbered traffic spanning several live re-cuts proves no
+    // message is dropped or reordered, and the ring capacity surfaced
+    // by domainStatus() must track the rebuilt in-edge sets.
+    DomainEngine eng(2);
+    RepartRing ring(eng, 4, 2);
+    eagerRepartition(eng);
+    eng.setWaitWhenEmpty(true);
+    ring[1].drainPerTick = 1;
+    ring[3].drainPerTick = 1;
+
+    class DrainHook : public Hook
+    {
+      public:
+        void
+        func(HookCtx &ctx) override
+        {
+            if (ctx.pos == &hookPosQueueDrained)
+                drained++;
+        }
+
+        std::atomic<int> drained{0};
+    };
+    DrainHook hook;
+    eng.acceptHook(&hook);
+
+    std::thread runner([&]() { eng.run(); });
+    auto waitDrains = [&](int target) {
+        while (hook.drained.load() < target)
+            std::this_thread::yield();
+    };
+
+    // The empty engine drains once immediately; each injection then
+    // revives it for exactly one more drain (and one more mid-run
+    // repartition opportunity). The hook fires before the boundary's
+    // repartition, so additionally wait for drainedWaiting() — set
+    // after it — or an eager injection could abort the re-cut by
+    // failing its quiescence re-verify.
+    constexpr int kPhases = 6;
+    int seq01 = 0, seq23 = 0;
+    for (int phase = 0; phase < kPhases; phase++) {
+        waitDrains(phase + 1);
+        while (!eng.drainedWaiting())
+            std::this_thread::yield();
+        FwdNode &hot = phase % 2 == 0 ? ring[0] : ring[2];
+        int &seq = phase % 2 == 0 ? seq01 : seq23;
+        for (int i = 0; i < 20; i++)
+            hot.outbox.push_back(makeMsg<TestMsg>(seq++));
+        hot.tickLater();
+    }
+    waitDrains(kPhases + 1);
+    eng.stop();
+    runner.join();
+
+    EXPECT_GE(eng.repartitionCount(), 1u)
+        << "the alternating hotspot must re-cut mid-run";
+
+    // No message lost or reordered across any live re-cut.
+    ASSERT_EQ(ring[1].received.size(),
+              static_cast<std::size_t>(seq01));
+    for (int i = 0; i < seq01; i++)
+        EXPECT_EQ(ring[1].received[static_cast<std::size_t>(i)], i);
+    ASSERT_EQ(ring[3].received.size(),
+              static_cast<std::size_t>(seq23));
+    for (int i = 0; i < seq23; i++)
+        EXPECT_EQ(ring[3].received[static_cast<std::size_t>(i)], i);
+
+    // The rings were rebuilt for the adopted cut: summed ring capacity
+    // equals one full-size ring per current cross-domain edge, and
+    // every ring drained dry at the final boundary.
+    std::size_t caps = 0, occ = 0;
+    for (int i = 0; i < eng.numDomains(); i++) {
+        caps += eng.domainStatus(i).ringCapacity;
+        occ += eng.domainStatus(i).ringOccupancy;
+    }
+    EXPECT_EQ(caps, eng.edgeInfos().size() * 256)
+        << "per-edge rings must match the live edge set after re-cut";
+    EXPECT_EQ(occ, 0u);
+}
+
 TEST(DomainRepartition, PinnedComponentsNeverMove)
 {
     DomainEngine eng(2);

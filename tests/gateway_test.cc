@@ -333,9 +333,17 @@ TEST(ParseHardening, MalformedLastEventIdMeansFullReplay)
     rtm::MonitorConfig mcfg;
     mcfg.announceUrl = false;
     mcfg.autoSample = false; // Manual passes only: version is ours.
+    mcfg.sampleIntervalMs = 1;
+    mcfg.metricsIntervalMs = 1;
     rtm::Monitor mon(mcfg);
     mon.registerEngine(&plat.engine());
     ASSERT_TRUE(mon.startServer());
+    // autoSample=false takes no automatic pass — not even the
+    // sampler's first-wake metrics pass. With the 1 ms cadences above,
+    // a stray sampler would have bumped the version many times over.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_EQ(mon.metrics().version(), 0u)
+        << "a sampling pass fired despite autoSample=false";
     mon.metricsSamplePass();
     mon.metricsSamplePass();
     mon.metricsSamplePass(); // version == 3

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit suite for the SPSC mailbox ring behind the domain engine's
+ * cross-domain fast path: capacity/wrap-around arithmetic, the
+ * full-ring overflow contract the slow-path fallback depends on, and
+ * release/acquire publication under a real producer/consumer pair
+ * (run with --gtest_repeat under TSan by the CI race leg).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/spsc.hh"
+
+using akita::sim::SpscRing;
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+    EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+    EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+    EXPECT_EQ(SpscRing<int>(256).capacity(), 256u);
+    EXPECT_EQ(SpscRing<int>(300).capacity(), 512u);
+    // Degenerate request still yields a usable one-slot ring.
+    EXPECT_EQ(SpscRing<int>(0).capacity(), 1u);
+}
+
+TEST(SpscRing, FifoAcrossManyWrapArounds)
+{
+    // A small ring cycled far past its capacity: the monotone indices
+    // must keep masking to the right slots long after they exceed the
+    // ring size.
+    SpscRing<int> ring(4);
+    int next = 0;
+    int expect = 0;
+    for (int round = 0; round < 1000; round++) {
+        for (int i = 0; i < 3; i++) {
+            int v = next++;
+            ASSERT_TRUE(ring.tryPush(v));
+        }
+        int out = -1;
+        while (ring.tryPop(out))
+            ASSERT_EQ(out, expect++);
+    }
+    EXPECT_EQ(expect, next);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FullRingRejectsAndLeavesValueIntact)
+{
+    // The overflow contract the engine's slow-path spill depends on:
+    // a failed push must not consume the value (it goes to the locked
+    // mailbox instead) and must not clobber any queued element.
+    SpscRing<std::unique_ptr<int>> ring(2);
+    auto a = std::make_unique<int>(1);
+    auto b = std::make_unique<int>(2);
+    auto c = std::make_unique<int>(3);
+    ASSERT_TRUE(ring.tryPush(a));
+    ASSERT_TRUE(ring.tryPush(b));
+    EXPECT_EQ(ring.size(), 2u);
+
+    ASSERT_FALSE(ring.tryPush(c));
+    ASSERT_NE(c, nullptr) << "rejected push must leave the value";
+    EXPECT_EQ(*c, 3);
+
+    // Drain one, and the rejected value fits again.
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(*out, 1);
+    ASSERT_TRUE(ring.tryPush(c));
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(*out, 2);
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(*out, 3);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, DrainTakesWholeSegmentInOrder)
+{
+    SpscRing<int> ring(8);
+    for (int i = 0; i < 5; i++) {
+        int v = i;
+        ASSERT_TRUE(ring.tryPush(v));
+    }
+    std::vector<int> got;
+    EXPECT_EQ(ring.drain([&](int v) { got.push_back(v); }), 5u);
+    ASSERT_EQ(got.size(), 5u);
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(ring.drain([&](int) { FAIL(); }), 0u);
+}
+
+TEST(SpscRing, DrainExceptionKeepsConsumedElementsConsumed)
+{
+    // If the consumer callback throws, everything already handed out
+    // stays consumed — the next drain must not replay element 0.
+    SpscRing<int> ring(8);
+    for (int i = 0; i < 4; i++) {
+        int v = i;
+        ASSERT_TRUE(ring.tryPush(v));
+    }
+    int seen = 0;
+    EXPECT_THROW(ring.drain([&](int v) {
+        seen++;
+        if (v == 1)
+            throw std::runtime_error("boom");
+    }),
+                 std::runtime_error);
+    EXPECT_EQ(seen, 2);
+    std::vector<int> rest;
+    ring.drain([&](int v) { rest.push_back(v); });
+    ASSERT_EQ(rest.size(), 2u);
+    EXPECT_EQ(rest[0], 2);
+    EXPECT_EQ(rest[1], 3);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerPreservesFifo)
+{
+    // Release/acquire publication under a real thread pair: the
+    // consumer must only ever observe fully written values, in order,
+    // with none lost and none duplicated. TSan (CI runs this suite
+    // with --gtest_repeat=3) verifies the ordering annotations; the
+    // sequence check verifies the arithmetic.
+    // Sized for the 1-core CI runner: the pair makes progress through
+    // scheduler round-robin, so a full-ring (or empty-ring) spin must
+    // yield rather than burn its whole quantum.
+    constexpr std::uint64_t kCount = 20000;
+    SpscRing<std::uint64_t> ring(64);
+    std::atomic<bool> fail{false};
+    std::thread consumer([&]() {
+        std::uint64_t expect = 0;
+        while (expect < kCount) {
+            if (ring.drain([&](std::uint64_t v) {
+                    if (v != expect++)
+                        fail.store(true);
+                }) == 0)
+                std::this_thread::yield();
+        }
+    });
+    for (std::uint64_t i = 0; i < kCount;) {
+        std::uint64_t v = i;
+        if (ring.tryPush(v))
+            i++;
+        else
+            std::this_thread::yield();
+    }
+    consumer.join();
+    EXPECT_FALSE(fail.load());
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, ConcurrentMoveOnlyPayloads)
+{
+    // The engine ships std::unique_ptr<Event>; exercise the move-only
+    // path under concurrency so a dropped or double-freed slot shows
+    // up (ASan/TSan legs) as more than a wrong number.
+    constexpr int kCount = 10000;
+    SpscRing<std::unique_ptr<int>> ring(32);
+    std::atomic<std::int64_t> sum{0};
+    std::thread consumer([&]() {
+        int got = 0;
+        while (got < kCount) {
+            std::unique_ptr<int> p;
+            if (ring.tryPop(p)) {
+                sum.fetch_add(*p, std::memory_order_relaxed);
+                got++;
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    });
+    std::int64_t want = 0;
+    for (int i = 0; i < kCount;) {
+        auto p = std::make_unique<int>(i);
+        if (ring.tryPush(p)) {
+            want += i;
+            i++;
+        } else {
+            ASSERT_NE(p, nullptr);
+            std::this_thread::yield();
+        }
+    }
+    consumer.join();
+    EXPECT_EQ(sum.load(), want);
+}
